@@ -1,0 +1,135 @@
+// Command danas-bench regenerates every table and figure of the paper's
+// evaluation (plus this reproduction's ablations) and prints them in
+// paper-style rows/series.
+//
+// Usage:
+//
+//	danas-bench [-scale f] [table2|table3|fig3|fig4|fig5|fig6|fig7|ablations|all]...
+//
+// With no experiment arguments it runs everything. -scale shrinks file
+// sizes and operation counts (default 1.0, already reduced from paper
+// scale; the steady states are identical).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"danas/internal/exper"
+)
+
+func main() {
+	scaleFlag := flag.Float64("scale", 1.0, "workload scale factor (file sizes, op counts)")
+	flag.Parse()
+	scale := exper.Scale(*scaleFlag)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	known := map[string]func(exper.Scale){
+		"table2":    runTable2,
+		"table3":    runTable3,
+		"fig3":      runFig3,
+		"fig4":      runFig4,
+		"fig5":      runFig5,
+		"fig6":      runFig6,
+		"fig7":      runFig7,
+		"ablations": runAblations,
+	}
+	order := []string{"table2", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "ablations"}
+	for _, a := range args {
+		if a == "all" {
+			for _, name := range order {
+				known[name](scale)
+			}
+			continue
+		}
+		fn, ok := known[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "danas-bench: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		fn(scale)
+	}
+}
+
+func runTable2(scale exper.Scale) {
+	fmt.Println("== Table 2: baseline network performance ==")
+	fmt.Printf("%-16s %12s %12s   (paper: RTT us / BW MB/s)\n", "protocol", "RTT (us)", "BW (MB/s)")
+	paper := map[string]string{
+		"GM":           "23 / 244",
+		"VI poll":      "23 / 244",
+		"VI block":     "53 / 244",
+		"UDP/Ethernet": "80 / 166",
+	}
+	for _, r := range exper.Table2(scale) {
+		fmt.Printf("%-16s %12.1f %12.1f   paper: %s\n", r.Protocol, r.RTTMicros, r.MBps, paper[r.Protocol])
+	}
+	fmt.Println()
+}
+
+func runTable3(scale exper.Scale) {
+	fmt.Println("== Table 3: I/O response time, 4KB reads (us) ==")
+	fmt.Printf("%-20s %12s %12s   (paper: in mem / in cache)\n", "mechanism", "in mem", "in cache")
+	paper := map[string]string{
+		"RPC in-line read": "128 / 153",
+		"RPC direct read":  "144 / 144",
+		"ORDMA read":       "92 / 92",
+	}
+	for _, r := range exper.Table3(scale) {
+		fmt.Printf("%-20s %12.1f %12.1f   paper: %s\n", r.Mechanism, r.InMemMicros, r.InCacheMicros, paper[r.Mechanism])
+	}
+	fmt.Println()
+}
+
+func runFig3(scale exper.Scale) {
+	thr, _ := exper.Fig34(scale)
+	fmt.Println("== Figure 3 ==")
+	fmt.Print(thr)
+	fmt.Println()
+}
+
+func runFig4(scale exper.Scale) {
+	_, cpu := exper.Fig34(scale)
+	fmt.Println("== Figure 4 ==")
+	fmt.Print(cpu)
+	fmt.Println()
+}
+
+func runFig5(scale exper.Scale) {
+	fmt.Println("== Figure 5 ==")
+	fmt.Print(exper.Fig5(scale))
+	fmt.Println()
+}
+
+func runFig6(scale exper.Scale) {
+	fmt.Println("== Figure 6 ==")
+	fmt.Print(exper.Fig6(scale))
+	fmt.Println()
+	fmt.Print(exper.Fig6ServerCPU(scale))
+	fmt.Println()
+}
+
+func runFig7(scale exper.Scale) {
+	fmt.Println("== Figure 7 ==")
+	fmt.Print(exper.Fig7(scale))
+	fmt.Println()
+}
+
+func runAblations(scale exper.Scale) {
+	fmt.Println("== Ablations ==")
+	fmt.Print(exper.AblationTLB(scale))
+	fmt.Println()
+	fmt.Print(exper.AblationCapability(scale))
+	fmt.Println()
+	fmt.Print(exper.AblationDirectory(scale))
+	fmt.Println()
+	fmt.Print(exper.AblationBatchIO(scale))
+	fmt.Println()
+	fmt.Print(exper.AblationSuccessRate(scale))
+	fmt.Println()
+	fmt.Print(exper.AblationWriteRatio(scale))
+	fmt.Println()
+}

@@ -1,0 +1,96 @@
+// Command danas-postmark runs the PostMark benchmark over any of the five
+// simulated NAS clients — the Figure 6 workload as a standalone tool.
+//
+// Example:
+//
+//	danas-postmark -proto odafs -files 1000 -txns 10000 -hit-pct 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"danas"
+	"danas/internal/postmark"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "odafs", "protocol: nfs | nfs-pp | nfs-hybrid | dafs | odafs")
+		files     = flag.Int("files", 1000, "file-set size")
+		sizeMin   = flag.Int64("min-size", 4096, "minimum file size")
+		sizeMax   = flag.Int64("max-size", 4096, "maximum file size")
+		txns      = flag.Int("txns", 10000, "transactions in the measured phase")
+		readRatio = flag.Float64("read-ratio", 1.0, "fraction of read transactions (1.0 = paper's read-only mode)")
+		cdRatio   = flag.Float64("create-delete-ratio", 0, "fraction of transactions that also create/delete")
+		hitPct    = flag.Int("hit-pct", 50, "client cache size as %% of the file set (DAFS/ODAFS)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		warm      = flag.Bool("warm", true, "run one unmeasured warm pass first")
+	)
+	flag.Parse()
+
+	protos := map[string]danas.Protocol{
+		"nfs": danas.NFS, "nfs-pp": danas.NFSPrePosting, "nfs-hybrid": danas.NFSHybrid,
+		"dafs": danas.DAFS, "odafs": danas.ODAFS,
+	}
+	proto, ok := protos[strings.ToLower(*protoName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "danas-postmark: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	cl := danas.NewCluster(danas.WithServerCache(4096, 16**files))
+	defer cl.Close()
+	dataBlocks := *files * *hitPct / 100
+	if dataBlocks < 1 {
+		dataBlocks = 1
+	}
+	m := cl.Mount(proto, danas.WithClientCache(4096, dataBlocks, 8**files))
+
+	cfg := postmark.Config{
+		Files:             *files,
+		MinSize:           *sizeMin,
+		MaxSize:           *sizeMax,
+		Transactions:      *txns,
+		ReadRatio:         *readRatio,
+		CreateDeleteRatio: *cdRatio,
+		TxnOverhead:       3 * danas.Microsecond,
+		Seed:              *seed,
+	}
+
+	var res postmark.Result
+	cl.Go("postmark", func(p *danas.Proc) {
+		b := postmark.New(m.NASClient(), m.Host(), cfg)
+		if err := b.Setup(p); err != nil {
+			panic(err)
+		}
+		if *warm {
+			if _, err := b.Run(p); err != nil {
+				panic(err)
+			}
+		}
+		cl.MarkServerEpoch()
+		var err error
+		res, err = b.Run(p)
+		if err != nil {
+			panic(err)
+		}
+	})
+	cl.Run()
+
+	fmt.Printf("protocol       %s\n", proto)
+	fmt.Printf("file set       %d files (%d-%d bytes)\n", *files, *sizeMin, *sizeMax)
+	fmt.Printf("transactions   %d (reads %d, appends %d, creates %d, deletes %d)\n",
+		res.Txns, res.Reads, res.Appends, res.Creates, res.Deletes)
+	fmt.Printf("sim time       %v\n", res.Elapsed)
+	fmt.Printf("throughput     %.0f txns/s\n", res.TxnsPerSec())
+	fmt.Printf("data read      %.1f MB, written %.1f MB\n", float64(res.BytesRead)/1e6, float64(res.BytesWritten)/1e6)
+	fmt.Printf("server CPU     %.1f%%\n", 100*cl.ServerCPUUtilization())
+	st := m.ODAFSStats()
+	if st.ORDMAReads+st.RPCReads+st.LocalHits > 0 {
+		fmt.Printf("client cache   %d local hits, %d ORDMA (%d faults), %d RPC\n",
+			st.LocalHits, st.ORDMASuccesses, st.ORDMAFaults, st.RPCReads)
+	}
+}

@@ -1,0 +1,142 @@
+// Command danas-sim runs one configurable simulation: a set of clients
+// streaming or random-reading a file over a chosen protocol, printing
+// throughput, response time and utilization. It is the "try one point"
+// companion to danas-bench's full tables.
+//
+// Examples:
+//
+//	danas-sim -proto odafs -clients 2 -block 4096 -file-mb 64 -passes 2
+//	danas-sim -proto nfs -block 65536 -random -count 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"danas"
+	"danas/internal/workload"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "odafs", "protocol: nfs | nfs-pp | nfs-hybrid | dafs | odafs")
+		clients   = flag.Int("clients", 1, "number of client machines")
+		fileMB    = flag.Int64("file-mb", 64, "file size in MiB")
+		block     = flag.Int64("block", 65536, "application I/O size in bytes")
+		window    = flag.Int("window", 8, "outstanding I/Os per client")
+		passes    = flag.Int("passes", 2, "sequential passes over the file (last one measured)")
+		random    = flag.Bool("random", false, "random small I/O instead of sequential streaming")
+		count     = flag.Int("count", 8192, "random I/Os per client (with -random)")
+		cacheKB   = flag.Int64("client-cache-block-kb", 0, "client cache block KB (DAFS/ODAFS; 0 = app block)")
+		dataCache = flag.Int("client-cache-blocks", 1024, "client cache data blocks (DAFS/ODAFS)")
+		headers   = flag.Int("client-cache-headers", 1<<16, "client cache headers / directory reach (DAFS/ODAFS)")
+	)
+	flag.Parse()
+
+	protos := map[string]danas.Protocol{
+		"nfs": danas.NFS, "nfs-pp": danas.NFSPrePosting, "nfs-hybrid": danas.NFSHybrid,
+		"dafs": danas.DAFS, "odafs": danas.ODAFS,
+	}
+	proto, ok := protos[strings.ToLower(*protoName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "danas-sim: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	fileSize := *fileMB << 20
+	cb := *block
+	if *cacheKB > 0 {
+		cb = *cacheKB * 1024
+	}
+
+	cl := danas.NewCluster(danas.WithServerCache(min64(cb, 64*1024), int(fileSize/min64(cb, 64*1024))+1024))
+	defer cl.Close()
+	if err := cl.CreateWarmFile("data", fileSize); err != nil {
+		fmt.Fprintln(os.Stderr, "danas-sim:", err)
+		os.Exit(1)
+	}
+
+	mounts := make([]*danas.Mount, *clients)
+	for i := range mounts {
+		mounts[i] = cl.Mount(proto, danas.WithClientCache(cb, *dataCache, *headers))
+	}
+
+	results := make([]workload.StreamResult, *clients)
+	started := 0
+	var measureStart danas.Time
+	for i, m := range mounts {
+		i, m := i, m
+		cl.Go(fmt.Sprintf("client-%d", i), func(p *danas.Proc) {
+			warmPasses := *passes - 1
+			for w := 0; w < warmPasses; w++ {
+				if _, err := workload.Stream(p, m.NASClient(), workload.StreamConfig{
+					File: "data", BlockSize: *block, Window: *window, Passes: 1,
+				}); err != nil {
+					panic(err)
+				}
+			}
+			if started == 0 {
+				cl.MarkServerEpoch()
+				measureStart = p.Now()
+			}
+			started++
+			var res workload.StreamResult
+			var err error
+			if *random {
+				res, err = workload.SmallIO(p, m.NASClient(), workload.SmallIOConfig{
+					File: "data", IOSize: *block, Count: *count, Window: *window, Seed: uint64(i + 1),
+				})
+			} else {
+				var rs []workload.StreamResult
+				rs, err = workload.Stream(p, m.NASClient(), workload.StreamConfig{
+					File: "data", BlockSize: *block, Window: *window, Passes: 1,
+				})
+				if err == nil {
+					res = rs[0]
+				}
+			}
+			if err != nil {
+				panic(err)
+			}
+			results[i] = res
+		})
+	}
+	cl.Run()
+
+	var bytes int64
+	for _, r := range results {
+		bytes += r.Bytes
+	}
+	elapsed := cl.Now().Sub(measureStart)
+	fmt.Printf("protocol        %s\n", proto)
+	fmt.Printf("clients         %d\n", *clients)
+	fmt.Printf("I/O size        %d bytes (%s)\n", *block, mode(*random))
+	fmt.Printf("bytes moved     %d MB (measured phase)\n", bytes>>20)
+	fmt.Printf("sim time        %v\n", elapsed)
+	fmt.Printf("throughput      %.1f MB/s aggregate\n", float64(bytes)/1e6/elapsed.Seconds())
+	fmt.Printf("server CPU      %.1f%%\n", 100*cl.ServerCPUUtilization())
+	fmt.Printf("server link     %.1f%%\n", 100*cl.ServerLinkTxUtilization())
+	for i, m := range mounts {
+		st := m.ODAFSStats()
+		if st.ORDMAReads+st.RPCReads > 0 {
+			fmt.Printf("client %d        ORDMA %d ok / %d faults, RPC %d, local hits %d\n",
+				i, st.ORDMASuccesses, st.ORDMAFaults, st.RPCReads, st.LocalHits)
+		}
+	}
+}
+
+func mode(random bool) string {
+	if random {
+		return "random"
+	}
+	return "sequential"
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

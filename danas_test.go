@@ -1,0 +1,201 @@
+package danas
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	if err := cl.CreateWarmFile("data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Mount(ODAFS)
+	var got int64
+	cl.Go("app", func(p *Proc) {
+		h, err := m.Open(p, "data")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		got, err = m.Read(p, h, 0, 65536)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if err := m.Close(p, h); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	cl.Run()
+	if got != 65536 {
+		t.Fatalf("read %d bytes", got)
+	}
+	if cl.Now() <= 0 {
+		t.Fatal("simulated time did not advance")
+	}
+}
+
+func TestAllProtocolsMountAndRead(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	if err := cl.CreateWarmFile("data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []Protocol{NFS, NFSPrePosting, NFSHybrid, DAFS, ODAFS} {
+		proto := proto
+		m := cl.Mount(proto)
+		cl.Go("app-"+proto.String(), func(p *Proc) {
+			h, err := m.Open(p, "data")
+			if err != nil {
+				t.Errorf("%v open: %v", proto, err)
+				return
+			}
+			if n, err := m.Read(p, h, 0, 32768); err != nil || n != 32768 {
+				t.Errorf("%v read: n=%d err=%v", proto, n, err)
+			}
+		})
+	}
+	cl.Run()
+}
+
+func TestReadDataMaterializesContent(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	if err := cl.CreateWarmFile("data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Mount(DAFS)
+	cl.Go("app", func(p *Proc) {
+		h, _ := m.Open(p, "data")
+		a := make([]byte, 4096)
+		b := make([]byte, 4096)
+		if _, err := m.ReadData(p, h, 8192, a); err != nil {
+			t.Errorf("read data: %v", err)
+			return
+		}
+		m.ReadData(p, h, 8192, b)
+		if !bytes.Equal(a, b) {
+			t.Error("content not stable across reads")
+		}
+		var all0 = true
+		for _, x := range a {
+			if x != 0 {
+				all0 = false
+			}
+		}
+		if all0 {
+			t.Error("content empty")
+		}
+	})
+	cl.Run()
+}
+
+func TestWriteDataRoundTrip(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	m := cl.Mount(ODAFS)
+	payload := []byte("direct access network attached storage")
+	cl.Go("app", func(p *Proc) {
+		h, err := m.Create(p, "new.bin")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := m.WriteData(p, h, 100, payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		got := make([]byte, len(payload))
+		if _, err := m.ReadData(p, h, 100, got); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip %q", got)
+		}
+		if size, _ := m.Getattr(p, h); size != 100+int64(len(payload)) {
+			t.Errorf("size %d", size)
+		}
+	})
+	cl.Run()
+}
+
+func TestODAFSStatsExposed(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	cl.CreateWarmFile("data", 256*4096)
+	m := cl.Mount(ODAFS, WithClientCache(4096, 32, 4096))
+	cl.Go("app", func(p *Proc) {
+		h, _ := m.Open(p, "data")
+		for pass := 0; pass < 2; pass++ {
+			for off := int64(0); off < h.Size; off += 4096 {
+				m.Read(p, h, off, 4096)
+			}
+		}
+	})
+	cl.Run()
+	st := m.ODAFSStats()
+	if st.RPCReads == 0 || st.ORDMASuccesses == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if cl.ServerNICExceptions() != 0 {
+		t.Fatalf("unexpected exceptions")
+	}
+}
+
+func TestPlainServerDegradesODAFS(t *testing.T) {
+	cl := NewCluster(WithPlainServer())
+	defer cl.Close()
+	cl.CreateWarmFile("data", 64*4096)
+	m := cl.Mount(ODAFS, WithClientCache(4096, 8, 1024))
+	cl.Go("app", func(p *Proc) {
+		h, _ := m.Open(p, "data")
+		for pass := 0; pass < 2; pass++ {
+			for off := int64(0); off < h.Size; off += 4096 {
+				m.Read(p, h, off, 4096)
+			}
+		}
+	})
+	cl.Run()
+	if st := m.ODAFSStats(); st.ORDMAReads != 0 {
+		t.Fatalf("ORDMA used against a plain server: %+v", st)
+	}
+}
+
+func TestUtilizationAccessors(t *testing.T) {
+	cl := NewCluster()
+	defer cl.Close()
+	cl.CreateWarmFile("data", 1<<22)
+	m := cl.Mount(NFS)
+	cl.MarkServerEpoch()
+	m.MarkClientEpoch()
+	cl.Go("app", func(p *Proc) {
+		h, _ := m.Open(p, "data")
+		for off := int64(0); off < h.Size; off += 65536 {
+			m.Read(p, h, off, 65536)
+		}
+	})
+	cl.Run()
+	if u := m.ClientCPUUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("client CPU utilization %v", u)
+	}
+	if u := cl.ServerLinkTxUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("server link utilization %v", u)
+	}
+	if u := cl.ServerCPUUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("server CPU utilization %v", u)
+	}
+}
+
+func TestDefaultParamsExposed(t *testing.T) {
+	p := DefaultParams()
+	if p.LinkBandwidth != 250e6 {
+		t.Fatal("default params wrong")
+	}
+	cl := NewCluster(WithParams(p), WithServerCache(8192, 1024), WithNFSWorkers(2))
+	defer cl.Close()
+	if cl.Params() != p {
+		t.Fatal("params not threaded through")
+	}
+}

@@ -1,0 +1,67 @@
+// Mediastream: the Figure 3 workload as an application — a streaming
+// client performing asynchronous read-ahead over a large file warm in the
+// server cache, comparing all four §5.1 systems at a few block sizes. This
+// is the "media streaming" class of NAS application DAFS targets.
+package main
+
+import (
+	"fmt"
+
+	"danas"
+	"danas/internal/workload"
+)
+
+func main() {
+	const fileSize = 48 << 20
+
+	fmt.Println("Streaming read-ahead throughput (file warm in server cache)")
+	fmt.Printf("%-18s %12s %12s %12s\n", "system", "64KB blocks", "256KB blocks", "client CPU%")
+
+	for _, proto := range []danas.Protocol{
+		danas.NFS, danas.NFSPrePosting, danas.NFSHybrid, danas.DAFS,
+	} {
+		var mb64, mb256, cpu float64
+		cl := danas.NewCluster(danas.WithServerCache(64*1024, 4096))
+		if err := cl.CreateWarmFile("movie.bin", fileSize); err != nil {
+			panic(err)
+		}
+		m := mountRaw(cl, proto)
+		cl.Go("stream", func(p *danas.Proc) {
+			res, err := workload.Stream(p, m.NASClient(), workload.StreamConfig{
+				File: "movie.bin", BlockSize: 64 * 1024, Window: 8, Passes: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			mb64 = res[0].MBps()
+
+			m.MarkClientEpoch()
+			res, err = workload.Stream(p, m.NASClient(), workload.StreamConfig{
+				File: "movie.bin", BlockSize: 256 * 1024, Window: 8, Passes: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			mb256 = res[0].MBps()
+			cpu = 100 * m.ClientCPUUtilization()
+		})
+		cl.Run()
+		cl.Close()
+		fmt.Printf("%-18s %12.1f %12.1f %12.1f\n", proto, mb64, mb256, cpu)
+	}
+	fmt.Println("\nThe RDDP systems saturate the 2 Gb/s link; standard NFS is")
+	fmt.Println("pinned near 65 MB/s by client-side memory copies (paper Fig. 3).")
+}
+
+// mountRaw mounts proto without the client file cache: the streaming
+// experiment measures the raw data path, as the paper does.
+func mountRaw(cl *danas.Cluster, proto danas.Protocol) *danas.Mount {
+	if proto == danas.DAFS || proto == danas.ODAFS {
+		// A cache of minimum size with read-ahead disabled by using
+		// block-size-aligned application reads keeps the cached client
+		// equivalent to the raw client for sequential streaming; mount
+		// with a large block so each app read is one protocol op.
+		return cl.Mount(proto, danas.WithClientCache(256*1024, 8, 16))
+	}
+	return cl.Mount(proto)
+}

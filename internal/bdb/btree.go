@@ -1,0 +1,145 @@
+package bdb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page type tags.
+const (
+	pageFree     = 0
+	pageLeaf     = 1
+	pageInternal = 2
+	pageOverflow = 3
+)
+
+// Leaf entry: key(8) + overflow page(4) + value length(4).
+const leafEntrySize = 16
+
+// Leaf header: type(1) + n(2) + next(4).
+const leafHeaderSize = 7
+
+// maxLeafEntries is the leaf fan-out.
+const maxLeafEntries = (PageSize - leafHeaderSize) / leafEntrySize
+
+// Internal header: type(1) + n(2); then child0(4) + n*(key 8 + child 4).
+const innerHeaderSize = 3
+
+// maxInnerKeys is the internal-node fan-out minus one.
+const maxInnerKeys = (PageSize - innerHeaderSize - 4) / 12
+
+// Overflow header: type(1) + used(2) + next(4).
+const ovHeaderSize = 7
+
+// ovCap is the data capacity of one overflow page.
+const ovCap = PageSize - ovHeaderSize
+
+// leaf is the decoded form of a leaf page.
+type leaf struct {
+	keys  []uint64
+	ovs   []PageID
+	vlens []uint32
+	next  PageID
+}
+
+func parseLeaf(data []byte) (*leaf, error) {
+	if data[0] != pageLeaf {
+		return nil, fmt.Errorf("bdb: page is not a leaf (type %d)", data[0])
+	}
+	n := int(binary.LittleEndian.Uint16(data[1:]))
+	l := &leaf{
+		keys:  make([]uint64, n),
+		ovs:   make([]PageID, n),
+		vlens: make([]uint32, n),
+		next:  PageID(binary.LittleEndian.Uint32(data[3:])),
+	}
+	off := leafHeaderSize
+	for i := 0; i < n; i++ {
+		l.keys[i] = binary.LittleEndian.Uint64(data[off:])
+		l.ovs[i] = PageID(binary.LittleEndian.Uint32(data[off+8:]))
+		l.vlens[i] = binary.LittleEndian.Uint32(data[off+12:])
+		off += leafEntrySize
+	}
+	return l, nil
+}
+
+func (l *leaf) write(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = pageLeaf
+	binary.LittleEndian.PutUint16(data[1:], uint16(len(l.keys)))
+	binary.LittleEndian.PutUint32(data[3:], uint32(l.next))
+	off := leafHeaderSize
+	for i := range l.keys {
+		binary.LittleEndian.PutUint64(data[off:], l.keys[i])
+		binary.LittleEndian.PutUint32(data[off+8:], uint32(l.ovs[i]))
+		binary.LittleEndian.PutUint32(data[off+12:], l.vlens[i])
+		off += leafEntrySize
+	}
+}
+
+// search returns the index of key, or insertion point and false.
+func (l *leaf) search(key uint64) (int, bool) {
+	lo, hi := 0, len(l.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.keys) && l.keys[lo] == key
+}
+
+// inner is the decoded form of an internal page.
+type inner struct {
+	keys     []uint64
+	children []PageID // len(keys)+1
+}
+
+func parseInner(data []byte) (*inner, error) {
+	if data[0] != pageInternal {
+		return nil, fmt.Errorf("bdb: page is not internal (type %d)", data[0])
+	}
+	n := int(binary.LittleEndian.Uint16(data[1:]))
+	in := &inner{keys: make([]uint64, n), children: make([]PageID, n+1)}
+	in.children[0] = PageID(binary.LittleEndian.Uint32(data[innerHeaderSize:]))
+	off := innerHeaderSize + 4
+	for i := 0; i < n; i++ {
+		in.keys[i] = binary.LittleEndian.Uint64(data[off:])
+		in.children[i+1] = PageID(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+	}
+	return in, nil
+}
+
+func (in *inner) write(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	data[0] = pageInternal
+	binary.LittleEndian.PutUint16(data[1:], uint16(len(in.keys)))
+	binary.LittleEndian.PutUint32(data[innerHeaderSize:], uint32(in.children[0]))
+	off := innerHeaderSize + 4
+	for i := range in.keys {
+		binary.LittleEndian.PutUint64(data[off:], in.keys[i])
+		binary.LittleEndian.PutUint32(data[off+8:], uint32(in.children[i+1]))
+		off += 12
+	}
+}
+
+// childFor returns the child to descend into for key.
+func (in *inner) childFor(key uint64) PageID {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return in.children[lo]
+}

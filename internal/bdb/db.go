@@ -1,0 +1,362 @@
+package bdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"danas/internal/host"
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("bdb: key not found")
+
+// headerMagic identifies a database file.
+const headerMagic = 0xDA17A5BD
+
+// pageCPU is the CPU cost of parsing/searching one B+-tree page.
+const pageCPU = 2 * sim.Microsecond
+
+// DB is an open database: a B+-tree of uint64 keys to arbitrary-size
+// values stored in overflow chains.
+type DB struct {
+	pager *Pager
+	h     *host.Host
+	c     nas.Client
+	fh    *nas.Handle
+
+	root   PageID
+	height int // 1 = root is a leaf
+}
+
+// Create makes a new database file on the server via client c.
+func Create(p *sim.Proc, c nas.Client, src nas.ContentSource, h *host.Host, name string, cacheBytes int64) (*DB, error) {
+	fh, err := c.Create(p, name)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{h: h, c: c, fh: fh}
+	db.pager = newPager(c, src, h, fh, cacheBytes)
+	hdr := db.pager.Alloc() // page 0
+	if hdr != 0 {
+		return nil, fmt.Errorf("bdb: header landed on page %d", hdr)
+	}
+	rootID := db.pager.Alloc()
+	rootData, _ := db.pager.Get(p, rootID)
+	(&leaf{}).write(rootData)
+	db.pager.MarkDirty(rootID)
+	db.root, db.height = rootID, 1
+	db.writeHeader(p)
+	if err := db.pager.Flush(p); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open opens an existing database file.
+func Open(p *sim.Proc, c nas.Client, src nas.ContentSource, h *host.Host, name string, cacheBytes int64) (*DB, error) {
+	fh, err := c.Open(p, name)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{h: h, c: c, fh: fh}
+	db.pager = newPager(c, src, h, fh, cacheBytes)
+	hdr, err := db.pager.Get(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != headerMagic {
+		return nil, fmt.Errorf("bdb: %s is not a database", name)
+	}
+	db.root = PageID(binary.LittleEndian.Uint32(hdr[4:]))
+	db.height = int(binary.LittleEndian.Uint16(hdr[8:]))
+	return db, nil
+}
+
+func (db *DB) writeHeader(p *sim.Proc) {
+	hdr, _ := db.pager.Get(p, 0)
+	binary.LittleEndian.PutUint32(hdr, headerMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(db.root))
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(db.height))
+	db.pager.MarkDirty(0)
+}
+
+// Pager exposes the page cache for instrumentation.
+func (db *DB) Pager() *Pager { return db.pager }
+
+// Sync flushes dirty pages to the server.
+func (db *DB) Sync(p *sim.Proc) error {
+	db.writeHeader(p)
+	return db.pager.Flush(p)
+}
+
+// storeValue writes val into freshly allocated overflow pages. Chains are
+// allocated contiguously, which PagesOf exploits for prefetch.
+func (db *DB) storeValue(p *sim.Proc, val []byte) (PageID, uint32) {
+	if len(val) == 0 {
+		return nilPage, 0
+	}
+	nPages := (len(val) + ovCap - 1) / ovCap
+	first := nilPage
+	var prevData []byte
+	for i := 0; i < nPages; i++ {
+		id := db.pager.Alloc()
+		if first == nilPage {
+			first = id
+		}
+		data, _ := db.pager.Get(p, id)
+		chunk := val[i*ovCap:]
+		if len(chunk) > ovCap {
+			chunk = chunk[:ovCap]
+		}
+		for j := range data {
+			data[j] = 0
+		}
+		data[0] = pageOverflow
+		binary.LittleEndian.PutUint16(data[1:], uint16(len(chunk)))
+		copy(data[ovHeaderSize:], chunk)
+		db.pager.MarkDirty(id)
+		if prevData != nil {
+			binary.LittleEndian.PutUint32(prevData[3:], uint32(id))
+		}
+		prevData = data
+	}
+	return first, uint32(len(val))
+}
+
+// readValue walks an overflow chain. Chains are contiguous by
+// construction, so the uncached portion arrives as one large read.
+func (db *DB) readValue(p *sim.Proc, first PageID, vlen uint32) ([]byte, error) {
+	if vlen > 0 {
+		nPages := (int(vlen) + ovCap - 1) / ovCap
+		if err := db.pager.GetRange(p, first, nPages); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, 0, vlen)
+	id := first
+	for id != nilPage && len(out) < int(vlen) {
+		data, err := db.pager.Get(p, id)
+		if err != nil {
+			return nil, err
+		}
+		if data[0] != pageOverflow {
+			return nil, fmt.Errorf("bdb: page %d is not overflow", id)
+		}
+		used := int(binary.LittleEndian.Uint16(data[1:]))
+		out = append(out, data[ovHeaderSize:ovHeaderSize+used]...)
+		id = PageID(binary.LittleEndian.Uint32(data[3:]))
+	}
+	if len(out) != int(vlen) {
+		return nil, fmt.Errorf("bdb: overflow chain truncated: %d of %d bytes", len(out), vlen)
+	}
+	return out, nil
+}
+
+// Entry is a leaf entry: the record locator.
+type Entry struct {
+	Key  uint64
+	Page PageID // first overflow page
+	Len  uint32
+}
+
+// PagesOf returns the page IDs holding the entry's value (contiguous by
+// construction) — the pre-computable page set the prefetching join uses.
+func (e Entry) PagesOf() []PageID {
+	n := (int(e.Len) + ovCap - 1) / ovCap
+	out := make([]PageID, n)
+	for i := range out {
+		out[i] = e.Page + PageID(i)
+	}
+	return out
+}
+
+// findLeaf descends to the leaf that would hold key, returning its page ID.
+func (db *DB) findLeaf(p *sim.Proc, key uint64) (PageID, error) {
+	id := db.root
+	for level := db.height; level > 1; level-- {
+		data, err := db.pager.Get(p, id)
+		if err != nil {
+			return 0, err
+		}
+		db.h.Compute(p, pageCPU)
+		in, err := parseInner(data)
+		if err != nil {
+			return 0, err
+		}
+		id = in.childFor(key)
+	}
+	return id, nil
+}
+
+// Lookup returns the record locator for key.
+func (db *DB) Lookup(p *sim.Proc, key uint64) (Entry, error) {
+	leafID, err := db.findLeaf(p, key)
+	if err != nil {
+		return Entry{}, err
+	}
+	data, err := db.pager.Get(p, leafID)
+	if err != nil {
+		return Entry{}, err
+	}
+	db.h.Compute(p, pageCPU)
+	l, err := parseLeaf(data)
+	if err != nil {
+		return Entry{}, err
+	}
+	i, ok := l.search(key)
+	if !ok {
+		return Entry{}, ErrNotFound
+	}
+	return Entry{Key: key, Page: l.ovs[i], Len: l.vlens[i]}, nil
+}
+
+// Get returns the value stored under key.
+func (db *DB) Get(p *sim.Proc, key uint64) ([]byte, error) {
+	e, err := db.Lookup(p, key)
+	if err != nil {
+		return nil, err
+	}
+	return db.readValue(p, e.Page, e.Len)
+}
+
+// Put inserts or replaces key with val. Replaced overflow chains are
+// leaked (no free-space management — the paper's workloads never delete).
+func (db *DB) Put(p *sim.Proc, key uint64, val []byte) error {
+	ov, vlen := db.storeValue(p, val)
+	newKey, newChild, err := db.insert(p, db.root, db.height, key, ov, vlen)
+	if err != nil {
+		return err
+	}
+	if newChild != nilPage {
+		// Root split: grow the tree.
+		newRootID := db.pager.Alloc()
+		data, _ := db.pager.Get(p, newRootID)
+		(&inner{keys: []uint64{newKey}, children: []PageID{db.root, newChild}}).write(data)
+		db.pager.MarkDirty(newRootID)
+		db.root = newRootID
+		db.height++
+		db.writeHeader(p)
+	}
+	return nil
+}
+
+// insert recursively inserts into the subtree at id (height level),
+// returning a (separator, new right sibling) pair if the node split.
+func (db *DB) insert(p *sim.Proc, id PageID, level int, key uint64, ov PageID, vlen uint32) (uint64, PageID, error) {
+	data, err := db.pager.Get(p, id)
+	if err != nil {
+		return 0, nilPage, err
+	}
+	db.h.Compute(p, pageCPU)
+	if level == 1 {
+		l, err := parseLeaf(data)
+		if err != nil {
+			return 0, nilPage, err
+		}
+		i, found := l.search(key)
+		if found {
+			l.ovs[i], l.vlens[i] = ov, vlen
+		} else {
+			l.keys = append(l.keys[:i], append([]uint64{key}, l.keys[i:]...)...)
+			l.ovs = append(l.ovs[:i], append([]PageID{ov}, l.ovs[i:]...)...)
+			l.vlens = append(l.vlens[:i], append([]uint32{vlen}, l.vlens[i:]...)...)
+		}
+		if len(l.keys) <= maxLeafEntries {
+			l.write(data)
+			db.pager.MarkDirty(id)
+			return 0, nilPage, nil
+		}
+		// Split.
+		mid := len(l.keys) / 2
+		right := &leaf{
+			keys:  append([]uint64(nil), l.keys[mid:]...),
+			ovs:   append([]PageID(nil), l.ovs[mid:]...),
+			vlens: append([]uint32(nil), l.vlens[mid:]...),
+			next:  l.next,
+		}
+		rightID := db.pager.Alloc()
+		rdata, _ := db.pager.Get(p, rightID)
+		right.write(rdata)
+		db.pager.MarkDirty(rightID)
+		l.keys, l.ovs, l.vlens = l.keys[:mid], l.ovs[:mid], l.vlens[:mid]
+		l.next = rightID
+		l.write(data)
+		db.pager.MarkDirty(id)
+		return right.keys[0], rightID, nil
+	}
+	in, err := parseInner(data)
+	if err != nil {
+		return 0, nilPage, err
+	}
+	child := in.childFor(key)
+	sep, newChild, err := db.insert(p, child, level-1, key, ov, vlen)
+	if err != nil || newChild == nilPage {
+		return 0, nilPage, err
+	}
+	// Insert separator into this node.
+	pos := 0
+	for pos < len(in.keys) && in.keys[pos] <= sep {
+		pos++
+	}
+	in.keys = append(in.keys[:pos], append([]uint64{sep}, in.keys[pos:]...)...)
+	in.children = append(in.children[:pos+1], append([]PageID{newChild}, in.children[pos+1:]...)...)
+	if len(in.keys) <= maxInnerKeys {
+		in.write(data)
+		db.pager.MarkDirty(id)
+		return 0, nilPage, nil
+	}
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	right := &inner{
+		keys:     append([]uint64(nil), in.keys[mid+1:]...),
+		children: append([]PageID(nil), in.children[mid+1:]...),
+	}
+	rightID := db.pager.Alloc()
+	rdata, _ := db.pager.Get(p, rightID)
+	right.write(rdata)
+	db.pager.MarkDirty(rightID)
+	in.keys, in.children = in.keys[:mid], in.children[:mid+1]
+	in.write(data)
+	db.pager.MarkDirty(id)
+	return upKey, rightID, nil
+}
+
+// Scan iterates all entries in key order, calling fn for each; fn returns
+// false to stop.
+func (db *DB) Scan(p *sim.Proc, fn func(Entry) bool) error {
+	// Descend to the leftmost leaf.
+	id := db.root
+	for level := db.height; level > 1; level-- {
+		data, err := db.pager.Get(p, id)
+		if err != nil {
+			return err
+		}
+		db.h.Compute(p, pageCPU)
+		in, err := parseInner(data)
+		if err != nil {
+			return err
+		}
+		id = in.children[0]
+	}
+	for id != nilPage {
+		data, err := db.pager.Get(p, id)
+		if err != nil {
+			return err
+		}
+		db.h.Compute(p, pageCPU)
+		l, err := parseLeaf(data)
+		if err != nil {
+			return err
+		}
+		for i := range l.keys {
+			if !fn(Entry{Key: l.keys[i], Page: l.ovs[i], Len: l.vlens[i]}) {
+				return nil
+			}
+		}
+		id = l.next
+	}
+	return nil
+}

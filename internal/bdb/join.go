@@ -1,0 +1,70 @@
+package bdb
+
+import (
+	"danas/internal/sim"
+)
+
+// JoinResult reports an equality join's work.
+type JoinResult struct {
+	Records int   // matched records retrieved
+	Bytes   int64 // record bytes touched in the db cache
+	Copied  int64 // bytes copied from the db cache to the app buffer
+}
+
+// EqualityJoin reproduces the Figure 5 application: join the key sets of
+// outer and inner, then retrieve every matching record from inner with
+// window-bounded asynchronous prefetch, copying copyPerRecord bytes of each
+// record from the db cache into the application buffer (the experiment's
+// knob for application computational requirements).
+func EqualityJoin(p *sim.Proc, outer, inner *DB, copyPerRecord int64, window int) (JoinResult, error) {
+	// Phase 1: pre-compute the matching record locators (both trees are
+	// scanned in key order; the join is a merge).
+	var outerKeys []uint64
+	if err := outer.Scan(p, func(e Entry) bool {
+		outerKeys = append(outerKeys, e.Key)
+		return true
+	}); err != nil {
+		return JoinResult{}, err
+	}
+	var matches []Entry
+	i := 0
+	if err := inner.Scan(p, func(e Entry) bool {
+		for i < len(outerKeys) && outerKeys[i] < e.Key {
+			i++
+		}
+		if i < len(outerKeys) && outerKeys[i] == e.Key {
+			matches = append(matches, e)
+		}
+		return true
+	}); err != nil {
+		return JoinResult{}, err
+	}
+
+	// Phase 2: pre-compute the required pages and start read-ahead.
+	var pages []PageID
+	for _, e := range matches {
+		pages = append(pages, e.PagesOf()...)
+	}
+	inner.pager.Prefetch(p, pages, window)
+
+	// Phase 3: retrieve the records, copying the configured amount of
+	// data out per record.
+	var res JoinResult
+	for _, e := range matches {
+		val, err := inner.readValue(p, e.Page, e.Len)
+		if err != nil {
+			return res, err
+		}
+		res.Records++
+		res.Bytes += int64(len(val))
+		c := copyPerRecord
+		if c > int64(len(val)) {
+			c = int64(len(val))
+		}
+		if c > 0 {
+			inner.h.Compute(p, inner.h.CopyCost(c))
+			res.Copied += c
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupMissThenInsertHit(t *testing.T) {
+	c := New(4096, 8, 32)
+	if _, hit := c.Lookup(1, 0); hit {
+		t.Fatal("cold lookup hit")
+	}
+	c.Insert(1, 0, 4096, nil, "blk")
+	b, hit := c.Lookup(1, 100) // same block, unaligned offset
+	if !hit || b.Payload != "blk" {
+		t.Fatal("lookup after insert missed")
+	}
+	st := c.Stats()
+	if st.DataHits != 1 || st.DataMisses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	c := New(4096, 1, 1)
+	if c.Align(0) != 0 || c.Align(4095) != 0 || c.Align(4096) != 4096 || c.Align(9000) != 8192 {
+		t.Fatal("alignment broken")
+	}
+}
+
+func TestDataEvictionKeepsHeaderAndRef(t *testing.T) {
+	c := New(4096, 2, 10)
+	ref := &RemoteRef{VA: 0x1000, Len: 4096}
+	c.Insert(1, 0, 4096, ref, nil)
+	c.Insert(1, 4096, 4096, nil, nil)
+	c.Insert(1, 8192, 4096, nil, nil) // evicts data of block 0
+	data, headers := c.Len()
+	if data != 2 || headers != 3 {
+		t.Fatalf("data=%d headers=%d, want 2/3", data, headers)
+	}
+	b, hit := c.Lookup(1, 0)
+	if hit {
+		t.Fatal("evicted block still reports data")
+	}
+	if b == nil || b.Ref != ref {
+		t.Fatal("empty header lost its remote reference — the ORDMA directory broke")
+	}
+	if st := c.Stats(); st.RefHits != 1 || st.DataEvicts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHeaderCapEvictsEntirely(t *testing.T) {
+	c := New(4096, 2, 3)
+	for i := int64(0); i < 5; i++ {
+		c.Insert(1, i*4096, 4096, &RemoteRef{VA: uint64(i)}, nil)
+	}
+	_, headers := c.Len()
+	if headers != 3 {
+		t.Fatalf("headers=%d, want cap 3", headers)
+	}
+	if b, _ := c.Lookup(1, 0); b != nil {
+		t.Fatal("oldest header should be fully evicted")
+	}
+	if st := c.Stats(); st.TotalEvicts != 2 {
+		t.Fatalf("total evicts %d, want 2", st.TotalEvicts)
+	}
+}
+
+func TestLRUOrderRespectsAccess(t *testing.T) {
+	c := New(4096, 2, 2)
+	c.Insert(1, 0, 4096, nil, nil)
+	c.Insert(1, 4096, 4096, nil, nil)
+	c.Lookup(1, 0)                    // touch block 0: block 4096 is now LRU
+	c.Insert(1, 8192, 4096, nil, nil) // evicts 4096 (header too, cap 2)
+	if _, hit := c.Lookup(1, 0); !hit {
+		t.Fatal("recently-touched block evicted")
+	}
+	if b, _ := c.Lookup(1, 4096); b != nil {
+		t.Fatal("LRU block survived")
+	}
+}
+
+func TestSetRefAndDropRef(t *testing.T) {
+	c := New(4096, 2, 8)
+	ref := &RemoteRef{VA: 7, Len: 4096}
+	c.SetRef(3, 4096, ref)
+	b, hit := c.Lookup(3, 4096)
+	if hit || b == nil || b.Ref != ref {
+		t.Fatal("SetRef did not create an empty header with the ref")
+	}
+	c.DropRef(3, 4096)
+	if b.Ref != nil {
+		t.Fatal("DropRef failed")
+	}
+	c.DropRef(3, 999999) // unknown block: no-op
+}
+
+func TestInsertRefreshesRef(t *testing.T) {
+	c := New(4096, 4, 8)
+	c.Insert(1, 0, 4096, &RemoteRef{VA: 1}, nil)
+	c.Insert(1, 0, 4096, &RemoteRef{VA: 2}, nil)
+	b, _ := c.Lookup(1, 0)
+	if b.Ref.VA != 2 {
+		t.Fatalf("ref VA = %d, want refreshed 2", b.Ref.VA)
+	}
+	// Insert without a ref keeps the old one.
+	c.Insert(1, 0, 4096, nil, nil)
+	if b.Ref == nil || b.Ref.VA != 2 {
+		t.Fatal("nil-ref insert clobbered the stored reference")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := New(4096, 8, 16)
+	c.Insert(1, 0, 4096, nil, nil)
+	c.Insert(1, 4096, 4096, nil, nil)
+	c.Insert(2, 0, 4096, nil, nil)
+	c.InvalidateFile(1)
+	data, headers := c.Len()
+	if data != 1 || headers != 1 {
+		t.Fatalf("data=%d headers=%d after invalidate", data, headers)
+	}
+	if _, hit := c.Lookup(2, 0); !hit {
+		t.Fatal("unrelated file lost")
+	}
+}
+
+func TestHeaderCapBelowDataCapRaised(t *testing.T) {
+	c := New(4096, 8, 2)
+	if c.headerCap != 8 {
+		t.Fatalf("headerCap=%d, want raised to dataCap", c.headerCap)
+	}
+}
+
+// Property: data blocks never exceed dataCap, headers never exceed
+// headerCap, and every data block has a header.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(4096, 4, 12)
+		for _, op := range ops {
+			off := int64(op%64) * 4096
+			switch op % 3 {
+			case 0:
+				c.Insert(1, off, 4096, nil, nil)
+			case 1:
+				c.Lookup(1, off)
+			case 2:
+				c.SetRef(1, off, &RemoteRef{VA: uint64(op)})
+			}
+			data, headers := c.Len()
+			if data > 4 || headers > 12 || data > headers {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with the MQ policy the same invariants hold.
+func TestCapacityInvariantPropertyMQ(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(4096, 4, 12, WithPolicies(NewMQ(4, 16), NewMQ(4, 16)))
+		for _, op := range ops {
+			off := int64(op%64) * 4096
+			if op%2 == 0 {
+				c.Insert(1, off, 4096, nil, nil)
+			} else {
+				c.Lookup(1, off)
+			}
+			data, headers := c.Len()
+			if data > 4 || headers > 12 || data > headers {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMQPromotesFrequentBlocks(t *testing.T) {
+	mq := NewMQ(4, 1000)
+	c := New(4096, 2, 8, WithPolicies(mq, NewLRU()))
+	c.Insert(1, 0, 4096, nil, nil)
+	for i := 0; i < 8; i++ {
+		c.Lookup(1, 0) // hot: freq 9 -> queue 3
+	}
+	c.Insert(1, 4096, 4096, nil, nil)
+	c.Insert(1, 8192, 4096, nil, nil) // one of the cold blocks must go
+	if _, hit := c.Lookup(1, 0); !hit {
+		t.Fatal("MQ evicted the hot block over a cold one")
+	}
+}
+
+func TestMQExpiryDemotes(t *testing.T) {
+	mq := NewMQ(4, 4) // short lifetime
+	// Make a hot element, then touch others until it expires downward.
+	hot := &elem{owner: &Block{}}
+	mq.Insert(hot)
+	for i := 0; i < 8; i++ {
+		mq.Touch(hot)
+	}
+	if hot.queue == 0 {
+		t.Fatal("hot element not promoted")
+	}
+	// MQ decays one queue level per lifetime; enough cold traffic must
+	// walk the hot element all the way down.
+	cold := make([]*elem, 16)
+	for i := range cold {
+		cold[i] = &elem{owner: &Block{}}
+		mq.Insert(cold[i])
+	}
+	if hot.queue != 0 {
+		t.Fatalf("hot element in queue %d after expiry, want demoted to 0", hot.queue)
+	}
+}
+
+func TestLRUVictimEmpty(t *testing.T) {
+	l := NewLRU()
+	if l.Victim() != nil || l.Len() != 0 {
+		t.Fatal("empty LRU misbehaves")
+	}
+	m := NewMQ(3, 10)
+	if m.Victim() != nil || m.Len() != 0 {
+		t.Fatal("empty MQ misbehaves")
+	}
+}

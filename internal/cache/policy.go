@@ -1,0 +1,200 @@
+package cache
+
+// elem is an intrusive policy node embedded in Block (one per policy the
+// block participates in), avoiding per-access allocation.
+type elem struct {
+	owner      *Block
+	prev, next *elem
+	inList     bool
+	freq       uint64 // MQ: access count
+	expire     uint64 // MQ: logical expiration time
+	queue      int    // MQ: current queue index
+}
+
+// Policy orders cache blocks for replacement.
+type Policy interface {
+	// Insert adds a new element (most-recently-used position).
+	Insert(e *elem)
+	// Touch records an access.
+	Touch(e *elem)
+	// Remove deletes the element.
+	Remove(e *elem)
+	// Victim returns the current replacement victim (least valuable).
+	Victim() *elem
+	// Len returns the number of elements.
+	Len() int
+}
+
+// ring is an intrusive doubly-linked list with a sentinel.
+type ring struct {
+	head elem
+	n    int
+}
+
+func (r *ring) init() {
+	r.head.prev = &r.head
+	r.head.next = &r.head
+}
+
+func (r *ring) pushFront(e *elem) {
+	e.prev = &r.head
+	e.next = r.head.next
+	e.prev.next = e
+	e.next.prev = e
+	e.inList = true
+	r.n++
+}
+
+func (r *ring) remove(e *elem) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	e.inList = false
+	r.n--
+}
+
+func (r *ring) back() *elem {
+	if r.n == 0 {
+		return nil
+	}
+	return r.head.prev
+}
+
+// LRU is least-recently-used replacement.
+type LRU struct {
+	list ring
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	l := &LRU{}
+	l.list.init()
+	return l
+}
+
+// Insert implements Policy.
+func (l *LRU) Insert(e *elem) { l.list.pushFront(e) }
+
+// Touch implements Policy.
+func (l *LRU) Touch(e *elem) {
+	if !e.inList {
+		l.list.pushFront(e)
+		return
+	}
+	l.list.remove(e)
+	l.list.pushFront(e)
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(e *elem) {
+	if e.inList {
+		l.list.remove(e)
+	}
+}
+
+// Victim implements Policy.
+func (l *LRU) Victim() *elem { return l.list.back() }
+
+// Len implements Policy.
+func (l *LRU) Len() int { return l.list.n }
+
+// MQ is the multi-queue replacement algorithm of Zhou, Philbin and Li
+// (USENIX '01), which the paper suggests for the ORDMA reference directory
+// (§4.2): m LRU queues where a block in queue i has been accessed at least
+// 2^i times; blocks expire to lower queues when not referenced for
+// lifeTime accesses, so once-hot blocks decay instead of pinning the
+// directory.
+type MQ struct {
+	queues   []ring
+	lifeTime uint64
+	clock    uint64 // logical time: one tick per access
+	n        int
+}
+
+// NewMQ creates an MQ policy with numQueues queues and the given lifetime
+// (in accesses).
+func NewMQ(numQueues int, lifeTime uint64) *MQ {
+	if numQueues < 1 {
+		numQueues = 1
+	}
+	if lifeTime < 1 {
+		lifeTime = 1
+	}
+	m := &MQ{queues: make([]ring, numQueues), lifeTime: lifeTime}
+	for i := range m.queues {
+		m.queues[i].init()
+	}
+	return m
+}
+
+func (m *MQ) queueFor(freq uint64) int {
+	q := 0
+	for f := freq; f > 1 && q < len(m.queues)-1; f >>= 1 {
+		q++
+	}
+	return q
+}
+
+// Insert implements Policy.
+func (m *MQ) Insert(e *elem) {
+	m.clock++
+	e.freq = 1
+	e.expire = m.clock + m.lifeTime
+	e.queue = 0
+	m.queues[0].pushFront(e)
+	m.n++
+	m.adjust()
+}
+
+// Touch implements Policy.
+func (m *MQ) Touch(e *elem) {
+	m.clock++
+	if !e.inList {
+		m.n++
+		e.freq = 0
+	} else {
+		m.queues[e.queue].remove(e)
+	}
+	e.freq++
+	e.expire = m.clock + m.lifeTime
+	e.queue = m.queueFor(e.freq)
+	m.queues[e.queue].pushFront(e)
+	m.adjust()
+}
+
+// adjust demotes expired queue tails, implementing MQ's aging.
+func (m *MQ) adjust() {
+	for q := len(m.queues) - 1; q >= 1; q-- {
+		for {
+			tail := m.queues[q].back()
+			if tail == nil || tail.expire > m.clock {
+				break
+			}
+			m.queues[q].remove(tail)
+			tail.queue = q - 1
+			tail.expire = m.clock + m.lifeTime
+			m.queues[q-1].pushFront(tail)
+		}
+	}
+}
+
+// Remove implements Policy.
+func (m *MQ) Remove(e *elem) {
+	if e.inList {
+		m.queues[e.queue].remove(e)
+		m.n--
+	}
+}
+
+// Victim implements Policy: tail of the lowest non-empty queue.
+func (m *MQ) Victim() *elem {
+	for q := range m.queues {
+		if v := m.queues[q].back(); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Len implements Policy.
+func (m *MQ) Len() int { return m.n }

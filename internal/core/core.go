@@ -1,0 +1,374 @@
+// Package core implements the paper's primary contribution: Optimistic
+// RDMA and the Optimistic Direct Access File System (§4).
+//
+// ORDMA is client-initiated RDMA without per-I/O buffer advertisement.
+// The mechanism splits across layers exactly as it did in the prototype:
+//
+//   - the server NIC validates translations, residency, locks and
+//     (optionally) capability MACs, and reports failures as NIC-to-NIC
+//     exceptions (internal/nic);
+//   - exceptions surface as recoverable transport errors in VI descriptor
+//     status (internal/vi);
+//   - the DAFS server, when optimistic, exports its file cache blocks in a
+//     private 64-bit address space and piggybacks remote memory references
+//     on read replies (internal/dafs with Optimistic=true);
+//   - this package supplies the ODAFS client: a user-level file cache
+//     whose block headers double as the ORDMA reference directory, issuing
+//     client-initiated gets for cache misses whose server location is
+//     known, and falling back to RPC — collecting a fresh reference — when
+//     the optimism fails (§4.2 principles (a)–(c)).
+//
+// The same cache layer with ORDMA disabled is the plain cached-DAFS client
+// the paper compares against in Table 3, Figure 6 and Figure 7.
+package core
+
+import (
+	"fmt"
+
+	"danas/internal/cache"
+	"danas/internal/dafs"
+	"danas/internal/host"
+	"danas/internal/nas"
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+// arenaBufID identifies the cache's registered block arena in the
+// registration cache: one pinned region reused by every block fetch, so no
+// per-I/O registration happens on the cached path.
+const arenaBufID = 1<<63 - 1
+
+// Config shapes the client cache and the ODAFS behaviour.
+type Config struct {
+	// BlockSize is the client cache block size (Fig. 6 uses 4 KB; Fig. 7
+	// sweeps it).
+	BlockSize int64
+	// DataBlocks is the number of blocks holding data.
+	DataBlocks int
+	// Headers is the total header population — the reach of the ORDMA
+	// reference directory (§4.2.1: "many more empty headers than data
+	// blocks", ideally enough to map the server's whole file cache).
+	Headers int
+	// UseORDMA enables client-initiated RDMA on directory hits: true for
+	// ODAFS, false for the plain cached DAFS baseline.
+	UseORDMA bool
+	// InlineRPC uses in-line RPC reads on the fallback/population path
+	// instead of server-initiated RDMA (Table 3's "RPC in-line read").
+	InlineRPC bool
+	// MQDirectory selects multi-queue replacement for the header
+	// population instead of LRU (§4.2's suggestion; ablation A3).
+	MQDirectory bool
+}
+
+// Stats counts ODAFS-specific outcomes.
+type Stats struct {
+	LocalHits      uint64 // satisfied entirely in the client cache
+	ORDMAReads     uint64 // client-initiated gets attempted
+	ORDMASuccesses uint64
+	ORDMAFaults    uint64 // NIC-to-NIC exceptions caught and recovered
+	RPCReads       uint64 // reads that went over RPC (population/fallback)
+	LocalOpens     uint64 // opens satisfied by an open delegation
+}
+
+// Client is the cached (O)DAFS client.
+type Client struct {
+	inner *dafs.Client
+	h     *host.Host
+	c     *cache.Cache
+	cfg   Config
+
+	delegations map[string]*nas.Handle
+	// inflight coalesces concurrent fetches of the same block: later
+	// readers wait for the first fetch instead of duplicating it.
+	inflight map[cache.Key]*sim.Signal
+
+	stats Stats
+}
+
+var _ nas.Client = (*Client)(nil)
+
+// NewClient mounts a cached client on clientNIC against srv. For ODAFS
+// semantics the server must have been created optimistic; a non-optimistic
+// server simply never piggybacks references, so UseORDMA degenerates to
+// DAFS (every miss is an RPC).
+func NewClient(s *sim.Scheduler, clientNIC *nic.NIC, srv *dafs.Server, mode nic.NotifyMode, cfg Config) *Client {
+	if cfg.BlockSize <= 0 || cfg.DataBlocks <= 0 {
+		panic("core: config needs positive block size and data capacity")
+	}
+	if cfg.Headers < cfg.DataBlocks {
+		cfg.Headers = cfg.DataBlocks
+	}
+	var opts []cache.Option
+	if cfg.MQDirectory {
+		opts = append(opts, cache.WithPolicies(cache.NewLRU(), cache.NewMQ(8, uint64(4*cfg.Headers))))
+	}
+	transfer := dafs.Direct
+	if cfg.InlineRPC {
+		transfer = dafs.Inline
+	}
+	return &Client{
+		inner:       dafs.NewClient(s, clientNIC, srv, mode, transfer),
+		h:           clientNIC.Host(),
+		c:           cache.New(cfg.BlockSize, cfg.DataBlocks, cfg.Headers, opts...),
+		cfg:         cfg,
+		delegations: make(map[string]*nas.Handle),
+		inflight:    make(map[cache.Key]*sim.Signal),
+	}
+}
+
+// Name implements nas.Client.
+func (c *Client) Name() string {
+	if c.cfg.UseORDMA {
+		return "ODAFS"
+	}
+	return "DAFS"
+}
+
+// Stats returns a copy of the counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// CacheStats exposes the underlying block cache counters.
+func (c *Client) CacheStats() cache.Stats { return c.c.Stats() }
+
+// Inner returns the underlying DAFS session client.
+func (c *Client) Inner() *dafs.Client { return c.inner }
+
+// Open implements nas.Client. After the first open of a file the server
+// grants an open delegation, so subsequent opens and closes are satisfied
+// locally (§5.2, "Effect of client caching").
+func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
+	if h, ok := c.delegations[name]; ok {
+		c.stats.LocalOpens++
+		c.h.Compute(p, c.h.P.CacheLookup)
+		return h, nil
+	}
+	h, err := c.inner.Open(p, name)
+	if err != nil {
+		return nil, err
+	}
+	c.delegations[name] = h
+	return h, nil
+}
+
+// Close implements nas.Client: local under a delegation.
+func (c *Client) Close(p *sim.Proc, h *nas.Handle) error {
+	c.h.Compute(p, c.h.P.CacheLookup)
+	return nil
+}
+
+// Getattr implements nas.Client: attributes are served under the
+// delegation when held.
+func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
+	if _, ok := c.delegations[h.Name]; ok {
+		c.h.Compute(p, c.h.P.CacheLookup)
+		return h.Size, nil
+	}
+	return c.inner.Getattr(p, h)
+}
+
+// Create implements nas.Client.
+func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
+	h, err := c.inner.Create(p, name)
+	if err != nil {
+		return nil, err
+	}
+	c.delegations[name] = h
+	return h, nil
+}
+
+// Remove implements nas.Client.
+func (c *Client) Remove(p *sim.Proc, name string) error {
+	delete(c.delegations, name)
+	return c.inner.Remove(p, name)
+}
+
+// Read implements nas.Client. The request is decomposed into cache blocks;
+// all missing blocks are fetched concurrently (the cache's internal
+// read-ahead matches the application request size, §5.2 "Server
+// throughput").
+func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	end := off + n
+	if end > h.Size {
+		end = h.Size
+	}
+	if off >= end {
+		return 0, nil
+	}
+	type fetch struct {
+		off int64
+		err error
+	}
+	var misses []int64
+	for bo := c.c.Align(off); bo < end; bo += c.cfg.BlockSize {
+		c.h.Compute(p, c.h.P.CacheLookup)
+		if _, hit := c.c.Lookup(h.FH, bo); hit {
+			c.stats.LocalHits++
+			continue
+		}
+		misses = append(misses, bo)
+	}
+	if len(misses) == 0 {
+		return end - off, nil
+	}
+	if len(misses) == 1 {
+		if err := c.fetchBlock(p, h, misses[0]); err != nil {
+			return 0, err
+		}
+		return end - off, nil
+	}
+	// Internal read-ahead: fetch all missing blocks concurrently.
+	s := p.Sched()
+	doneSig := sim.NewSignal(s)
+	results := make([]fetch, len(misses))
+	remaining := len(misses)
+	for i, bo := range misses {
+		i, bo := i, bo
+		s.Go(fmt.Sprintf("fetch-%d", bo), func(fp *sim.Proc) {
+			results[i] = fetch{off: bo, err: c.fetchBlock(fp, h, bo)}
+			remaining--
+			if remaining == 0 {
+				doneSig.Fire()
+			}
+		})
+	}
+	doneSig.Wait(p)
+	for _, r := range results {
+		if r.err != nil {
+			return 0, r.err
+		}
+	}
+	return end - off, nil
+}
+
+// fetchBlock brings one block into the cache: ORDMA when the directory
+// knows where the block lives on the server, RPC otherwise — with the
+// client always prepared to catch an exception and recover via RPC
+// (§4.2 principle (c)). Concurrent fetches of the same block coalesce.
+func (c *Client) fetchBlock(p *sim.Proc, h *nas.Handle, blockOff int64) error {
+	key := cache.Key{File: h.FH, Off: c.c.Align(blockOff)}
+	if sig, busy := c.inflight[key]; busy {
+		sig.Wait(p)
+		return nil
+	}
+	sig := sim.NewSignal(p.Sched())
+	c.inflight[key] = sig
+	err := c.fetchBlockUncoalesced(p, h, blockOff)
+	delete(c.inflight, key)
+	sig.Fire()
+	return err
+}
+
+func (c *Client) fetchBlockUncoalesced(p *sim.Proc, h *nas.Handle, blockOff int64) error {
+	blockLen := c.cfg.BlockSize
+	if blockOff+blockLen > h.Size {
+		blockLen = h.Size - blockOff
+	}
+	if c.cfg.UseORDMA {
+		if ref := c.c.RefOf(h.FH, blockOff); ref != nil {
+			c.stats.ORDMAReads++
+			res := c.inner.QP().RDMA(p, nic.Get, ref.VA, min64(blockLen, ref.Len), ref.Cap)
+			if res.OK() {
+				c.stats.ORDMASuccesses++
+				c.chargeInsert(p, h.FH, blockOff)
+				c.c.Insert(h.FH, blockOff, blockLen, ref, nil)
+				return nil
+			}
+			// Recoverable NIC-to-NIC exception: drop the stale reference
+			// and retry over RPC, which returns a fresh one.
+			c.stats.ORDMAFaults++
+			c.c.DropRef(h.FH, blockOff)
+		}
+	}
+	return c.rpcFetch(p, h, blockOff, blockLen)
+}
+
+// rpcFetch populates a block over the DAFS RPC path, installing any
+// piggybacked reference in the directory.
+func (c *Client) rpcFetch(p *sim.Proc, h *nas.Handle, blockOff, blockLen int64) error {
+	c.stats.RPCReads++
+	var ref *cache.RemoteRef
+	var err error
+	if c.cfg.InlineRPC {
+		_, ref, err = c.inner.ReadInline(p, h, blockOff, blockLen)
+		if err == nil {
+			// Copy from the communication buffer into the cache block.
+			c.h.Compute(p, c.h.CopyCost(blockLen))
+		}
+	} else {
+		_, ref, err = c.inner.ReadDirect(p, h, blockOff, blockLen, arenaBufID)
+	}
+	if err != nil {
+		return err
+	}
+	c.chargeInsert(p, h.FH, blockOff)
+	c.c.Insert(h.FH, blockOff, blockLen, ref, nil)
+	return nil
+}
+
+// chargeInsert prices a cache insert: filling a block whose header already
+// exists (the common second-pass case) is a flag flip; populating a fresh
+// header pays the full allocation and hash/LRU maintenance cost.
+func (c *Client) chargeInsert(p *sim.Proc, fh uint64, off int64) {
+	if c.c.Has(fh, off) {
+		c.h.Compute(p, c.h.P.CacheLookup)
+	} else {
+		c.h.Compute(p, c.h.P.CacheInsert)
+	}
+}
+
+// Write implements nas.Client: write-through, updating the cached copy.
+func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	got, err := c.inner.Write(p, h, off, n, bufID)
+	if err != nil {
+		return got, err
+	}
+	for bo := c.c.Align(off); bo < off+n; bo += c.cfg.BlockSize {
+		c.h.Compute(p, c.h.P.CacheInsert)
+		bl := c.cfg.BlockSize
+		c.c.Insert(h.FH, bo, bl, nil, nil)
+	}
+	if off+n > h.Size {
+		h.Size = off + n
+	}
+	return got, nil
+}
+
+// WriteData implements nas.Client for content-bearing writes.
+func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {
+	got, err := c.inner.WriteData(p, h, off, data)
+	if err != nil {
+		return got, err
+	}
+	for bo := c.c.Align(off); bo < off+int64(len(data)); bo += c.cfg.BlockSize {
+		c.h.Compute(p, c.h.P.CacheInsert)
+		c.c.Insert(h.FH, bo, c.cfg.BlockSize, nil, nil)
+	}
+	if end := off + int64(len(data)); end > h.Size {
+		h.Size = end
+	}
+	return got, nil
+}
+
+// PopulateDirectory walks the whole file over RPC so the reference
+// directory maps it — the experiments' first pass (§5.2: "the client cache
+// managed to map the entire file on the server after having accessed it
+// once").
+func (c *Client) PopulateDirectory(p *sim.Proc, h *nas.Handle) error {
+	for off := int64(0); off < h.Size; off += c.cfg.BlockSize {
+		bl := min64(c.cfg.BlockSize, h.Size-off)
+		if err := c.rpcFetch(p, h, off, bl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

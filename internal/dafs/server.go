@@ -1,0 +1,280 @@
+// Package dafs implements the Direct Access File System of the paper: a
+// user-level client and a kernel server speaking a session protocol over
+// VI, with data transfer either in-line in responses or by server-initiated
+// RDMA after explicit buffer advertisement (§2.1, §3.1), client-side
+// registration caching, and batch I/O (§2.2).
+//
+// The Optimistic extension (ODAFS, §4.2) is layered on these types by
+// internal/core: when a Server is created optimistic it exports its file
+// cache blocks through the NIC TPT and piggybacks remote memory references
+// on every read reply.
+package dafs
+
+import (
+	"fmt"
+
+	"danas/internal/cache"
+	"danas/internal/fsim"
+	"danas/internal/host"
+	"danas/internal/nic"
+	"danas/internal/sim"
+	"danas/internal/vi"
+	"danas/internal/wire"
+)
+
+// Server is a DAFS kernel server.
+type Server struct {
+	S     *sim.Scheduler
+	H     *host.Host
+	N     *nic.NIC
+	FS    *fsim.FS
+	Cache *fsim.ServerCache
+
+	// Mode is the completion discipline for session QPs created by
+	// Connect (Intr models the kernel server's default; §5.2 switches to
+	// polling to isolate interrupt cost).
+	Mode nic.NotifyMode
+
+	// Optimistic enables the ODAFS server behaviour: cache blocks are
+	// exported through the TPT at insert, invalidated at evict, and reads
+	// piggyback remote memory references (§4.2.1).
+	Optimistic bool
+
+	Reads, Writes uint64
+	BytesRead     int64
+	sessions      int
+}
+
+// NewServer creates a DAFS server over the given file cache. When
+// optimistic, the server cache's insert/evict hooks maintain TPT exports
+// (the private 64-bit export space of §4.2.1).
+func NewServer(s *sim.Scheduler, n *nic.NIC, fs *fsim.FS, sc *fsim.ServerCache, optimistic bool) *Server {
+	srv := &Server{
+		S: s, H: n.Host(), N: n, FS: fs, Cache: sc,
+		Mode:       nic.Intr,
+		Optimistic: optimistic,
+	}
+	if optimistic {
+		sc.OnInsert = func(b *fsim.CacheBlock) {
+			b.Export = n.TPT.Export(b.Len)
+		}
+		sc.OnEvict = func(b *fsim.CacheBlock) {
+			if seg, ok := b.Export.(*nic.Segment); ok {
+				n.TPT.Invalidate(seg)
+				b.Export = nil
+			}
+		}
+	}
+	return srv
+}
+
+// Connect establishes a session from a client NIC: a QP pair plus a server
+// worker process serving it. It returns the client-side QP.
+func (srv *Server) Connect(clientNIC *nic.NIC, clientMode nic.NotifyMode) *vi.QP {
+	srv.sessions++
+	cqp, sqp := vi.Connect(clientNIC, srv.N, clientNIC.AllocPort(), srv.N.AllocPort(), clientMode, srv.Mode)
+	srv.S.Go(fmt.Sprintf("dafsd-%d", srv.sessions), func(p *sim.Proc) {
+		srv.serve(p, sqp)
+	})
+	return cqp
+}
+
+// msg is the session message body carried over VI.
+type msg struct {
+	Hdr *wire.Header
+	// Batch carries the extra ranges of a batch I/O request.
+	Batch []int64
+	// Data carries real bytes for content-bearing writes.
+	Data []byte
+}
+
+func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
+	for {
+		m := qp.Recv(p)
+		req := m.Header.(*msg)
+		// Session demux + protocol handler work.
+		srv.H.Compute(p, srv.H.P.RPCServerCost+srv.H.P.DAFSServerOp)
+		switch req.Hdr.Op {
+		case wire.OpRead:
+			srv.read(p, qp, req)
+		case wire.OpWrite:
+			srv.write(p, qp, req)
+		case wire.OpOpen, wire.OpLookup:
+			srv.openOp(p, qp, req)
+		case wire.OpGetattr:
+			srv.getattr(p, qp, req)
+		case wire.OpCreate:
+			srv.createOp(p, qp, req)
+		case wire.OpRemove:
+			srv.removeOp(p, qp, req)
+		case wire.OpClose, wire.OpMount:
+			srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK})
+		default:
+			srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusIO})
+		}
+	}
+}
+
+func (srv *Server) reply(p *sim.Proc, qp *vi.QP, h *wire.Header) {
+	qp.Send(p, &vi.Msg{HeaderBytes: h.WireSize(), Header: &msg{Hdr: h}})
+}
+
+func (srv *Server) openOp(p *sim.Proc, qp *vi.QP, req *msg) {
+	f, err := srv.FS.Lookup(req.Hdr.Name)
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusNoEnt})
+		return
+	}
+	srv.reply(p, qp, &wire.Header{
+		Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK,
+		FH: uint64(f.ID), Length: f.Size(),
+	})
+}
+
+func (srv *Server) getattr(p *sim.Proc, qp *vi.QP, req *msg) {
+	f, err := srv.FS.ByID(fsim.FileID(req.Hdr.FH))
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusStale})
+		return
+	}
+	srv.reply(p, qp, &wire.Header{
+		Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK, FH: req.Hdr.FH, Length: f.Size(),
+	})
+}
+
+func (srv *Server) createOp(p *sim.Proc, qp *vi.QP, req *msg) {
+	f, err := srv.FS.Create(req.Hdr.Name, 0)
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusExist})
+		return
+	}
+	srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK, FH: uint64(f.ID)})
+}
+
+func (srv *Server) removeOp(p *sim.Proc, qp *vi.QP, req *msg) {
+	if err := srv.FS.Remove(req.Hdr.Name); err != nil {
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusNoEnt})
+		return
+	}
+	srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK})
+}
+
+// refFor returns the piggyback reference for the cache block covering
+// (f, off), when the server is optimistic and the block is exported.
+func (srv *Server) refFor(f *fsim.File, off int64) (va uint64, length int64, capBytes []byte) {
+	if !srv.Optimistic {
+		return 0, 0, nil
+	}
+	b, ok := srv.Cache.Peek(f, off)
+	if !ok || b.Export == nil {
+		return 0, 0, nil
+	}
+	seg := b.Export.(*nic.Segment)
+	if !seg.Valid() {
+		return 0, 0, nil
+	}
+	return seg.VA, seg.Len, seg.Cap
+}
+
+// read serves one read: touch cache blocks (disk on miss), then move the
+// data in-line or by RDMA write into the advertised client buffer.
+func (srv *Server) read(p *sim.Proc, qp *vi.QP, req *msg) {
+	h := req.Hdr
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale})
+		return
+	}
+	offs := append([]int64{h.Offset}, req.Batch...)
+	n := h.Length
+	var firstRefVA uint64
+	var firstRefLen int64
+	var firstRefCap []byte
+	total := int64(0)
+	for _, off := range offs {
+		got := n
+		if off >= f.Size() {
+			got = 0
+		} else if off+got > f.Size() {
+			got = f.Size() - off
+		}
+		for bo := off; bo < off+got; bo += srv.Cache.BlockSize() {
+			srv.H.Compute(p, srv.H.P.CacheLookup)
+			if _, hit := srv.Cache.Get(p, f, bo); !hit {
+				srv.H.Compute(p, srv.H.P.CacheInsert)
+			}
+		}
+		if got > 0 && h.BufVA != 0 {
+			// Direct transfer: one RDMA write per range.
+			srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
+			srv.N.RDMAAsync(&nic.Op{
+				Kind:   nic.Put,
+				Target: qp.Peer().NIC(),
+				VA:     h.BufVA + uint64(total),
+				Len:    got,
+				Notify: nic.Poll,
+			})
+		}
+		total += got
+		srv.Reads++
+		srv.BytesRead += got
+	}
+	if firstRefVA == 0 {
+		firstRefVA, firstRefLen, firstRefCap = srv.refFor(f, h.Offset)
+	}
+	resp := &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: total,
+		RefVA: firstRefVA, RefLen: firstRefLen, RefCap: firstRefCap,
+	}
+	if h.BufVA != 0 {
+		srv.reply(p, qp, resp) // data already in flight ahead of the reply
+		return
+	}
+	// In-line transfer: payload rides the reply (gather DMA, no copy).
+	qp.Send(p, &vi.Msg{
+		HeaderBytes:  resp.WireSize(),
+		PayloadBytes: total,
+		Header:       &msg{Hdr: resp},
+		Payload:      fsim.BlockRef{File: f.ID, Off: h.Offset, Len: total},
+	})
+}
+
+// write serves one write: pull the data by RDMA read from the advertised
+// buffer, or accept it in-line; then update file state (§4.2.2 notes writes
+// always need this server-side work — which is why ORDMA targets reads).
+func (srv *Server) write(p *sim.Proc, qp *vi.QP, req *msg) {
+	h := req.Hdr
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale})
+		return
+	}
+	n := h.Length
+	if h.BufVA != 0 && n > 0 {
+		srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
+		res := qp.RDMA(p, nic.Get, h.BufVA, n, nil)
+		if !res.OK() {
+			srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusIO})
+			return
+		}
+	}
+	if len(req.Data) > 0 {
+		f.WriteAt(req.Data, h.Offset)
+	} else if h.Offset+n > f.Size() {
+		f.Truncate(h.Offset + n)
+	}
+	f.SetMtime(int64(p.Now()))
+	srv.H.Compute(p, srv.H.P.CacheInsert)
+	// Written data enters the server buffer cache (write-behind to disk).
+	srv.Cache.Install(f, h.Offset, n)
+	srv.Writes++
+	srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n})
+}
+
+// RemoteRefOf converts piggybacked reply fields into a directory entry.
+func RemoteRefOf(h *wire.Header) *cache.RemoteRef {
+	if h.RefVA == 0 {
+		return nil
+	}
+	return &cache.RemoteRef{VA: h.RefVA, Len: h.RefLen, Cap: h.RefCap}
+}

@@ -1,0 +1,197 @@
+// Package exper is the benchmark harness: one experiment per table and
+// figure of the paper's evaluation (§5), each regenerating the same
+// rows/series the paper reports, plus ablations of the design choices
+// DESIGN.md calls out. The cmd/danas-bench binary and the root-level
+// testing.B benchmarks both drive this package.
+package exper
+
+import (
+	"fmt"
+
+	"danas/internal/core"
+	"danas/internal/dafs"
+	"danas/internal/fsim"
+	"danas/internal/host"
+	"danas/internal/nas"
+	"danas/internal/netsim"
+	"danas/internal/nfs"
+	"danas/internal/nic"
+	"danas/internal/sim"
+	"danas/internal/udpip"
+)
+
+// Scale shrinks experiment file sizes and operation counts uniformly so
+// tests run fast; 1.0 is the benchmark default (which is itself reduced
+// from paper scale — the steady states are identical, see DESIGN.md §2).
+type Scale float64
+
+func (s Scale) bytes(n int64) int64 {
+	v := int64(float64(n) * float64(s))
+	if v < 1<<16 {
+		v = 1 << 16
+	}
+	return v
+}
+
+func (s Scale) count(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// ClusterConfig describes the simulated testbed.
+type ClusterConfig struct {
+	Params *host.Params
+	// Clients is the number of client hosts.
+	Clients int
+	// ServerCacheBlockSize and ServerCacheBlocks shape the server file
+	// cache.
+	ServerCacheBlockSize int64
+	ServerCacheBlocks    int
+	// Optimistic creates an ODAFS-capable DAFS server.
+	Optimistic bool
+	// NFS adds an NFS/UDP server alongside the DAFS server.
+	NFS bool
+	// NFSWorkers is the nfsd worker pool size.
+	NFSWorkers int
+}
+
+// DefaultClusterConfig mirrors the paper's testbed: four PCs, 2 Gb/s
+// Myrinet (we allocate clients on demand).
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Params:               host.Default(),
+		Clients:              1,
+		ServerCacheBlockSize: 16 * 1024,
+		ServerCacheBlocks:    1 << 17,
+		Optimistic:           true,
+		NFS:                  true,
+		NFSWorkers:           8,
+	}
+}
+
+// ClientNode is one client machine.
+type ClientNode struct {
+	Host  *host.Host
+	NIC   *nic.NIC
+	Stack *udpip.Stack
+}
+
+// Cluster is the assembled testbed.
+type Cluster struct {
+	S   *sim.Scheduler
+	P   *host.Params
+	Fab *netsim.Fabric
+
+	ServerHost  *host.Host
+	ServerNIC   *nic.NIC
+	ServerStack *udpip.Stack
+	FS          *fsim.FS
+	Disk        *fsim.Disk
+	ServerCache *fsim.ServerCache
+
+	DAFSServer *dafs.Server
+	NFSServer  *nfs.Server
+
+	Nodes []*ClientNode
+
+	nextNFSPort int
+}
+
+// NewCluster builds the testbed.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Params == nil {
+		cfg.Params = host.Default()
+	}
+	s := sim.New()
+	p := cfg.Params
+	fab := netsim.NewFabric(s, p.SwitchLatency)
+	line := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
+
+	c := &Cluster{S: s, P: p, Fab: fab, nextNFSPort: 900}
+	c.ServerHost = host.New(s, "server", p)
+	c.ServerNIC = nic.New(c.ServerHost, fab.AddPort("server", line))
+	c.ServerStack = udpip.NewStack(c.ServerNIC)
+	c.FS = fsim.NewFS()
+	c.Disk = fsim.NewDisk(s, "disk", p.DiskSeek, p.DiskBW)
+	c.ServerCache = fsim.NewServerCache(c.FS, c.Disk, cfg.ServerCacheBlockSize, cfg.ServerCacheBlocks)
+	c.DAFSServer = dafs.NewServer(s, c.ServerNIC, c.FS, c.ServerCache, cfg.Optimistic)
+	if cfg.NFS {
+		c.NFSServer = nfs.NewServer(s, c.ServerStack, c.FS, c.ServerCache, cfg.NFSWorkers)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		c.AddClientNode()
+	}
+	return c
+}
+
+// AddClientNode attaches another client machine to the fabric.
+func (c *Cluster) AddClientNode() *ClientNode {
+	name := fmt.Sprintf("client%d", len(c.Nodes)+1)
+	line := netsim.LineConfig{Bandwidth: c.P.LinkBandwidth, Overhead: c.P.FrameOverhead, PropDelay: c.P.LinkPropDelay}
+	h := host.New(c.S, name, c.P)
+	n := nic.New(h, c.Fab.AddPort(name, line))
+	node := &ClientNode{Host: h, NIC: n, Stack: udpip.NewStack(n)}
+	c.Nodes = append(c.Nodes, node)
+	return node
+}
+
+// Close tears down the simulation.
+func (c *Cluster) Close() { c.S.Close() }
+
+// NFSClient mounts an NFS client of the given kind on node i.
+func (c *Cluster) NFSClient(i int, kind nfs.Kind) *nfs.Client {
+	c.nextNFSPort++
+	return nfs.NewClient(c.S, c.Nodes[i].Stack, c.nextNFSPort, c.ServerStack, kind)
+}
+
+// DAFSClient mounts a raw (uncached) DAFS client on node i.
+func (c *Cluster) DAFSClient(i int, mode nic.NotifyMode, tm dafs.TransferMode) *dafs.Client {
+	return dafs.NewClient(c.S, c.Nodes[i].NIC, c.DAFSServer, mode, tm)
+}
+
+// CachedClient mounts a cached DAFS/ODAFS client on node i.
+func (c *Cluster) CachedClient(i int, cfg core.Config) *core.Client {
+	return core.NewClient(c.S, c.Nodes[i].NIC, c.DAFSServer, nic.Poll, cfg)
+}
+
+// CreateWarmFile creates a synthetic file and warms the server cache with
+// it — the experiments' "file warm in the server cache" precondition —
+// then pre-warms the NIC TLB when the server is optimistic (§5.2).
+func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
+	f, err := c.FS.Create(name, size)
+	if err != nil {
+		panic(err)
+	}
+	c.ServerCache.Warm(f)
+	c.ServerNIC.TPT.WarmTLB()
+	return f
+}
+
+// Run drives the simulation until quiescent.
+func (c *Cluster) Run() { c.S.Run() }
+
+// Go spawns a root process.
+func (c *Cluster) Go(name string, fn func(p *sim.Proc)) { c.S.Go(name, fn) }
+
+// clientFor builds the requested nas.Client by system name on node i.
+// Recognized names match the paper's figure legends.
+func (c *Cluster) clientFor(system string, i int) nas.Client {
+	switch system {
+	case "NFS":
+		return c.NFSClient(i, nfs.Standard)
+	case "NFS pre-posting":
+		return c.NFSClient(i, nfs.PrePosting)
+	case "NFS hybrid":
+		return c.NFSClient(i, nfs.Hybrid)
+	case "DAFS":
+		return c.DAFSClient(i, nic.Poll, dafs.Direct)
+	default:
+		panic("exper: unknown system " + system)
+	}
+}
+
+// Systems lists the Figure 3/4/5 legend order.
+var Systems = []string{"NFS", "NFS pre-posting", "NFS hybrid", "DAFS"}

@@ -1,0 +1,130 @@
+package exper
+
+import (
+	"danas/internal/core"
+	"danas/internal/metrics"
+	"danas/internal/nic"
+	"danas/internal/sim"
+	"danas/internal/workload"
+)
+
+// Fig7BlockSizesKB is the x-axis: the client cache block size, which is
+// the unit of network I/O in this experiment.
+var Fig7BlockSizesKB = []int{4, 8, 16, 32, 64}
+
+// Fig7 reproduces Figure 7: two clients sequentially read a large file
+// (warm in the server cache) twice using a large application block size;
+// the client cache block size — the unit of network I/O — sweeps 4 KB to
+// 64 KB. Measured: aggregate server throughput during the second pass.
+//
+// Paper shapes: ODAFS saturates the server link at every block size
+// except 64 KB (a GM get performance bug, reproduced behind a quirk flag);
+// DAFS is server-CPU-bound at small blocks (~110 MB/s at 4 KB with
+// interrupts, ~170 MB/s with polling) and approaches the link by 32 KB.
+// The maximal ODAFS advantage at 4 KB is ~32% over polling DAFS.
+func Fig7(scale Scale) *metrics.Table {
+	t := metrics.NewTable("Figure 7: server throughput, two streaming clients",
+		"cache block KB", "MB/s", "DAFS", "DAFS (polling)", "ODAFS")
+	fileSize := scale.bytes(64 << 20)
+	for _, kb := range Fig7BlockSizesKB {
+		block := int64(kb) * 1024
+		t.Set(float64(kb), "DAFS", fig7Point(fileSize, block, false, false))
+		t.Set(float64(kb), "ODAFS", fig7Point(fileSize, block, true, false))
+		if kb == 4 {
+			// The paper reports the polling variant at the 4 KB point,
+			// where the interrupt-bound gap is maximal.
+			t.Set(float64(kb), "DAFS (polling)", fig7Point(fileSize, block, false, true))
+		}
+	}
+	return t
+}
+
+// fig7Point runs one cell: two clients, two passes, measuring aggregate
+// second-pass throughput.
+func fig7Point(fileSize, block int64, ordma, serverPoll bool) float64 {
+	cfg := DefaultClusterConfig()
+	cfg.Clients = 2
+	cfg.ServerCacheBlockSize = block
+	cfg.ServerCacheBlocks = int(fileSize/block) + 64
+	cfg.Params.NICTLBSize = int(fileSize/4096) + 1024 // always hit, as §5.2 ensures
+	if ordma {
+		// Reproduce the paper's GM get bug at 64 KB transfers.
+		cfg.Params.GMGetQuirkSize = 64 * 1024
+	}
+	cl := NewCluster(cfg)
+	defer cl.Close()
+	if serverPoll {
+		cl.DAFSServer.Mode = nic.Poll
+	}
+	cl.CreateWarmFile("big", fileSize)
+
+	appBlock := int64(256 * 1024) // "a large block size" (paper §5.2)
+	if appBlock < block {
+		appBlock = block
+	}
+	headers := int(fileSize/block) + 64
+	dataBlocks := int(int64(8<<20) / block) // 8 MB of client data cache
+	if dataBlocks < 8 {
+		dataBlocks = 8
+	}
+	if dataBlocks > headers/2 {
+		dataBlocks = headers / 2 // keep pass 2 missing locally
+	}
+
+	type clientRun struct {
+		res workload.StreamResult
+	}
+	runs := make([]clientRun, 2)
+	barrier := sim.NewSignal(cl.S)
+	arrived := 0
+	done := sim.NewSignal(cl.S)
+	finished := 0
+	var passStart sim.Time
+
+	for i := 0; i < 2; i++ {
+		i := i
+		client := cl.CachedClient(i, core.Config{
+			BlockSize:  block,
+			DataBlocks: dataBlocks,
+			Headers:    headers,
+			UseORDMA:   ordma,
+		})
+		cl.Go("streamer", func(p *sim.Proc) {
+			// Pass 1: populate caches and (for ODAFS) the directory.
+			if _, err := workload.Stream(p, client, workload.StreamConfig{
+				File: "big", BlockSize: appBlock, Window: 2, Passes: 1,
+			}); err != nil {
+				panic(err)
+			}
+			// Barrier: both clients start pass 2 together.
+			arrived++
+			if arrived == 2 {
+				cl.ServerNIC.TPT.WarmTLB()
+				cl.ServerNIC.Port().MarkEpoch()
+				passStart = p.Now()
+				barrier.Fire()
+			}
+			barrier.Wait(p)
+			res, err := workload.Stream(p, client, workload.StreamConfig{
+				File: "big", BlockSize: appBlock, Window: 2, Passes: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			runs[i].res = res[0]
+			finished++
+			if finished == 2 {
+				done.Fire()
+			}
+		})
+	}
+	var mbps float64
+	cl.Go("measure", func(p *sim.Proc) {
+		done.Wait(p)
+		elapsed := p.Now().Sub(passStart)
+		total := runs[0].res.Bytes + runs[1].res.Bytes
+		mbps = float64(total) / 1e6 / elapsed.Seconds()
+	})
+	cl.Run()
+	return mbps
+}

@@ -1,0 +1,49 @@
+package fsim
+
+import (
+	"danas/internal/sim"
+)
+
+// Disk models the server's disk subsystem as a single FIFO device with
+// positioning time plus media transfer. The paper's experiments run warm
+// (server cache hits), so the disk matters only for miss-path experiments
+// (the ORDMA success-rate ablation) and PostMark file-set creation.
+type Disk struct {
+	st   *sim.Station
+	seek sim.Duration
+	bw   float64
+
+	Reads, Writes uint64
+	BytesRead     int64
+	BytesWritten  int64
+}
+
+// NewDisk creates a disk with the given average positioning time and
+// media bandwidth (bytes/s).
+func NewDisk(s *sim.Scheduler, name string, seek sim.Duration, bw float64) *Disk {
+	return &Disk{st: sim.NewStation(s, name), seek: seek, bw: bw}
+}
+
+// Read blocks p for one read I/O of n bytes.
+func (d *Disk) Read(p *sim.Proc, n int64) {
+	d.Reads++
+	d.BytesRead += n
+	d.st.Wait(p, d.seek+sim.TransferTime(n, d.bw))
+}
+
+// ReadAsync schedules a read and calls done at completion.
+func (d *Disk) ReadAsync(n int64, done func()) {
+	d.Reads++
+	d.BytesRead += n
+	d.st.Serve(d.seek+sim.TransferTime(n, d.bw), done)
+}
+
+// Write blocks p for one write I/O of n bytes.
+func (d *Disk) Write(p *sim.Proc, n int64) {
+	d.Writes++
+	d.BytesWritten += n
+	d.st.Wait(p, d.seek+sim.TransferTime(n, d.bw))
+}
+
+// Utilization reports the device utilization since its last epoch.
+func (d *Disk) Utilization() float64 { return d.st.Utilization() }

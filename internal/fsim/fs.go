@@ -1,0 +1,222 @@
+// Package fsim is the server-side storage substrate: a flat file namespace
+// with deterministic synthetic content, a seek+transfer disk model, and the
+// server buffer cache whose blocks the ODAFS server exports to clients.
+//
+// File content is generated lazily from (file seed, offset) so multi-GB
+// experiment files cost no memory until someone actually asks for bytes;
+// writes are kept in sparse overlay chunks. Applications that need real
+// bytes (the embedded database, PostMark verification) get them; throughput
+// experiments move only sizes.
+package fsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FileID identifies a file for the lifetime of the file system.
+type FileID uint64
+
+// Attr is the subset of file attributes the protocols traffic in.
+type Attr struct {
+	Size  int64
+	Mtime int64 // simulated ns; opaque to fsim
+}
+
+// File is one stored object.
+type File struct {
+	ID   FileID
+	Name string
+	attr Attr
+	seed uint64
+	// overlay holds written data in fixed chunks, indexed by chunk number.
+	overlay map[int64][]byte
+}
+
+const overlayChunk = 64 * 1024
+
+// Attr returns the file attributes.
+func (f *File) Attr() Attr { return f.attr }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.attr.Size }
+
+// FS is a flat namespace of files.
+type FS struct {
+	files  map[string]*File
+	byID   map[FileID]*File
+	nextID FileID
+}
+
+// NewFS creates an empty file system.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*File), byID: make(map[FileID]*File)}
+}
+
+// Create makes a file of the given size with deterministic synthetic
+// content. It fails if the name exists.
+func (fs *FS) Create(name string, size int64) (*File, error) {
+	if _, dup := fs.files[name]; dup {
+		return nil, fmt.Errorf("fsim: create %q: file exists", name)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("fsim: create %q: negative size", name)
+	}
+	fs.nextID++
+	f := &File{
+		ID:      fs.nextID,
+		Name:    name,
+		attr:    Attr{Size: size},
+		seed:    uint64(fs.nextID) * 0x9e3779b97f4a7c15,
+		overlay: make(map[int64][]byte),
+	}
+	fs.files[name] = f
+	fs.byID[f.ID] = f
+	return f, nil
+}
+
+// Lookup resolves a name.
+func (fs *FS) Lookup(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fsim: lookup %q: no such file", name)
+	}
+	return f, nil
+}
+
+// ByID resolves a file ID (the protocols' file handle).
+func (fs *FS) ByID(id FileID) (*File, error) {
+	f, ok := fs.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("fsim: no file with id %d", id)
+	}
+	return f, nil
+}
+
+// Remove deletes a file by name.
+func (fs *FS) Remove(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("fsim: remove %q: no such file", name)
+	}
+	delete(fs.files, name)
+	delete(fs.byID, f.ID)
+	return nil
+}
+
+// Names returns all file names in sorted order.
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of files.
+func (fs *FS) Len() int { return len(fs.files) }
+
+// synthByte returns the deterministic content byte at offset off
+// (a splitmix64-style hash of the word index under the file seed).
+func (f *File) synthByte(off int64) byte {
+	x := f.seed + uint64(off/8)*0x9e3779b97f4a7c15
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return byte(x >> (8 * uint(off%8)))
+}
+
+// ReadAt materializes file content into p starting at off, honouring any
+// written overlay. It returns the bytes read (short at EOF).
+func (f *File) ReadAt(p []byte, off int64) int {
+	if off >= f.attr.Size {
+		return 0
+	}
+	n := len(p)
+	if int64(n) > f.attr.Size-off {
+		n = int(f.attr.Size - off)
+	}
+	for i := 0; i < n; i++ {
+		o := off + int64(i)
+		chunk, idx := o/overlayChunk, o%overlayChunk
+		if data, ok := f.overlay[chunk]; ok {
+			p[i] = data[idx]
+		} else {
+			p[i] = f.synthByte(o)
+		}
+	}
+	return n
+}
+
+// WriteAt stores p at off, growing the file if needed.
+func (f *File) WriteAt(p []byte, off int64) {
+	if off < 0 {
+		panic("fsim: negative write offset")
+	}
+	for i := range p {
+		o := off + int64(i)
+		chunk, idx := o/overlayChunk, o%overlayChunk
+		data, ok := f.overlay[chunk]
+		if !ok {
+			data = make([]byte, overlayChunk)
+			// Preserve existing synthetic content within the chunk.
+			base := chunk * overlayChunk
+			for j := range data {
+				if base+int64(j) < f.attr.Size {
+					data[j] = f.synthByte(base + int64(j))
+				}
+			}
+			f.overlay[chunk] = data
+		}
+		data[idx] = p[i]
+	}
+	if end := off + int64(len(p)); end > f.attr.Size {
+		f.attr.Size = end
+	}
+}
+
+// Truncate sets the file size.
+func (f *File) Truncate(size int64) {
+	if size < 0 {
+		panic("fsim: negative truncate")
+	}
+	f.attr.Size = size
+	for chunk := range f.overlay {
+		if chunk*overlayChunk >= size {
+			delete(f.overlay, chunk)
+		}
+	}
+}
+
+// SetMtime records a modification timestamp.
+func (f *File) SetMtime(ns int64) { f.attr.Mtime = ns }
+
+// BlockRef is a zero-copy reference to a byte range of a file: the unit
+// protocol payloads carry instead of materialized data.
+type BlockRef struct {
+	File FileID
+	Off  int64
+	Len  int64
+}
+
+// ReadAtFH materializes file bytes by handle, implementing the protocol
+// layers' content back-channel (nas.ContentSource).
+func (fs *FS) ReadAtFH(fh uint64, p []byte, off int64) (int, error) {
+	f, err := fs.ByID(FileID(fh))
+	if err != nil {
+		return 0, err
+	}
+	return f.ReadAt(p, off), nil
+}
+
+// Bytes materializes the referenced range.
+func (r BlockRef) Bytes(fs *FS) ([]byte, error) {
+	f, err := fs.ByID(r.File)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, r.Len)
+	n := f.ReadAt(p, r.Off)
+	return p[:n], nil
+}

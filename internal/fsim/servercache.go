@@ -1,0 +1,186 @@
+package fsim
+
+import (
+	"container/list"
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// BlockKey identifies one cache block: a block-aligned range of a file.
+type BlockKey struct {
+	File FileID
+	Off  int64
+}
+
+// CacheBlock is one resident block of the server file cache. Export is an
+// opaque slot for the ODAFS export manager to hang the block's TPT segment
+// on; the cache invokes the eviction hook so the segment can be invalidated
+// when the block is reclaimed (the lazy-consistency mechanism of §4.2(b)).
+type CacheBlock struct {
+	Key    BlockKey
+	Len    int64
+	Export any
+	elem   *list.Element
+}
+
+// Ref returns a BlockRef describing the block's content.
+func (b *CacheBlock) Ref() BlockRef {
+	return BlockRef{File: b.Key.File, Off: b.Key.Off, Len: b.Len}
+}
+
+// ServerCache is the server's file block cache (LRU). Block size is fixed
+// per instance — the paper's Figure 7 sweeps it from 4 KB to 64 KB.
+type ServerCache struct {
+	fs        *FS
+	disk      *Disk
+	blockSize int64
+	capacity  int // max resident blocks
+	lru       *list.List
+	blocks    map[BlockKey]*CacheBlock
+
+	// OnEvict runs when a block is reclaimed (ODAFS invalidates its
+	// export segment here). OnInsert runs when a block becomes resident.
+	OnEvict  func(*CacheBlock)
+	OnInsert func(*CacheBlock)
+
+	Hits, Misses uint64
+}
+
+// NewServerCache creates a cache of capacity blocks of blockSize bytes over
+// fs, filling misses from disk.
+func NewServerCache(fs *FS, disk *Disk, blockSize int64, capacity int) *ServerCache {
+	if blockSize <= 0 || capacity <= 0 {
+		panic("fsim: cache needs positive block size and capacity")
+	}
+	return &ServerCache{
+		fs:        fs,
+		disk:      disk,
+		blockSize: blockSize,
+		capacity:  capacity,
+		lru:       list.New(),
+		blocks:    make(map[BlockKey]*CacheBlock),
+	}
+}
+
+// BlockSize returns the cache block size.
+func (c *ServerCache) BlockSize() int64 { return c.blockSize }
+
+// Len returns resident blocks.
+func (c *ServerCache) Len() int { return len(c.blocks) }
+
+// align returns the block-aligned key and the block length for an offset
+// within f.
+func (c *ServerCache) align(f *File, off int64) (BlockKey, int64) {
+	aligned := off - off%c.blockSize
+	l := c.blockSize
+	if aligned+l > f.Size() {
+		l = f.Size() - aligned
+	}
+	return BlockKey{File: f.ID, Off: aligned}, l
+}
+
+// Peek reports whether the block covering off is resident, without
+// touching LRU state or counters.
+func (c *ServerCache) Peek(f *File, off int64) (*CacheBlock, bool) {
+	key, _ := c.align(f, off)
+	b, ok := c.blocks[key]
+	return b, ok
+}
+
+// Get returns the cache block covering off, reading it from disk on a
+// miss. The caller charges host CPU costs (lookup/insert); Get charges
+// only device time.
+func (c *ServerCache) Get(p *sim.Proc, f *File, off int64) (*CacheBlock, bool) {
+	key, l := c.align(f, off)
+	if l <= 0 {
+		panic(fmt.Sprintf("fsim: Get beyond EOF: off=%d size=%d", off, f.Size()))
+	}
+	if b, ok := c.blocks[key]; ok {
+		c.Hits++
+		c.lru.MoveToFront(b.elem)
+		return b, true
+	}
+	c.Misses++
+	c.disk.Read(p, l)
+	return c.insert(key, l), false
+}
+
+// Warm makes every block of f resident without disk traffic or CPU cost —
+// the experiments' "file warm in the server cache" precondition.
+func (c *ServerCache) Warm(f *File) {
+	for off := int64(0); off < f.Size(); off += c.blockSize {
+		key, l := c.align(f, off)
+		if _, ok := c.blocks[key]; !ok {
+			c.insert(key, l)
+		}
+	}
+}
+
+// Install makes the blocks covering [off, off+n) resident without disk
+// traffic — the write path: written data enters the buffer cache directly.
+func (c *ServerCache) Install(f *File, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	end := off + n
+	if end > f.Size() {
+		end = f.Size()
+	}
+	for bo := off - off%c.blockSize; bo < end; bo += c.blockSize {
+		key, l := c.align(f, bo)
+		if b, ok := c.blocks[key]; ok {
+			c.lru.MoveToFront(b.elem)
+			continue
+		}
+		if l > 0 {
+			c.insert(key, l)
+		}
+	}
+}
+
+// insert makes a block resident, evicting LRU victims beyond capacity.
+func (c *ServerCache) insert(key BlockKey, l int64) *CacheBlock {
+	b := &CacheBlock{Key: key, Len: l}
+	b.elem = c.lru.PushFront(b)
+	c.blocks[key] = b
+	for len(c.blocks) > c.capacity {
+		back := c.lru.Back()
+		victim := back.Value.(*CacheBlock)
+		c.evict(victim)
+	}
+	if c.OnInsert != nil {
+		c.OnInsert(b)
+	}
+	return b
+}
+
+func (c *ServerCache) evict(b *CacheBlock) {
+	c.lru.Remove(b.elem)
+	delete(c.blocks, b.Key)
+	if c.OnEvict != nil {
+		c.OnEvict(b)
+	}
+}
+
+// EvictFile reclaims all blocks of a file (used to construct cold-cache and
+// partial-hit-rate experiment states).
+func (c *ServerCache) EvictFile(id FileID) {
+	for key, b := range c.blocks {
+		if key.File == id {
+			c.evict(b)
+		}
+	}
+}
+
+// EvictFraction evicts approximately the given fraction of f's blocks,
+// choosing deterministically by block index — the ORDMA success-rate
+// ablation uses this to set the server hit rate.
+func (c *ServerCache) EvictFraction(f *File, frac float64, r *sim.Rand) {
+	for off := int64(0); off < f.Size(); off += c.blockSize {
+		key, _ := c.align(f, off)
+		if b, ok := c.blocks[key]; ok && r.Float64() < frac {
+			c.evict(b)
+		}
+	}
+}

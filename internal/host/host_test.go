@@ -1,0 +1,180 @@
+package host
+
+import (
+	"errors"
+	"testing"
+
+	"danas/internal/sim"
+)
+
+func testHost(t *testing.T) (*sim.Scheduler, *Host) {
+	t.Helper()
+	s := sim.New()
+	t.Cleanup(s.Close)
+	return s, New(s, "h", Default())
+}
+
+func TestComputeChargesCPU(t *testing.T) {
+	s, h := testHost(t)
+	var end sim.Time
+	s.Go("w", func(p *sim.Proc) {
+		h.Compute(p, 10*sim.Microsecond)
+		end = p.Now()
+	})
+	s.Run()
+	if end != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("compute finished at %v", end)
+	}
+	if h.CPU.BusyTime() != 10*sim.Microsecond {
+		t.Fatalf("cpu busy %v", h.CPU.BusyTime())
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	_, h := testHost(t)
+	if got := h.CopyCost(270e6); got != sim.Second {
+		t.Fatalf("copy of 270MB took %v, want 1s", got)
+	}
+	if h.CacheCopyCost(1000) <= h.CopyCost(1000) {
+		t.Fatal("buffer-cache copy should be slower than memcpy")
+	}
+}
+
+func TestCPUSerializesAppAndInterrupts(t *testing.T) {
+	s, h := testHost(t)
+	var order []string
+	s.Go("app", func(p *sim.Proc) {
+		h.Compute(p, 20*sim.Microsecond)
+		order = append(order, "app")
+	})
+	s.After(sim.Microsecond, func() {
+		h.Interrupt(sim.Micros(1), func() { order = append(order, "intr") })
+	})
+	s.Run()
+	// Non-preemptive CPU: interrupt queues behind the running app work.
+	if len(order) != 2 || order[0] != "app" || order[1] != "intr" {
+		t.Fatalf("order %v, want [app intr]", order)
+	}
+}
+
+func TestCoalescedInterrupt(t *testing.T) {
+	s, h := testHost(t)
+	h.P.IntrCoalesce = 4
+	n := 0
+	for i := 0; i < 8; i++ {
+		h.CoalescedInterrupt(0, func() { n++ })
+	}
+	s.Run()
+	if n != 8 {
+		t.Fatalf("handlers ran %d times, want 8", n)
+	}
+	// 8 deliveries, coalesce 4 => 2 interrupt entries of cost.
+	want := 2 * h.P.InterruptCost
+	if h.CPU.BusyTime() != want {
+		t.Fatalf("cpu busy %v, want %v", h.CPU.BusyTime(), want)
+	}
+}
+
+func TestRegisterChargesPerPage(t *testing.T) {
+	s, h := testHost(t)
+	var end sim.Time
+	s.Go("w", func(p *sim.Proc) {
+		r, err := h.VM.Register(p, 3*PageSize)
+		if err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		end = p.Now()
+		if h.VM.PinnedPages() != 3 {
+			t.Errorf("pinned %d pages, want 3", h.VM.PinnedPages())
+		}
+		h.VM.Unregister(p, r)
+		if h.VM.PinnedPages() != 0 {
+			t.Errorf("pinned %d pages after unregister", h.VM.PinnedPages())
+		}
+	})
+	s.Run()
+	if end != sim.Time(3*h.P.PageRegister) {
+		t.Fatalf("register finished at %v", end)
+	}
+	if h.VM.Registrations() != 0 {
+		t.Fatal("registration leaked")
+	}
+}
+
+func TestRegisterUnalignedRoundsUp(t *testing.T) {
+	s, h := testHost(t)
+	s.Go("w", func(p *sim.Proc) {
+		r, _ := h.VM.Register(p, PageSize+1)
+		if h.VM.PinnedPages() != 2 {
+			t.Errorf("pinned %d, want 2 for PageSize+1 bytes", h.VM.PinnedPages())
+		}
+		h.VM.Unregister(p, r)
+	})
+	s.Run()
+}
+
+func TestPinLimit(t *testing.T) {
+	s, h := testHost(t)
+	h.P.PinnedPageLimit = 4
+	s.Go("w", func(p *sim.Proc) {
+		r1, err := h.VM.Register(p, 3*PageSize)
+		if err != nil {
+			t.Errorf("first register failed: %v", err)
+			return
+		}
+		if _, err := h.VM.Register(p, 2*PageSize); !errors.Is(err, ErrPinLimit) {
+			t.Errorf("expected ErrPinLimit, got %v", err)
+		}
+		h.VM.Unregister(p, r1)
+		if _, err := h.VM.Register(p, 2*PageSize); err != nil {
+			t.Errorf("register after release failed: %v", err)
+		}
+	})
+	s.Run()
+}
+
+func TestDoubleUnregisterPanics(t *testing.T) {
+	s, h := testHost(t)
+	caught := false
+	s.Go("w", func(p *sim.Proc) {
+		r, _ := h.VM.Register(p, PageSize)
+		h.VM.Unregister(p, r)
+		func() {
+			defer func() { caught = recover() != nil }()
+			h.VM.Unregister(p, r)
+		}()
+	})
+	s.Run()
+	if !caught {
+		t.Fatal("double unregister did not panic")
+	}
+}
+
+func TestPagesHelper(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int64
+	}{{0, 0}, {-5, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2}, {10 * PageSize, 10}}
+	for _, c := range cases {
+		if got := Pages(c.n); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDefaultParamsSanity(t *testing.T) {
+	p := Default()
+	if p.LinkBandwidth != 250e6 {
+		t.Error("link bandwidth should be 2Gb/s = 250MB/s")
+	}
+	if p.NICDMABandwidth <= p.LinkBandwidth {
+		t.Error("NIC DMA must outrun the link (BW_NIC > BW_network, §2.3)")
+	}
+	if p.GMFragSize != 4096 || p.EtherMTU != 9216 {
+		t.Error("MTUs must match the paper (4KB GM, 9KB Ethernet)")
+	}
+	if p.BufferCacheBW >= p.MemCopyBW {
+		t.Error("buffer-cache copies must be slower than memcpy")
+	}
+}

@@ -1,0 +1,81 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// ErrPinLimit is returned when registering a buffer would exceed the
+// process pinned-page limit — the failure mode §3 of the paper warns
+// about for kernel clients registering user buffers on the fly.
+var ErrPinLimit = errors.New("host: pinned page limit exceeded")
+
+// Registration is a pinned, NIC-visible buffer.
+type Registration struct {
+	ID    int64
+	Bytes int64
+	pages int64
+	vm    *VM
+	freed bool
+}
+
+// VM tracks DMA registrations and pinned-page accounting for one host.
+type VM struct {
+	h       *Host
+	nextID  int64
+	pinned  int64 // pages currently pinned
+	regs    map[int64]*Registration
+	maxPins int64 // high-water mark, for reporting
+}
+
+func newVM(h *Host) *VM {
+	return &VM{h: h, regs: make(map[int64]*Registration)}
+}
+
+// PinnedPages returns the pages currently pinned.
+func (vm *VM) PinnedPages() int64 { return vm.pinned }
+
+// MaxPinnedPages returns the high-water mark of pinned pages.
+func (vm *VM) MaxPinnedPages() int64 { return vm.maxPins }
+
+// RegisterCost returns the CPU cost of registering n bytes.
+func (vm *VM) RegisterCost(n int64) sim.Duration {
+	return sim.Duration(Pages(n)) * vm.h.P.PageRegister
+}
+
+// Register pins and registers an n-byte buffer with the NIC, charging the
+// per-page cost to the CPU. It fails with ErrPinLimit if the process
+// pinned-page limit would be exceeded (no CPU time is charged then).
+func (vm *VM) Register(p *sim.Proc, n int64) (*Registration, error) {
+	pages := Pages(n)
+	if lim := vm.h.P.PinnedPageLimit; lim > 0 && vm.pinned+pages > lim {
+		return nil, fmt.Errorf("%w: want %d pages, %d pinned, limit %d",
+			ErrPinLimit, pages, vm.pinned, lim)
+	}
+	vm.h.Compute(p, sim.Duration(pages)*vm.h.P.PageRegister)
+	vm.nextID++
+	r := &Registration{ID: vm.nextID, Bytes: n, pages: pages, vm: vm}
+	vm.regs[r.ID] = r
+	vm.pinned += pages
+	if vm.pinned > vm.maxPins {
+		vm.maxPins = vm.pinned
+	}
+	return r, nil
+}
+
+// Unregister releases the registration, charging the per-page cost.
+// Unregistering twice panics: it indicates a protocol bug.
+func (vm *VM) Unregister(p *sim.Proc, r *Registration) {
+	if r.freed {
+		panic("host: double unregister")
+	}
+	r.freed = true
+	vm.h.Compute(p, sim.Duration(r.pages)*vm.h.P.PageUnregister)
+	vm.pinned -= r.pages
+	delete(vm.regs, r.ID)
+}
+
+// Registrations returns the number of live registrations.
+func (vm *VM) Registrations() int { return len(vm.regs) }

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"danas/internal/sim"
+)
+
+func TestCounterThroughput(t *testing.T) {
+	var c Counter
+	for i := 0; i < 10; i++ {
+		c.Add(1e6)
+	}
+	if c.Ops != 10 || c.Bytes != 10e6 {
+		t.Fatalf("ops=%d bytes=%d", c.Ops, c.Bytes)
+	}
+	if mb := c.ThroughputMBps(sim.Second); mb != 10 {
+		t.Fatalf("throughput = %v MB/s, want 10", mb)
+	}
+	if ops := c.OpsPerSec(2 * sim.Second); ops != 5 {
+		t.Fatalf("ops/s = %v, want 5", ops)
+	}
+	if c.ThroughputMBps(0) != 0 {
+		t.Fatal("zero elapsed should give zero throughput")
+	}
+}
+
+func TestHistMeanMinMax(t *testing.T) {
+	var h Hist
+	h.Observe(10 * sim.Microsecond)
+	h.Observe(20 * sim.Microsecond)
+	h.Observe(30 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("mean = %v, want 20us", h.Mean())
+	}
+	if h.Min() != 10*sim.Microsecond || h.Max() != 30*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistQuantileApprox(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	p50 := h.Quantile(0.5).Micros()
+	if p50 < 400 || p50 > 650 {
+		t.Fatalf("p50 = %vus, want ~500 (±bucket)", p50)
+	}
+	p99 := h.Quantile(0.99).Micros()
+	if p99 < 900 || p99 > 1200 {
+		t.Fatalf("p99 = %vus, want ~990 (±bucket)", p99)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.5) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistEmptyQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+// Property: bucket index is monotone non-decreasing in duration, and the
+// sample is never above its bucket's upper edge by more than rounding.
+func TestBucketMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := sim.Duration(a % 2_000_000_000)
+		y := sim.Duration(b % 2_000_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketUpperBounds(t *testing.T) {
+	f := func(a uint32) bool {
+		d := sim.Duration(a%1_000_000_000) + sim.Microsecond
+		up := bucketUpper(bucketIndex(d))
+		return up >= d || float64(up) > 0.99*float64(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableSetGetOrdering(t *testing.T) {
+	tb := NewTable("Fig X", "block KB", "MB/s", "a", "b")
+	tb.Set(64, "a", 200)
+	tb.Set(4, "a", 50)
+	tb.Set(4, "b", 60)
+	tb.Set(16, "a", 120)
+	pts := tb.Points()
+	if len(pts) != 3 || pts[0].X != 4 || pts[1].X != 16 || pts[2].X != 64 {
+		t.Fatalf("rows out of order: %+v", pts)
+	}
+	if v, ok := tb.Get(4, "b"); !ok || v != 60 {
+		t.Fatalf("Get(4,b) = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get(4, "missing"); ok {
+		t.Fatal("Get of missing series succeeded")
+	}
+	if _, ok := tb.Get(99, "a"); ok {
+		t.Fatal("Get of missing row succeeded")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Fig", "x", "y", "s1", "s2")
+	tb.Set(1, "s1", 10)
+	out := tb.String()
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "s1") {
+		t.Fatalf("table output missing headers: %q", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing value should render as '-': %q", out)
+	}
+}

@@ -1,0 +1,156 @@
+// Package netsim models the cluster interconnect: full-duplex links from
+// each host NIC to a central switch, with finite bandwidth, per-frame
+// framing overhead, propagation delay, and a store-and-forward switch
+// latency. It reproduces the paper's 2 Gb/s Myrinet fabric at the
+// granularity the evaluation depends on: fragment serialization and link
+// contention.
+//
+// netsim carries opaque frames; fragmentation, DMA and protocol processing
+// belong to the NIC model layered above (internal/nic).
+package netsim
+
+import (
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// Frame is one wire fragment. Bytes counts upper-layer bytes (headers +
+// payload data); the link adds LineConfig.Overhead for preamble, CRC and
+// routing.
+type Frame struct {
+	From, To *Port
+	Bytes    int
+	Payload  any // opaque upper-layer context, delivered to the sink
+}
+
+// Sink receives frames arriving at a port.
+type Sink interface {
+	DeliverFrame(f *Frame)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(f *Frame)
+
+// DeliverFrame calls fn(f).
+func (fn SinkFunc) DeliverFrame(f *Frame) { fn(f) }
+
+// LineConfig describes one link's physical characteristics.
+type LineConfig struct {
+	Bandwidth float64      // bytes/second on the wire
+	Overhead  int          // framing bytes added per frame
+	PropDelay sim.Duration // one-way propagation to/from the switch
+}
+
+// Fabric is the switch plus all attached links.
+type Fabric struct {
+	s             *sim.Scheduler
+	switchLatency sim.Duration
+	ports         []*Port
+}
+
+// NewFabric creates an empty fabric with the given store-and-forward
+// switch latency.
+func NewFabric(s *sim.Scheduler, switchLatency sim.Duration) *Fabric {
+	return &Fabric{s: s, switchLatency: switchLatency}
+}
+
+// Port is a host's attachment point: one transmit line toward the switch
+// and one receive line from the switch.
+type Port struct {
+	name string
+	fab  *Fabric
+	cfg  LineConfig
+	up   *sim.Station // host -> switch direction
+	down *sim.Station // switch -> host direction
+	sink Sink
+
+	framesIn, framesOut uint64
+	bytesIn, bytesOut   int64
+}
+
+// AddPort attaches a new port to the fabric.
+func (f *Fabric) AddPort(name string, cfg LineConfig) *Port {
+	p := &Port{
+		name: name,
+		fab:  f,
+		cfg:  cfg,
+		up:   sim.NewStation(f.s, name+"/up"),
+		down: sim.NewStation(f.s, name+"/down"),
+	}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// Ports returns all attached ports.
+func (f *Fabric) Ports() []*Port { return f.ports }
+
+// Name returns the port name.
+func (p *Port) Name() string { return p.name }
+
+// Attach sets the frame sink (normally the NIC receive path).
+func (p *Port) Attach(sink Sink) { p.sink = sink }
+
+// Config returns the port's line configuration.
+func (p *Port) Config() LineConfig { return p.cfg }
+
+// txTime returns the serialization time of a frame on this line.
+func (p *Port) txTime(bytes int) sim.Duration {
+	return sim.TransferTime(int64(bytes+p.cfg.Overhead), p.cfg.Bandwidth)
+}
+
+// Send transmits f from p toward f.To. The frame serializes on p's uplink,
+// crosses the switch, serializes on the destination downlink, and is
+// finally handed to the destination sink. Panics if f.To is nil or
+// unattached.
+func (p *Port) Send(f *Frame) {
+	if f.To == nil {
+		panic(fmt.Sprintf("netsim: frame from %s has no destination", p.name))
+	}
+	if f.From == nil {
+		f.From = p
+	}
+	s := p.fab.s
+	dst := f.To
+	p.framesOut++
+	p.bytesOut += int64(f.Bytes)
+	// Uplink serialization, then propagation to the switch.
+	p.up.Serve(p.txTime(f.Bytes), func() {
+		s.After(p.cfg.PropDelay+p.fab.switchLatency, func() {
+			// Downlink serialization at the destination, then propagation.
+			dst.down.Serve(dst.txTime(f.Bytes), func() {
+				s.After(dst.cfg.PropDelay, func() {
+					dst.framesIn++
+					dst.bytesIn += int64(f.Bytes)
+					if dst.sink == nil {
+						panic(fmt.Sprintf("netsim: port %s has no sink", dst.name))
+					}
+					dst.sink.DeliverFrame(f)
+				})
+			})
+		})
+	})
+}
+
+// OneWayLatency returns the zero-load latency of a frame of the given size
+// between two ports with this port's line configuration on both ends.
+func (p *Port) OneWayLatency(bytes int) sim.Duration {
+	return 2*p.txTime(bytes) + 2*p.cfg.PropDelay + p.fab.switchLatency
+}
+
+// TxUtilization returns the uplink utilization since its last epoch mark.
+func (p *Port) TxUtilization() float64 { return p.up.Utilization() }
+
+// RxUtilization returns the downlink utilization since its last epoch mark.
+func (p *Port) RxUtilization() float64 { return p.down.Utilization() }
+
+// MarkEpoch restarts utilization accounting on both directions.
+func (p *Port) MarkEpoch() {
+	p.up.MarkEpoch()
+	p.down.MarkEpoch()
+}
+
+// Stats returns cumulative frame and byte counts (in, out).
+func (p *Port) Stats() (framesIn, framesOut uint64, bytesIn, bytesOut int64) {
+	return p.framesIn, p.framesOut, p.bytesIn, p.bytesOut
+}

@@ -1,0 +1,207 @@
+// Package nfs implements the paper's three RPC-based NAS systems over the
+// UDP/IP stack: the standard NFS baseline (copies through the buffer
+// cache), NFS pre-posting (RDDP-RPC: tagged pre-posted buffers with NIC
+// header splitting), and NFS hybrid (RDDP-RDMA: buffer addresses advertised
+// in the modified NFS wire protocol, data moved by server-initiated RDMA).
+// One server serves all three client variants; the request tells it which
+// data path to use, mirroring how the paper's modified FreeBSD server
+// coexisted with standard clients.
+package nfs
+
+import (
+	"danas/internal/fsim"
+	"danas/internal/host"
+	"danas/internal/nic"
+	"danas/internal/rpc"
+	"danas/internal/sim"
+	"danas/internal/udpip"
+	"danas/internal/wire"
+)
+
+// Port is the conventional NFS service port.
+const Port = 2049
+
+// Server is the NFS server: an RPC service over the server file cache.
+type Server struct {
+	H     *host.Host
+	FS    *fsim.FS
+	Cache *fsim.ServerCache
+	n     *nic.NIC
+
+	Reads, Writes uint64
+	BytesRead     int64
+}
+
+// NewServer starts an NFS server on the given stack with nWorkers nfsd
+// worker processes.
+func NewServer(s *sim.Scheduler, stack *udpip.Stack, fs *fsim.FS, cache *fsim.ServerCache, nWorkers int) *Server {
+	srv := &Server{H: stack.Host(), FS: fs, Cache: cache, n: stack.NIC()}
+	rpc.NewServer(s, stack, Port, nWorkers, srv.handle)
+	return srv
+}
+
+func (srv *Server) handle(p *sim.Proc, req *rpc.Request) *rpc.Reply {
+	h := req.Hdr
+	switch h.Op {
+	case wire.OpLookup, wire.OpOpen:
+		return srv.lookup(p, h)
+	case wire.OpGetattr:
+		return srv.getattr(p, h)
+	case wire.OpRead:
+		return srv.read(p, req)
+	case wire.OpWrite:
+		return srv.write(p, req)
+	case wire.OpCreate:
+		return srv.create(p, h)
+	case wire.OpRemove:
+		return srv.remove(p, h)
+	default:
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusIO}}
+	}
+}
+
+func (srv *Server) lookup(p *sim.Proc, h *wire.Header) *rpc.Reply {
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.Lookup(h.Name)
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusNoEnt}}
+	}
+	return &rpc.Reply{Hdr: &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, FH: uint64(f.ID), Length: f.Size(),
+	}}
+}
+
+func (srv *Server) getattr(p *sim.Proc, h *wire.Header) *rpc.Reply {
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale}}
+	}
+	return &rpc.Reply{Hdr: &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, FH: h.FH, Length: f.Size(),
+	}}
+}
+
+func (srv *Server) create(p *sim.Proc, h *wire.Header) *rpc.Reply {
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.Create(h.Name, 0)
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusExist}}
+	}
+	return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, FH: uint64(f.ID)}}
+}
+
+func (srv *Server) remove(p *sim.Proc, h *wire.Header) *rpc.Reply {
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	if err := srv.FS.Remove(h.Name); err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusNoEnt}}
+	}
+	return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK}}
+}
+
+// read serves OpRead. The transfer size matches the request (the paper's
+// modified UDP allows up to 512 KB). The server gathers data from cache
+// blocks; the send path is copy-free (NIC scatter/gather), so server
+// per-byte cost is zero and per-I/O cost dominates — the regime §2.3
+// describes.
+func (srv *Server) read(p *sim.Proc, req *rpc.Request) *rpc.Reply {
+	h := req.Hdr
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale}}
+	}
+	n := h.Length
+	if h.Offset >= f.Size() {
+		n = 0
+	} else if h.Offset+n > f.Size() {
+		n = f.Size() - h.Offset
+	}
+	// Touch every cache block in the range (disk reads on misses).
+	for off := h.Offset; off < h.Offset+n; off += srv.Cache.BlockSize() {
+		srv.H.Compute(p, srv.H.P.CacheLookup)
+		if _, hit := srv.Cache.Get(p, f, off); !hit {
+			srv.H.Compute(p, srv.H.P.CacheInsert)
+		}
+	}
+	srv.Reads++
+	srv.BytesRead += n
+
+	if h.BufVA != 0 && n > 0 {
+		// RDDP-RDMA (hybrid): push the data into the client's advertised
+		// buffer with RDMA, then send a small reply. Both traverse the
+		// same NIC pipeline, so the reply arrives after the data.
+		srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
+		srv.n.RDMAAsync(&nic.Op{
+			Kind:   nic.Put,
+			Target: req.ClientNIC(),
+			VA:     h.BufVA,
+			Len:    n,
+			Notify: nic.Poll,
+		})
+		return &rpc.Reply{Hdr: &wire.Header{
+			Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n,
+		}}
+	}
+	// Standard / pre-posting: payload rides the RPC reply in-line.
+	return &rpc.Reply{
+		Hdr:          &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n},
+		PayloadBytes: n,
+		Payload:      fsim.BlockRef{File: f.ID, Off: h.Offset, Len: n},
+	}
+}
+
+// write serves OpWrite. Standard/pre-posting writes carry the payload
+// in-line (the server copies it into the buffer cache); hybrid writes
+// advertise the client buffer and the server pulls it with an RDMA read.
+func (srv *Server) write(p *sim.Proc, req *rpc.Request) *rpc.Reply {
+	h := req.Hdr
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale}}
+	}
+	n := h.Length
+	srv.Writes++
+	if h.BufVA != 0 && n > 0 {
+		// Pull the data from the client's buffer; block this worker until
+		// the data has arrived so the reply orders after placement.
+		sig := sim.NewSignal(p.Sched())
+		var st nic.Status
+		srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
+		srv.n.RDMAAsync(&nic.Op{
+			Kind:   nic.Get,
+			Target: req.ClientNIC(),
+			VA:     h.BufVA,
+			Len:    n,
+			Notify: nic.Intr,
+			Done:   func(s nic.Status) { st = s; sig.Fire() },
+		})
+		sig.Wait(p)
+		if st != nic.StatusOK {
+			return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusIO}}
+		}
+	} else if n > 0 {
+		// In-line payload: copy mbufs into the buffer cache.
+		srv.H.Compute(p, srv.H.CacheCopyCost(n))
+	}
+	if ref, ok := req.Payload.(writePayload); ok && len(ref.data) > 0 {
+		f.WriteAt(ref.data, h.Offset)
+	} else {
+		// Size-only write: extend the file without materializing bytes.
+		if h.Offset+n > f.Size() {
+			f.Truncate(h.Offset + n)
+		}
+	}
+	f.SetMtime(int64(p.Now()))
+	srv.H.Compute(p, srv.H.P.CacheInsert)
+	// Written data enters the server buffer cache (write-behind to disk).
+	srv.Cache.Install(f, h.Offset, n)
+	return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n}}
+}
+
+// writePayload optionally carries real bytes for writes that must be
+// durable in content (the database workloads verify what they read back).
+type writePayload struct {
+	data []byte
+}

@@ -1,0 +1,368 @@
+// Package nic models a programmable network interface controller of the
+// LANai9.2 class: a firmware processor, a DMA engine on the I/O bus, GM-style
+// reliable messaging with 4 KB fragmentation, remote get/put (RDMA), a
+// translation-and-protection table (TPT) with an on-board TLB, and the two
+// RDDP mechanisms the paper evaluates — pre-posted buffer matching with
+// header splitting (RDDP-RPC) and remote memory access (RDDP-RDMA), plus the
+// Optimistic RDMA extension (NIC-to-NIC recoverable exceptions).
+package nic
+
+import (
+	"fmt"
+
+	"danas/internal/host"
+	"danas/internal/netsim"
+	"danas/internal/sim"
+)
+
+// NotifyMode selects how a host consumes NIC completions.
+type NotifyMode int
+
+const (
+	// Poll: the host discovers the completion by polling; cheap, no
+	// interrupt, no reschedule.
+	Poll NotifyMode = iota
+	// Intr: the NIC interrupts; the host wakes the blocked thread.
+	Intr
+)
+
+func (m NotifyMode) String() string {
+	if m == Poll {
+		return "poll"
+	}
+	return "intr"
+}
+
+// Message is one GM-level message (or one Ethernet-emulation packet).
+type Message struct {
+	From, To *NIC
+	Port     int // destination endpoint number
+	// HeaderBytes is protocol header length on the wire; PayloadBytes is
+	// data payload length.
+	HeaderBytes  int
+	PayloadBytes int64
+	// Header and Payload carry typed upper-level content; the simulator
+	// charges time by the byte counts above.
+	Header  any
+	Payload any
+	// Tag, when nonzero, asks the receiving NIC to match a pre-posted
+	// buffer (RDDP-RPC). On delivery, Direct reports whether the payload
+	// was placed directly into the pre-posted buffer.
+	Tag    uint64
+	Direct bool
+	// FragSize overrides the NIC fragmentation unit (0 = GM default).
+	FragSize int
+}
+
+// Size returns total wire bytes before framing overhead.
+func (m *Message) Size() int64 { return int64(m.HeaderBytes) + m.PayloadBytes }
+
+// Endpoint is a receive queue bound to a port number, the GM-port /
+// VI-queue-pair receive side. Mode selects completion notification.
+type Endpoint struct {
+	nic   *NIC
+	port  int
+	Mode  NotifyMode
+	queue *sim.Queue[*Message]
+}
+
+// Recv blocks until a message arrives and charges the notification cost
+// (poll consume, or interrupt + wakeup already charged at delivery).
+func (e *Endpoint) Recv(p *sim.Proc) *Message {
+	m := e.queue.Get(p)
+	switch e.Mode {
+	case Poll:
+		e.nic.h.Compute(p, e.nic.p.PollGet)
+	case Intr:
+		// Interrupt entry was charged at delivery; pay the wakeup here,
+		// in the woken thread's context.
+		e.nic.h.Compute(p, e.nic.p.SchedWakeup)
+	}
+	return m
+}
+
+// TryRecv polls for a message without blocking, charging the poll cost
+// only on success.
+func (e *Endpoint) TryRecv(p *sim.Proc) (*Message, bool) {
+	m, ok := e.queue.TryGet()
+	if !ok {
+		return nil, false
+	}
+	if e.Mode == Poll {
+		e.nic.h.Compute(p, e.nic.p.PollGet)
+	} else {
+		e.nic.h.Compute(p, e.nic.p.SchedWakeup)
+	}
+	return m, true
+}
+
+// Pending returns queued, undelivered messages.
+func (e *Endpoint) Pending() int { return e.queue.Len() }
+
+// PortNum returns the endpoint's bound port number.
+func (e *Endpoint) PortNum() int { return e.port }
+
+// prePost is one pre-posted receive buffer awaiting a tagged RPC response
+// (RDDP-RPC, §2.2(a) of the paper). bytes counts remaining capacity: a
+// response arriving as several IP fragments consumes it incrementally.
+type prePost struct {
+	bytes int64
+}
+
+// NIC is one network interface controller.
+type NIC struct {
+	name string
+	s    *sim.Scheduler
+	h    *host.Host
+	p    *host.Params
+	port *netsim.Port
+
+	fw  *sim.Station // firmware (LANai) processor
+	dma *sim.Station // DMA engine on the I/O bus
+
+	endpoints map[int]*Endpoint
+	handlers  map[int]func(*Message)
+	preposted map[uint64]*prePost
+	nextPort  int
+
+	// TPT is the translation and protection table for memory this host
+	// exports; TLB is the on-NIC translation cache (see tpt.go).
+	TPT *TPT
+	tlb *tlb
+
+	// sendGate enforces per-connection FIFO ordering across put startup
+	// latency: traffic posted after a put is released no earlier than the
+	// put's data stream (see rdma.go).
+	sendGate sim.Time
+
+	stats Stats
+}
+
+// Stats counts NIC-level events for assertions and reporting.
+type Stats struct {
+	MsgsSent, MsgsRecv   uint64
+	FragsSent, FragsRecv uint64
+	DirectPlacements     uint64 // RDDP-RPC payloads placed without host copy
+	GetsServed           uint64 // remote gets served from this NIC's memory
+	PutsServed           uint64
+	Exceptions           uint64 // ORDMA faults signalled to remote initiators
+	TLBHits, TLBMisses   uint64
+	CapRejects           uint64
+	Interrupts           uint64
+}
+
+// New creates a NIC for host h attached to fabric port port.
+func New(h *host.Host, port *netsim.Port) *NIC {
+	n := &NIC{
+		name:      h.Name + "/nic",
+		s:         h.S,
+		h:         h,
+		p:         h.P,
+		port:      port,
+		fw:        sim.NewStation(h.S, h.Name+"/nic/fw"),
+		dma:       sim.NewStation(h.S, h.Name+"/nic/dma"),
+		endpoints: make(map[int]*Endpoint),
+		handlers:  make(map[int]func(*Message)),
+		preposted: make(map[uint64]*prePost),
+	}
+	n.TPT = newTPT(n)
+	n.tlb = newTLB(h.P.NICTLBSize)
+	port.Attach(n)
+	return n
+}
+
+// Name returns the NIC name.
+func (n *NIC) Name() string { return n.name }
+
+// Host returns the owning host.
+func (n *NIC) Host() *host.Host { return n.h }
+
+// Port returns the fabric attachment.
+func (n *NIC) Port() *netsim.Port { return n.port }
+
+// Stats returns a copy of the event counters.
+func (n *NIC) StatsSnapshot() Stats { return n.stats }
+
+// FwStation and DMAStation expose the internal stations for utilization
+// reporting in experiments.
+func (n *NIC) FwStation() *sim.Station  { return n.fw }
+func (n *NIC) DMAStation() *sim.Station { return n.dma }
+
+// AllocPort returns a fresh unused port number (port 0 is reserved for the
+// Ethernet emulation).
+func (n *NIC) AllocPort() int {
+	for {
+		n.nextPort++
+		if _, used := n.endpoints[n.nextPort]; used {
+			continue
+		}
+		if _, used := n.handlers[n.nextPort]; used {
+			continue
+		}
+		return n.nextPort
+	}
+}
+
+// NewEndpoint binds a receive endpoint to a port number.
+func (n *NIC) NewEndpoint(port int, mode NotifyMode) *Endpoint {
+	if _, dup := n.endpoints[port]; dup {
+		panic(fmt.Sprintf("nic: duplicate endpoint %d on %s", port, n.name))
+	}
+	e := &Endpoint{
+		nic:   n,
+		port:  port,
+		Mode:  mode,
+		queue: sim.NewQueue[*Message](n.s, fmt.Sprintf("%s/ep%d", n.name, port)),
+	}
+	n.endpoints[port] = e
+	return e
+}
+
+// BindHandler delivers messages on the given port by calling fn in event
+// context with no host cost charged; the layer above decides the
+// notification accounting (the Ethernet-emulation path uses this to apply
+// interrupt coalescing and per-packet protocol costs).
+func (n *NIC) BindHandler(port int, fn func(*Message)) {
+	if _, dup := n.endpoints[port]; dup {
+		panic(fmt.Sprintf("nic: port %d already has an endpoint on %s", port, n.name))
+	}
+	if _, dup := n.handlers[port]; dup {
+		panic(fmt.Sprintf("nic: duplicate handler %d on %s", port, n.name))
+	}
+	n.handlers[port] = fn
+}
+
+// PrePost registers a tagged receive buffer so a future inbound message
+// carrying the tag has its payload placed directly (RDDP-RPC). The caller
+// charges the host-side cost (one PIO per pre-post).
+func (n *NIC) PrePost(tag uint64, bytes int64) {
+	n.preposted[tag] = &prePost{bytes: bytes}
+}
+
+// CancelPrePost removes a pre-posted buffer (e.g. on RPC failure).
+func (n *NIC) CancelPrePost(tag uint64) {
+	delete(n.preposted, tag)
+}
+
+// PrePosted returns the number of outstanding pre-posted buffers.
+func (n *NIC) PrePosted() int { return len(n.preposted) }
+
+// Send transmits m from process context, charging the host send cost
+// (library + doorbell) before the NIC pipeline takes over.
+func (n *NIC) Send(p *sim.Proc, m *Message) {
+	n.h.Compute(p, n.p.GMSendCost+n.p.PIOWrite)
+	n.SendAsync(m)
+}
+
+// SendAsync transmits m from event context; the caller is responsible for
+// any host-side CPU accounting.
+func (n *NIC) SendAsync(m *Message) {
+	if m.To == nil {
+		panic("nic: message without destination")
+	}
+	// Respect the ordering gate: messages queued behind an in-flight put
+	// startup are released with it, never ahead of its data.
+	if n.sendGate > n.s.Now() {
+		at := n.sendGate
+		n.s.At(at, func() { n.sendNow(m) })
+		return
+	}
+	n.sendNow(m)
+}
+
+func (n *NIC) sendNow(m *Message) {
+	m.From = n
+	n.stats.MsgsSent++
+	frag := m.FragSize
+	if frag <= 0 {
+		frag = n.p.GMFragSize
+	}
+	total := m.Size()
+	if total <= 0 {
+		total = 1 // a bare signal still occupies a minimal frame
+	}
+	nfrags := int((total + int64(frag) - 1) / int64(frag))
+	sent := int64(0)
+	for i := 0; i < nfrags; i++ {
+		bytes := int64(frag)
+		if total-sent < bytes {
+			bytes = total - sent
+		}
+		sent += bytes
+		last := i == nfrags-1
+		fl := &flight{msg: m, bytes: int(bytes), last: last}
+		n.stats.FragsSent++
+		// Firmware prepares the fragment, then the DMA engine pulls it
+		// from host memory, then it serializes on the wire. ServeAt
+		// preserves pipelining across the three stations.
+		fwDone := n.fw.Serve(n.p.NICFragProcess, nil)
+		n.dma.ServeAt(fwDone, sim.TransferTime(bytes, n.p.NICDMABandwidth), func() {
+			n.port.Send(&netsim.Frame{To: m.To.port, Bytes: fl.bytes, Payload: fl})
+		})
+	}
+}
+
+// flight is the wire context of one fragment.
+type flight struct {
+	msg   *Message
+	bytes int
+	last  bool
+	// rdma marks fragments that belong to a get/put data stream rather
+	// than a message (see rdma.go).
+	rdma *rdmaFlight
+}
+
+// DeliverFrame implements netsim.Sink: a fragment has arrived from the wire.
+func (n *NIC) DeliverFrame(f *netsim.Frame) {
+	fl, ok := f.Payload.(*flight)
+	if !ok {
+		panic("nic: foreign frame payload")
+	}
+	n.stats.FragsRecv++
+	// DMA the fragment into host memory, then firmware bookkeeping.
+	dmaDone := n.dma.Serve(sim.TransferTime(int64(fl.bytes), n.p.NICDMABandwidth), nil)
+	n.fw.ServeAt(dmaDone, n.p.NICFragProcess, func() {
+		if fl.rdma != nil {
+			n.rdmaFragArrived(fl)
+			return
+		}
+		if fl.last {
+			n.msgArrived(fl.msg)
+		}
+	})
+}
+
+// msgArrived runs when the last fragment of a message has been placed.
+func (n *NIC) msgArrived(m *Message) {
+	n.stats.MsgsRecv++
+	if m.Tag != 0 {
+		if pp, ok := n.preposted[m.Tag]; ok {
+			// Header split: payload goes straight to the pre-posted user
+			// buffer; only headers reach the protocol code. Multi-fragment
+			// responses consume the buffer incrementally.
+			pp.bytes -= m.PayloadBytes
+			if pp.bytes <= 0 {
+				delete(n.preposted, m.Tag)
+			}
+			m.Direct = true
+			n.stats.DirectPlacements++
+		}
+	}
+	if fn, ok := n.handlers[m.Port]; ok {
+		fn(m)
+		return
+	}
+	ep, ok := n.endpoints[m.Port]
+	if !ok {
+		panic(fmt.Sprintf("nic: %s has no endpoint %d", n.name, m.Port))
+	}
+	switch ep.Mode {
+	case Poll:
+		ep.queue.Put(m)
+	case Intr:
+		// GM/VI events take a full interrupt each; coalescing exists only
+		// on the Ethernet-emulation path (§5, testbed description).
+		n.stats.Interrupts++
+		n.h.Interrupt(0, func() { ep.queue.Put(m) })
+	}
+}

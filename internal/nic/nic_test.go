@@ -1,0 +1,389 @@
+package nic
+
+import (
+	"testing"
+
+	"danas/internal/host"
+	"danas/internal/netsim"
+	"danas/internal/sim"
+)
+
+// rig is a two-host test cluster.
+type rig struct {
+	s      *sim.Scheduler
+	p      *host.Params
+	ha, hb *host.Host
+	na, nb *NIC
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s := sim.New()
+	t.Cleanup(s.Close)
+	p := host.Default()
+	fab := netsim.NewFabric(s, p.SwitchLatency)
+	cfg := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
+	ha := host.New(s, "a", p)
+	hb := host.New(s, "b", p)
+	na := New(ha, fab.AddPort("a", cfg))
+	nb := New(hb, fab.AddPort("b", cfg))
+	return &rig{s: s, p: p, ha: ha, hb: hb, na: na, nb: nb}
+}
+
+func TestMessageDelivery(t *testing.T) {
+	r := newRig(t)
+	ep := r.nb.NewEndpoint(1, Poll)
+	var got *Message
+	r.s.Go("recv", func(p *sim.Proc) { got = ep.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		r.na.Send(p, &Message{To: r.nb, Port: 1, HeaderBytes: 64, PayloadBytes: 4096, Header: "h"})
+	})
+	r.s.Run()
+	if got == nil || got.Header != "h" || got.From != r.na {
+		t.Fatalf("message not delivered correctly: %+v", got)
+	}
+	if got.Direct {
+		t.Fatal("untagged message must not be direct-placed")
+	}
+	st := r.na.StatsSnapshot()
+	if st.MsgsSent != 1 || st.FragsSent != 2 { // 64+4096 bytes -> 2 GM fragments
+		t.Fatalf("sender stats %+v", st)
+	}
+}
+
+func TestMessageFragmentation(t *testing.T) {
+	r := newRig(t)
+	ep := r.nb.NewEndpoint(1, Poll)
+	r.s.Go("recv", func(p *sim.Proc) { ep.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		r.na.Send(p, &Message{To: r.nb, Port: 1, PayloadBytes: 64 * 1024})
+	})
+	r.s.Run()
+	if st := r.nb.StatsSnapshot(); st.FragsRecv != 16 {
+		t.Fatalf("64KB should arrive as 16 GM fragments, got %d", st.FragsRecv)
+	}
+}
+
+func TestEtherMTUFragSizeOverride(t *testing.T) {
+	r := newRig(t)
+	ep := r.nb.NewEndpoint(1, Intr)
+	r.s.Go("recv", func(p *sim.Proc) { ep.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		r.na.Send(p, &Message{To: r.nb, Port: 1, PayloadBytes: 9216, FragSize: r.p.EtherMTU})
+	})
+	r.s.Run()
+	if st := r.nb.StatsSnapshot(); st.FragsRecv != 1 {
+		t.Fatalf("9KB ether packet should be one frame, got %d", st.FragsRecv)
+	}
+}
+
+func TestRoundTripLatencyPollVsIntr(t *testing.T) {
+	measure := func(mode NotifyMode) sim.Duration {
+		r := newRig(t)
+		epA := r.na.NewEndpoint(1, mode)
+		epB := r.nb.NewEndpoint(1, mode)
+		var rtt sim.Duration
+		r.s.Go("b", func(p *sim.Proc) {
+			epB.Recv(p)
+			r.nb.Send(p, &Message{To: r.na, Port: 1, HeaderBytes: 1})
+		})
+		r.s.Go("a", func(p *sim.Proc) {
+			start := p.Now()
+			r.na.Send(p, &Message{To: r.nb, Port: 1, HeaderBytes: 1})
+			epA.Recv(p)
+			rtt = p.Now().Sub(start)
+		})
+		r.s.Run()
+		return rtt
+	}
+	poll, intr := measure(Poll), measure(Intr)
+	if poll <= 0 || intr <= poll {
+		t.Fatalf("rtt poll=%v intr=%v; interrupt mode must be slower", poll, intr)
+	}
+	// Blocking adds roughly interrupt+wakeup-poll per receive, two
+	// receives per round trip.
+	delta := intr - poll
+	perRecv := r0(t, delta/2)
+	want := host.Default().InterruptCost + host.Default().SchedWakeup - host.Default().PollGet
+	if perRecv < want-2*sim.Microsecond || perRecv > want+2*sim.Microsecond {
+		t.Fatalf("per-receive blocking penalty %v, want ~%v", perRecv, want)
+	}
+}
+
+func r0(t *testing.T, d sim.Duration) sim.Duration { t.Helper(); return d }
+
+func TestPrePostDirectPlacement(t *testing.T) {
+	r := newRig(t)
+	ep := r.nb.NewEndpoint(1, Intr)
+	var got *Message
+	r.s.Go("recv", func(p *sim.Proc) { got = ep.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		r.nb.PrePost(77, 8192)
+		r.na.Send(p, &Message{To: r.nb, Port: 1, HeaderBytes: 128, PayloadBytes: 8192, Tag: 77})
+	})
+	r.s.Run()
+	if got == nil || !got.Direct {
+		t.Fatal("tagged message should be placed directly into pre-posted buffer")
+	}
+	if st := r.nb.StatsSnapshot(); st.DirectPlacements != 1 {
+		t.Fatalf("direct placements = %d", st.DirectPlacements)
+	}
+	if r.nb.PrePosted() != 0 {
+		t.Fatal("pre-posted buffer not consumed")
+	}
+}
+
+func TestPrePostTagMismatchFallsBack(t *testing.T) {
+	r := newRig(t)
+	ep := r.nb.NewEndpoint(1, Intr)
+	var got *Message
+	r.s.Go("recv", func(p *sim.Proc) { got = ep.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		r.nb.PrePost(77, 8192)
+		r.na.Send(p, &Message{To: r.nb, Port: 1, HeaderBytes: 128, PayloadBytes: 8192, Tag: 99})
+	})
+	r.s.Run()
+	if got == nil || got.Direct {
+		t.Fatal("mismatched tag must not be direct-placed")
+	}
+	if r.nb.PrePosted() != 1 {
+		t.Fatal("unmatched pre-post should remain")
+	}
+	r.nb.CancelPrePost(77)
+	if r.nb.PrePosted() != 0 {
+		t.Fatal("cancel failed")
+	}
+}
+
+func TestGetSuccess(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(4096)
+	var st Status = -1
+	var doneAt sim.Time
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 4096, Notify: Poll,
+			Done: func(s Status) { st = s; doneAt = r.s.Now() }})
+	})
+	r.s.Run()
+	if st != StatusOK {
+		t.Fatalf("get status %v", st)
+	}
+	if doneAt == 0 {
+		t.Fatal("completion never ran")
+	}
+	stats := r.nb.StatsSnapshot()
+	if stats.GetsServed != 1 || stats.Exceptions != 0 {
+		t.Fatalf("server stats %+v", stats)
+	}
+	// The server host CPU must not be involved (beyond TLB misses).
+	if busy := r.hb.CPU.BusyTime(); busy > 2*r.p.InterruptCost {
+		t.Fatalf("server CPU busy %v on a get; ORDMA must bypass it", busy)
+	}
+}
+
+func TestGetNotExportedException(t *testing.T) {
+	r := newRig(t)
+	var st Status = -1
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: 0xdead000, Len: 4096, Notify: Poll,
+			Done: func(s Status) { st = s }})
+	})
+	r.s.Run()
+	if st != StatusNotExported {
+		t.Fatalf("status %v, want not-exported", st)
+	}
+	if stats := r.nb.StatsSnapshot(); stats.Exceptions != 1 {
+		t.Fatalf("exceptions = %d, want 1", stats.Exceptions)
+	}
+}
+
+func TestGetAfterInvalidateFaults(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(8192)
+	r.nb.TPT.Invalidate(seg)
+	var st Status = -1
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 8192, Notify: Poll,
+			Done: func(s Status) { st = s }})
+	})
+	r.s.Run()
+	if st != StatusNotExported {
+		t.Fatalf("status %v, want not-exported after invalidate", st)
+	}
+}
+
+func TestGetLockedSegmentFaults(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(4096)
+	r.nb.TPT.Lock(seg)
+	var st Status = -1
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 4096, Notify: Poll,
+			Done: func(s Status) { st = s }})
+	})
+	r.s.Run()
+	if st != StatusLocked {
+		t.Fatalf("status %v, want locked", st)
+	}
+	r.nb.TPT.Unlock(seg)
+	if seg.Locked() {
+		t.Fatal("unlock did not release")
+	}
+}
+
+func TestCapabilityEnforcement(t *testing.T) {
+	r := newRig(t)
+	r.nb.TPT.UseCapabilities = true
+	seg := r.nb.TPT.Export(4096)
+	if len(seg.Cap) == 0 {
+		t.Fatal("capability not issued")
+	}
+	var good, bad Status = -1, -1
+	r.s.Go("client", func(p *sim.Proc) {
+		sig := sim.NewSignal(r.s)
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 4096, Cap: seg.Cap, Notify: Poll,
+			Done: func(s Status) { good = s; sig.Fire() }})
+		sig.Wait(p)
+		r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 4096, Cap: []byte("forged"), Notify: Poll,
+			Done: func(s Status) { bad = s }})
+	})
+	r.s.Run()
+	if good != StatusOK {
+		t.Fatalf("valid capability rejected: %v", good)
+	}
+	if bad != StatusBadCapability {
+		t.Fatalf("forged capability accepted: %v", bad)
+	}
+	if st := r.nb.StatsSnapshot(); st.CapRejects != 1 {
+		t.Fatalf("cap rejects = %d", st.CapRejects)
+	}
+}
+
+func TestPutSuccess(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(16384)
+	var st Status = -1
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Put, Target: r.nb, VA: seg.VA, Len: 16384, Notify: Poll,
+			Done: func(s Status) { st = s }})
+	})
+	r.s.Run()
+	if st != StatusOK {
+		t.Fatalf("put status %v", st)
+	}
+	if stats := r.nb.StatsSnapshot(); stats.PutsServed != 1 {
+		t.Fatalf("puts served = %d", stats.PutsServed)
+	}
+}
+
+func TestPutToUnexportedFaults(t *testing.T) {
+	r := newRig(t)
+	var st Status = -1
+	r.s.Go("client", func(p *sim.Proc) {
+		r.na.RDMA(p, &Op{Kind: Put, Target: r.nb, VA: 0xbad000, Len: 4096, Notify: Poll,
+			Done: func(s Status) { st = s }})
+	})
+	r.s.Run()
+	if st != StatusNotExported {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestTLBMissChargesHostAndRefills(t *testing.T) {
+	r := newRig(t)
+	r.p.NICTLBSize = 2
+	r.nb.tlb = newTLB(2)
+	seg := r.nb.TPT.Export(4 * host.PageSize) // 4 pages > TLB size 2
+	run := func() Status {
+		var st Status = -1
+		sig := sim.NewSignal(r.s)
+		r.s.Go("client", func(p *sim.Proc) {
+			r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 4 * host.PageSize, Notify: Poll,
+				Done: func(s Status) { st = s; sig.Fire() }})
+		})
+		r.s.Run()
+		return st
+	}
+	if st := run(); st != StatusOK {
+		t.Fatalf("get failed: %v", st)
+	}
+	stats := r.nb.StatsSnapshot()
+	if stats.TLBMisses != 4 {
+		t.Fatalf("TLB misses = %d, want 4 (cold)", stats.TLBMisses)
+	}
+	if r.nb.tlb.len() != 2 {
+		t.Fatalf("TLB holds %d entries, capacity 2", r.nb.tlb.len())
+	}
+	// Second access: working set exceeds TLB, so misses continue.
+	if st := run(); st != StatusOK {
+		t.Fatalf("second get failed: %v", st)
+	}
+	if s2 := r.nb.StatsSnapshot(); s2.TLBMisses <= stats.TLBMisses {
+		t.Fatal("thrashing working set should keep missing")
+	}
+}
+
+func TestTLBHitsWhenSized(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(host.PageSize)
+	run := func() {
+		sig := sim.NewSignal(r.s)
+		r.s.Go("client", func(p *sim.Proc) {
+			r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: host.PageSize, Notify: Poll,
+				Done: func(Status) { sig.Fire() }})
+		})
+		r.s.Run()
+	}
+	run()
+	run()
+	st := r.nb.StatsSnapshot()
+	if st.TLBMisses != 1 || st.TLBHits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1/1", st.TLBMisses, st.TLBHits)
+	}
+}
+
+func TestGetQuirkSlowsLargeGets(t *testing.T) {
+	measure := func(quirk int64) sim.Duration {
+		r := newRig(t)
+		r.p.GMGetQuirkSize = quirk
+		seg := r.nb.TPT.Export(64 * 1024)
+		var done sim.Time
+		r.s.Go("client", func(p *sim.Proc) {
+			r.na.RDMA(p, &Op{Kind: Get, Target: r.nb, VA: seg.VA, Len: 64 * 1024, Notify: Poll,
+				Done: func(Status) { done = r.s.Now() }})
+		})
+		r.s.Run()
+		return sim.Duration(done)
+	}
+	clean := measure(0)
+	buggy := measure(64 * 1024)
+	if buggy <= clean {
+		t.Fatalf("quirk did not slow 64KB get: clean=%v buggy=%v", clean, buggy)
+	}
+}
+
+func TestSegmentsDoNotSharePages(t *testing.T) {
+	r := newRig(t)
+	a := r.nb.TPT.Export(100) // sub-page
+	b := r.nb.TPT.Export(100)
+	if pageOf(a.VA) == pageOf(b.VA) {
+		t.Fatal("segments share a page; invalidation would leak across segments")
+	}
+	// A reference spanning the two segments must fault.
+	if _, st := r.nb.TPT.lookup(a.VA, int64(b.VA-a.VA)+50, nil); st == StatusOK {
+		t.Fatal("cross-segment reference validated")
+	}
+}
+
+func TestExportCounts(t *testing.T) {
+	r := newRig(t)
+	seg := r.nb.TPT.Export(10 * host.PageSize)
+	if r.nb.TPT.Entries() != 10 {
+		t.Fatalf("entries = %d, want 10", r.nb.TPT.Entries())
+	}
+	r.nb.TPT.Invalidate(seg)
+	r.nb.TPT.Invalidate(seg) // idempotent
+	if r.nb.TPT.Entries() != 0 {
+		t.Fatalf("entries = %d after invalidate", r.nb.TPT.Entries())
+	}
+}

@@ -1,0 +1,66 @@
+package nic
+
+import (
+	"danas/internal/host"
+	"danas/internal/sim"
+)
+
+// RegEntry is a cached buffer registration: the pinned pages plus the TPT
+// segment exporting the buffer for inbound RDMA.
+type RegEntry struct {
+	Reg *host.Registration
+	Seg *Segment
+}
+
+// RegCache caches NIC buffer registrations by application buffer identity.
+// DAFS and the NFS-hybrid client use it to avoid per-I/O registration
+// (§3.1: "avoid registering application buffers with the NIC on each I/O by
+// caching registrations"); the pre-posting client pointedly does not.
+type RegCache struct {
+	n *NIC
+	m map[uint64]*RegEntry
+
+	Hits, Misses uint64
+}
+
+// NewRegCache creates an empty registration cache on n.
+func NewRegCache(n *NIC) *RegCache {
+	return &RegCache{n: n, m: make(map[uint64]*RegEntry)}
+}
+
+// Get returns the registration for buffer bufID of the given size,
+// registering and exporting it on first use (charged to the host CPU).
+func (rc *RegCache) Get(p *sim.Proc, bufID uint64, bytes int64) (*RegEntry, error) {
+	if e, ok := rc.m[bufID]; ok && e.Reg.Bytes >= bytes {
+		rc.Hits++
+		return e, nil
+	}
+	rc.Misses++
+	if old, ok := rc.m[bufID]; ok {
+		// Re-registering a grown buffer: release the stale entry.
+		rc.n.TPT.Invalidate(old.Seg)
+		rc.n.h.VM.Unregister(p, old.Reg)
+		delete(rc.m, bufID)
+	}
+	reg, err := rc.n.h.VM.Register(p, bytes)
+	if err != nil {
+		return nil, err
+	}
+	seg := rc.n.TPT.Export(bytes)
+	rc.n.h.Compute(p, rc.n.p.PIOWrite) // install the mapping on the NIC
+	e := &RegEntry{Reg: reg, Seg: seg}
+	rc.m[bufID] = e
+	return e, nil
+}
+
+// Len returns the number of cached registrations.
+func (rc *RegCache) Len() int { return len(rc.m) }
+
+// DropAll unregisters everything (unmount).
+func (rc *RegCache) DropAll(p *sim.Proc) {
+	for id, e := range rc.m {
+		rc.n.TPT.Invalidate(e.Seg)
+		rc.n.h.VM.Unregister(p, e.Reg)
+		delete(rc.m, id)
+	}
+}

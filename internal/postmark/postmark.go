@@ -1,0 +1,251 @@
+// Package postmark implements the PostMark file system benchmark (Katcher,
+// NetApp TR-3022): a pool of small files and a transaction mix of reads,
+// appends, creates and deletes. The paper (§5.2, Figure 6) configures it
+// for read-only transactions — no creations or deletions, each read
+// bracketed by open and close — to model a latency-sensitive small-file
+// client; this implementation supports both that mode and the full mix.
+package postmark
+
+import (
+	"fmt"
+
+	"danas/internal/host"
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// Config shapes a PostMark run.
+type Config struct {
+	// Files is the file-set size; file sizes are uniform in
+	// [MinSize, MaxSize] (the paper uses a 4 KB average).
+	Files   int
+	MinSize int64
+	MaxSize int64
+	// Transactions to execute in the measured phase.
+	Transactions int
+	// ReadRatio is the probability a transaction reads (vs appends).
+	// 1.0 with CreateDeleteRatio 0 is the paper's read-only mode.
+	ReadRatio float64
+	// CreateDeleteRatio is the probability a transaction additionally
+	// creates or deletes a file.
+	CreateDeleteRatio float64
+	// TxnOverhead is per-transaction application work.
+	TxnOverhead sim.Duration
+	// Seed drives the deterministic workload stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Figure 6 configuration: 4 KB files,
+// read-only transactions.
+func DefaultConfig() Config {
+	return Config{
+		Files:             1000,
+		MinSize:           4096,
+		MaxSize:           4096,
+		Transactions:      5000,
+		ReadRatio:         1.0,
+		CreateDeleteRatio: 0,
+		TxnOverhead:       3 * sim.Microsecond,
+		Seed:              1,
+	}
+}
+
+// Result reports a completed run.
+type Result struct {
+	Txns    int
+	Elapsed sim.Duration
+	Reads   int
+	Appends int
+	Creates int
+	Deletes int
+
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// TxnsPerSec returns transaction throughput — Figure 6's y-axis.
+func (r Result) TxnsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Txns) / r.Elapsed.Seconds()
+}
+
+// Bench is a PostMark instance bound to a client mount.
+type Bench struct {
+	c   nas.Client
+	h   *host.Host
+	cfg Config
+	rng *sim.Rand
+
+	names []string
+	sizes map[string]int64
+	seq   int
+	skew  float64 // fraction of accesses directed at the hottest 20%
+}
+
+// New creates a bench over client c on host h.
+func New(c nas.Client, h *host.Host, cfg Config) *Bench {
+	return &Bench{
+		c: c, h: h, cfg: cfg,
+		rng:   sim.NewRand(cfg.Seed),
+		sizes: make(map[string]int64),
+	}
+}
+
+// NewSkewed creates a bench with an 80/20-style popularity skew: skew is
+// the fraction of accesses that target the hottest 20% of files (0 = no
+// skew). Used by the directory-policy ablation.
+func NewSkewed(c nas.Client, h *host.Host, cfg Config, skew float64) *Bench {
+	b := New(c, h, cfg)
+	b.skew = skew
+	return b
+}
+
+// pick chooses a file index under the configured skew.
+func (b *Bench) pick() string {
+	n := len(b.names)
+	hot := n / 5
+	if b.skew > 0 && hot > 0 && b.rng.Float64() < b.skew {
+		return b.names[b.rng.Intn(hot)]
+	}
+	return b.names[b.rng.Intn(n)]
+}
+
+func (b *Bench) fileSize() int64 {
+	if b.cfg.MaxSize <= b.cfg.MinSize {
+		return b.cfg.MinSize
+	}
+	return b.cfg.MinSize + b.rng.Int63n(b.cfg.MaxSize-b.cfg.MinSize+1)
+}
+
+// Setup creates the file set (not part of the measured phase).
+func (b *Bench) Setup(p *sim.Proc) error {
+	for i := 0; i < b.cfg.Files; i++ {
+		name := fmt.Sprintf("pm%06d", i)
+		h, err := b.c.Create(p, name)
+		if err != nil {
+			return fmt.Errorf("postmark setup: %w", err)
+		}
+		size := b.fileSize()
+		if size > 0 {
+			if _, err := b.c.Write(p, h, 0, size, 0); err != nil {
+				return fmt.Errorf("postmark setup write: %w", err)
+			}
+		}
+		b.c.Close(p, h)
+		b.names = append(b.names, name)
+		b.sizes[name] = size
+	}
+	b.seq = b.cfg.Files
+	return nil
+}
+
+// Run executes the measured transaction phase.
+func (b *Bench) Run(p *sim.Proc) (Result, error) {
+	if len(b.names) == 0 {
+		return Result{}, fmt.Errorf("postmark: Setup not run")
+	}
+	var res Result
+	start := p.Now()
+	for i := 0; i < b.cfg.Transactions; i++ {
+		b.h.Compute(p, b.cfg.TxnOverhead)
+		if err := b.txn(p, &res); err != nil {
+			return res, err
+		}
+		res.Txns++
+	}
+	res.Elapsed = p.Now().Sub(start)
+	return res, nil
+}
+
+func (b *Bench) txn(p *sim.Proc, res *Result) error {
+	name := b.pick()
+	if b.rng.Float64() < b.cfg.ReadRatio {
+		if err := b.read(p, name, res); err != nil {
+			return err
+		}
+	} else {
+		if err := b.appendTo(p, name, res); err != nil {
+			return err
+		}
+	}
+	if b.rng.Float64() < b.cfg.CreateDeleteRatio {
+		if b.rng.Float64() < 0.5 {
+			return b.create(p, res)
+		}
+		return b.delete(p, res)
+	}
+	return nil
+}
+
+// read opens, reads the whole file, and closes — the paper's read
+// transaction shape.
+func (b *Bench) read(p *sim.Proc, name string, res *Result) error {
+	h, err := b.c.Open(p, name)
+	if err != nil {
+		return fmt.Errorf("postmark read open %s: %w", name, err)
+	}
+	n, err := b.c.Read(p, h, 0, b.sizes[name], 0)
+	if err != nil {
+		return fmt.Errorf("postmark read %s: %w", name, err)
+	}
+	res.Reads++
+	res.BytesRead += n
+	return b.c.Close(p, h)
+}
+
+func (b *Bench) appendTo(p *sim.Proc, name string, res *Result) error {
+	h, err := b.c.Open(p, name)
+	if err != nil {
+		return err
+	}
+	n := b.fileSize() / 4
+	if n == 0 {
+		n = 512
+	}
+	if _, err := b.c.Write(p, h, b.sizes[name], n, 0); err != nil {
+		return err
+	}
+	b.sizes[name] += n
+	res.Appends++
+	res.BytesWritten += n
+	return b.c.Close(p, h)
+}
+
+func (b *Bench) create(p *sim.Proc, res *Result) error {
+	b.seq++
+	name := fmt.Sprintf("pm%06d", b.seq)
+	h, err := b.c.Create(p, name)
+	if err != nil {
+		return err
+	}
+	size := b.fileSize()
+	if size > 0 {
+		if _, err := b.c.Write(p, h, 0, size, 0); err != nil {
+			return err
+		}
+	}
+	b.c.Close(p, h)
+	b.names = append(b.names, name)
+	b.sizes[name] = size
+	res.Creates++
+	res.BytesWritten += size
+	return nil
+}
+
+func (b *Bench) delete(p *sim.Proc, res *Result) error {
+	if len(b.names) <= 1 {
+		return nil
+	}
+	i := b.rng.Intn(len(b.names))
+	name := b.names[i]
+	if err := b.c.Remove(p, name); err != nil {
+		return err
+	}
+	b.names[i] = b.names[len(b.names)-1]
+	b.names = b.names[:len(b.names)-1]
+	delete(b.sizes, name)
+	res.Deletes++
+	return nil
+}

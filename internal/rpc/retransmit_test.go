@@ -1,0 +1,106 @@
+package rpc
+
+import (
+	"testing"
+
+	"danas/internal/sim"
+	"danas/internal/wire"
+)
+
+func TestRetransmitRecoversFromLoss(t *testing.T) {
+	executions := 0
+	r := newRig(t, func(p *sim.Proc, req *Request) *Reply {
+		executions++
+		return echoHandler(p, req)
+	})
+	// Drop 30% of packets arriving at the server.
+	r.server.stack.SetLoss(0.3, 42)
+	r.client.RetransmitTimeout = 2 * sim.Millisecond
+	r.client.MaxRetries = 10
+
+	const calls = 50
+	completed := 0
+	for i := 0; i < calls; i++ {
+		off := int64(i)
+		r.s.Go("app", func(p *sim.Proc) {
+			resp := r.client.Call(p, &wire.Header{Op: wire.OpRead, Offset: off, Length: 512}, CallOpts{})
+			if resp.Hdr.Status == wire.StatusOK {
+				completed++
+			}
+		})
+	}
+	r.s.Run()
+	if completed != calls {
+		t.Fatalf("completed %d of %d calls under 30%% loss", completed, calls)
+	}
+	if r.client.Retransmits == 0 {
+		t.Fatal("no retransmissions happened under loss")
+	}
+}
+
+func TestRetransmitLossyReplies(t *testing.T) {
+	// Loss on the CLIENT side: requests execute, replies vanish; the
+	// duplicate-request cache must answer retries without re-execution.
+	executions := 0
+	r := newRig(t, func(p *sim.Proc, req *Request) *Reply {
+		executions++
+		return echoHandler(p, req)
+	})
+	clientStack := r.clientStack
+	clientStack.SetLoss(0.4, 7)
+	r.client.RetransmitTimeout = 2 * sim.Millisecond
+	r.client.MaxRetries = 20
+
+	const calls = 30
+	completed := 0
+	for i := 0; i < calls; i++ {
+		r.s.Go("app", func(p *sim.Proc) {
+			r.client.Call(p, &wire.Header{Op: wire.OpGetattr}, CallOpts{})
+			completed++
+		})
+	}
+	r.s.Run()
+	if completed != calls {
+		t.Fatalf("completed %d of %d", completed, calls)
+	}
+	if executions != calls {
+		t.Fatalf("handler executed %d times for %d calls: at-most-once broken", executions, calls)
+	}
+	if r.server.Duplicates == 0 {
+		t.Fatal("DRC never answered a duplicate")
+	}
+}
+
+func TestNoLossNoRetransmit(t *testing.T) {
+	r := newRig(t, echoHandler)
+	r.client.RetransmitTimeout = sim.Millisecond
+	r.s.Go("app", func(p *sim.Proc) {
+		r.client.Call(p, &wire.Header{Op: wire.OpRead, Length: 1024}, CallOpts{})
+	})
+	r.s.Run()
+	if r.client.Retransmits != 0 {
+		t.Fatalf("spurious retransmits: %d", r.client.Retransmits)
+	}
+	if r.server.Duplicates != 0 {
+		t.Fatalf("spurious duplicates: %d", r.server.Duplicates)
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	r := newRig(t, echoHandler)
+	r.server.stack.SetLoss(1.0, 1) // everything lost
+	r.client.RetransmitTimeout = sim.Millisecond
+	r.client.MaxRetries = 3
+	done := false
+	r.s.Go("app", func(p *sim.Proc) {
+		r.client.Call(p, &wire.Header{Op: wire.OpRead}, CallOpts{})
+		done = true
+	})
+	r.s.Run()
+	if done {
+		t.Fatal("call completed through 100% loss")
+	}
+	if r.client.Retransmits != 3 {
+		t.Fatalf("retransmits = %d, want MaxRetries", r.client.Retransmits)
+	}
+}

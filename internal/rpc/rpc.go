@@ -1,0 +1,295 @@
+// Package rpc is a SunRPC-style remote procedure call layer over UDP/IP:
+// transaction IDs, request/response matching with multiple outstanding
+// calls, and reply payload delivery either through the normal copy path or
+// by RDDP-RPC direct placement when the caller pre-posted a tagged buffer.
+//
+// NFS and its two optimized derivatives ride this layer; DAFS has its own
+// session protocol over VI (see internal/dafs).
+package rpc
+
+import (
+	"fmt"
+
+	"danas/internal/nic"
+	"danas/internal/sim"
+	"danas/internal/udpip"
+	"danas/internal/wire"
+)
+
+// callMsg is the datagram body for both requests and replies.
+type callMsg struct {
+	Hdr          *wire.Header
+	PayloadBytes int64
+	Payload      any
+	// replyTag, on requests, asks the server to stamp this tag on its
+	// reply so the client NIC can match a pre-posted buffer.
+	replyTag uint64
+}
+
+// Request is a received call, handed to the server handler.
+type Request struct {
+	Hdr          *wire.Header
+	PayloadBytes int64
+	Payload      any
+
+	from     *udpip.Stack
+	fromPort int
+	replyTag uint64
+}
+
+// ClientNIC returns the calling host's NIC — the RDMA target for
+// RDDP-RDMA replies.
+func (r *Request) ClientNIC() *nic.NIC { return r.from.NIC() }
+
+// Reply is the handler's response.
+type Reply struct {
+	Hdr          *wire.Header
+	PayloadBytes int64
+	Payload      any
+	// CopyBytes is server-side copy work (e.g. staging cache data into
+	// mbufs) charged before transmission.
+	CopyBytes int64
+}
+
+// Handler processes one request in a server worker's process context.
+type Handler func(p *sim.Proc, req *Request) *Reply
+
+// drcKey identifies a request for the duplicate-request cache.
+type drcKey struct {
+	from     *udpip.Stack
+	fromPort int
+	xid      uint64
+}
+
+// drcEntry caches a completed reply so retransmitted requests are answered
+// without re-executing the handler (at-most-once execution).
+type drcEntry struct {
+	done  bool
+	reply *callMsg
+	bytes int64
+	tag   uint64
+}
+
+// drcLimit bounds the duplicate-request cache, like the classic 2049-entry
+// nfsd DRC.
+const drcLimit = 2048
+
+// Server serves RPCs with a fixed pool of worker processes, like nfsd.
+type Server struct {
+	sock    *udpip.Socket
+	stack   *udpip.Stack
+	handler Handler
+
+	drc      map[drcKey]*drcEntry
+	drcOrder []drcKey
+
+	Requests   uint64
+	Duplicates uint64
+}
+
+// NewServer binds an RPC server to (stack, port) and starts nWorkers
+// worker processes.
+func NewServer(s *sim.Scheduler, stack *udpip.Stack, port, nWorkers int, h Handler) *Server {
+	srv := &Server{sock: stack.Socket(port), stack: stack, handler: h, drc: make(map[drcKey]*drcEntry)}
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	for i := 0; i < nWorkers; i++ {
+		s.Go(fmt.Sprintf("rpcd-%s-%d", stack.Host().Name, i), srv.worker)
+	}
+	return srv
+}
+
+func (srv *Server) worker(p *sim.Proc) {
+	h := srv.stack.Host()
+	for {
+		d := srv.sock.Recv(p)
+		msg := d.Body.(*callMsg)
+		// RPC receive demux + dispatch.
+		h.Compute(p, h.P.RPCServerCost)
+		key := drcKey{from: d.From, fromPort: d.FromPort, xid: msg.Hdr.XID}
+		if e, dup := srv.drc[key]; dup {
+			srv.Duplicates++
+			if e.done {
+				// Answer from the cache without re-executing.
+				srv.sock.SendTo(p, d.From, d.FromPort, e.bytes, e.reply, 0, e.tag)
+			}
+			// In progress: drop; the original execution will reply.
+			continue
+		}
+		entry := &drcEntry{}
+		srv.installDRC(key, entry)
+		srv.Requests++
+		reply := srv.handler(p, &Request{
+			Hdr:          msg.Hdr,
+			PayloadBytes: msg.PayloadBytes,
+			Payload:      msg.Payload,
+			from:         d.From,
+			fromPort:     d.FromPort,
+			replyTag:     msg.replyTag,
+		})
+		if reply == nil {
+			continue
+		}
+		bytes := int64(reply.Hdr.WireSize()) + reply.PayloadBytes
+		out := &callMsg{
+			Hdr:          reply.Hdr,
+			PayloadBytes: reply.PayloadBytes,
+			Payload:      reply.Payload,
+		}
+		entry.done = true
+		entry.reply = out
+		entry.bytes = bytes
+		entry.tag = msg.replyTag
+		srv.sock.SendTo(p, d.From, d.FromPort, bytes, out, reply.CopyBytes, msg.replyTag)
+	}
+}
+
+// installDRC records a request in the duplicate-request cache, evicting
+// the oldest entries beyond the limit.
+func (srv *Server) installDRC(key drcKey, e *drcEntry) {
+	srv.drc[key] = e
+	srv.drcOrder = append(srv.drcOrder, key)
+	for len(srv.drcOrder) > drcLimit {
+		old := srv.drcOrder[0]
+		srv.drcOrder = srv.drcOrder[1:]
+		delete(srv.drc, old)
+	}
+}
+
+// Response is a completed call as seen by the client.
+type Response struct {
+	Hdr          *wire.Header
+	PayloadBytes int64
+	Payload      any
+	// Direct reports the payload was placed by the NIC into the
+	// pre-posted buffer: the client must not copy it anywhere.
+	Direct bool
+}
+
+// CallOpts tunes one call.
+type CallOpts struct {
+	// PayloadBytes/Payload attach request payload (writes).
+	PayloadBytes int64
+	Payload      any
+	// CopyBytes is client-side copy work staging the request payload.
+	CopyBytes int64
+	// Prepare, if set, runs after the XID is assigned and before the
+	// request is transmitted; it returns the reply tag to request (the
+	// pre-posting client registers and pre-posts its buffer here).
+	Prepare func(xid uint64) uint64
+}
+
+// Client issues RPCs to a fixed server endpoint. Any number of calls may
+// be outstanding; a demux process matches replies by XID.
+type Client struct {
+	stack      *udpip.Stack
+	sock       *udpip.Socket
+	server     *udpip.Stack
+	serverPort int
+
+	nextXID uint64
+	pending map[uint64]*sim.Future[*Response]
+
+	// RetransmitTimeout, when nonzero, re-sends an unanswered request
+	// after each timeout, up to MaxRetries times — classic RPC-over-UDP
+	// reliability. The server's duplicate-request cache makes retried
+	// calls at-most-once.
+	RetransmitTimeout sim.Duration
+	MaxRetries        int
+
+	Calls       uint64
+	Retransmits uint64
+}
+
+// NewClient creates a client on stack calling (server, serverPort), bound
+// to the given local port.
+func NewClient(s *sim.Scheduler, stack *udpip.Stack, localPort int, server *udpip.Stack, serverPort int) *Client {
+	c := &Client{
+		stack:      stack,
+		sock:       stack.Socket(localPort),
+		server:     server,
+		serverPort: serverPort,
+		pending:    make(map[uint64]*sim.Future[*Response]),
+	}
+	s.Go("rpc-demux-"+stack.Host().Name, c.demux)
+	return c
+}
+
+func (c *Client) demux(p *sim.Proc) {
+	for {
+		d := c.sock.Recv(p)
+		msg := d.Body.(*callMsg)
+		fut, ok := c.pending[msg.Hdr.XID]
+		if !ok {
+			continue // stale or duplicate reply
+		}
+		delete(c.pending, msg.Hdr.XID)
+		fut.Resolve(&Response{
+			Hdr:          msg.Hdr,
+			PayloadBytes: msg.PayloadBytes,
+			Payload:      msg.Payload,
+			Direct:       d.Direct,
+		})
+	}
+}
+
+// Call sends req and blocks until the matching reply arrives. The header's
+// XID is assigned by the client.
+func (c *Client) Call(p *sim.Proc, req *wire.Header, opts CallOpts) *Response {
+	h := c.stack.Host()
+	c.nextXID++
+	xid := c.nextXID
+	req.XID = xid
+	c.Calls++
+
+	var tag uint64
+	if opts.Prepare != nil {
+		tag = opts.Prepare(xid)
+	}
+	fut := sim.NewFuture[*Response](p.Sched())
+	c.pending[xid] = fut
+
+	h.Compute(p, h.P.RPCClientSend)
+	msg := &callMsg{
+		Hdr:          req,
+		PayloadBytes: opts.PayloadBytes,
+		Payload:      opts.Payload,
+		replyTag:     tag,
+	}
+	bytes := int64(req.WireSize()) + opts.PayloadBytes
+	c.sock.SendTo(p, c.server, c.serverPort, bytes, msg, opts.CopyBytes, 0)
+	if c.RetransmitTimeout > 0 {
+		c.armRetransmit(fut, msg, bytes, 0)
+	}
+
+	resp := fut.Value(p)
+	h.Compute(p, h.P.RPCClientRecv)
+	return resp
+}
+
+// armRetransmit schedules a timeout that re-sends the request if the call
+// is still unanswered. Retransmission happens in event context (the kernel
+// RPC timer), charging send-side costs asynchronously.
+func (c *Client) armRetransmit(fut *sim.Future[*Response], msg *callMsg, bytes int64, tries int) {
+	s := c.stack.Host().S
+	s.After(c.RetransmitTimeout, func() {
+		if fut.Fired() {
+			return
+		}
+		max := c.MaxRetries
+		if max <= 0 {
+			max = 5
+		}
+		if tries >= max {
+			return // give up; the call stays pending (hard mount semantics)
+		}
+		c.Retransmits++
+		c.stack.Host().ComputeAsync(c.stack.Host().P.RPCClientSend, nil)
+		c.sock.SendToAsync(c.server, c.serverPort, bytes, msg, 0)
+		c.armRetransmit(fut, msg, bytes, tries+1)
+	})
+}
+
+// Outstanding returns the number of in-flight calls.
+func (c *Client) Outstanding() int { return len(c.pending) }

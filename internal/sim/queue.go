@@ -1,0 +1,132 @@
+package sim
+
+// Queue is an unbounded FIFO of values with blocking receive, the
+// simulation analogue of a Go channel: message rings, request queues,
+// completion queues. Senders never block; receivers block until a value
+// arrives. Multiple receivers are served in the order they blocked.
+type Queue[T any] struct {
+	s       *Scheduler
+	name    string
+	items   []T
+	waiters []*Proc
+	puts    uint64
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](s *Scheduler, name string) *Queue[T] {
+	return &Queue[T]{s: s, name: name}
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Puts returns the total number of values ever enqueued.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Put enqueues v and, if a receiver is blocked, schedules it to run at the
+// current instant. Put may be called from a process or from a plain event
+// callback.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.s.After(0, func() { q.s.wake(p) })
+	}
+}
+
+// Get dequeues the next value, blocking p until one is available.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.block()
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	// If more items remain and more receivers are parked, pass the baton so
+	// a burst of Puts wakes every eligible receiver.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		next := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.s.After(0, func() { q.s.wake(next) })
+	}
+	return v
+}
+
+// TryGet dequeues without blocking. ok is false if the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Signal is a one-shot completion: one or more processes wait, one event
+// fires, all waiters resume. Used for I/O completions and futures.
+type Signal struct {
+	s       *Scheduler
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(s *Scheduler) *Signal { return &Signal{s: s} }
+
+// Fired reports whether the signal has fired.
+func (g *Signal) Fired() bool { return g.fired }
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (g *Signal) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, p := range g.waiters {
+		wp := p
+		g.s.After(0, func() { g.s.wake(wp) })
+	}
+	g.waiters = nil
+}
+
+// Wait blocks p until the signal fires (returns immediately if it already
+// has).
+func (g *Signal) Wait(p *Proc) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.block()
+}
+
+// Future is a Signal carrying a value.
+type Future[T any] struct {
+	Signal
+	value T
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](s *Scheduler) *Future[T] {
+	return &Future[T]{Signal: Signal{s: s}}
+}
+
+// Resolve sets the value and fires the signal.
+func (f *Future[T]) Resolve(v T) {
+	if f.fired {
+		return
+	}
+	f.value = v
+	f.Fire()
+}
+
+// Value blocks until resolved and returns the value.
+func (f *Future[T]) Value(p *Proc) T {
+	f.Wait(p)
+	return f.value
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueuePutGet(t *testing.T) {
+	s := New()
+	defer s.Close()
+	q := NewQueue[int](s, "q")
+	var got []int
+	s.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	s.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10 * Microsecond)
+			q.Put(i)
+		}
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("consumed %v, want [1 2 3]", got)
+	}
+}
+
+func TestQueueFIFOAcrossBurst(t *testing.T) {
+	s := New()
+	defer s.Close()
+	q := NewQueue[int](s, "q")
+	var got []int
+	for w := 0; w < 3; w++ {
+		s.Go("c", func(p *Proc) { got = append(got, q.Get(p)) })
+	}
+	s.Go("p", func(p *Proc) {
+		p.Sleep(Microsecond)
+		q.Put(10)
+		q.Put(20)
+		q.Put(30)
+	})
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("got %v, want three values", got)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if !seen[10] || !seen[20] || !seen[30] {
+		t.Fatalf("burst lost values: %v", got)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	s := New()
+	defer s.Close()
+	q := NewQueue[string](s, "q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put("x")
+	v, ok := q.TryGet()
+	if !ok || v != "x" {
+		t.Fatalf("TryGet = %q,%v", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestSignalReleasesAllWaiters(t *testing.T) {
+	s := New()
+	defer s.Close()
+	sig := NewSignal(s)
+	resumed := 0
+	for i := 0; i < 4; i++ {
+		s.Go("w", func(p *Proc) {
+			sig.Wait(p)
+			resumed++
+		})
+	}
+	s.Go("firer", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		sig.Fire()
+	})
+	s.Run()
+	if resumed != 4 {
+		t.Fatalf("resumed = %d, want 4", resumed)
+	}
+}
+
+func TestSignalWaitAfterFire(t *testing.T) {
+	s := New()
+	defer s.Close()
+	sig := NewSignal(s)
+	sig.Fire()
+	sig.Fire() // idempotent
+	ok := false
+	s.Go("late", func(p *Proc) {
+		sig.Wait(p) // must not block
+		ok = true
+	})
+	s.Run()
+	if !ok {
+		t.Fatal("late waiter blocked on fired signal")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	s := New()
+	defer s.Close()
+	f := NewFuture[string](s)
+	var got string
+	s.Go("reader", func(p *Proc) { got = f.Value(p) })
+	s.Go("writer", func(p *Proc) {
+		p.Sleep(Microsecond)
+		f.Resolve("done")
+		f.Resolve("ignored")
+	})
+	s.Run()
+	if got != "done" {
+		t.Fatalf("future value = %q, want done", got)
+	}
+}
+
+// Property: queue preserves order for a single consumer regardless of
+// producer timing.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		if len(gaps) == 0 || len(gaps) > 50 {
+			return true
+		}
+		s := New()
+		defer s.Close()
+		q := NewQueue[int](s, "q")
+		var got []int
+		s.Go("c", func(p *Proc) {
+			for range gaps {
+				got = append(got, q.Get(p))
+			}
+		})
+		s.Go("p", func(p *Proc) {
+			for i, g := range gaps {
+				p.Sleep(Duration(g) * Microsecond)
+				q.Put(i)
+			}
+		})
+		s.Run()
+		if len(got) != len(gaps) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRand(8)
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical next values (suspicious)")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}

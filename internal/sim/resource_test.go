@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	defer s.Close()
+	cpu := NewResource(s, "cpu", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		s.Go("job", func(p *Proc) {
+			cpu.Use(p, 10*Microsecond)
+			done = append(done, p.Now())
+		})
+	}
+	s.Run()
+	want := []Time{Time(10 * Microsecond), Time(20 * Microsecond), Time(30 * Microsecond)}
+	if len(done) != 3 {
+		t.Fatalf("completions %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	s := New()
+	defer s.Close()
+	r := NewResource(s, "dma", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		s.Go("xfer", func(p *Proc) {
+			r.Use(p, 10*Microsecond)
+			done = append(done, p.Now())
+		})
+	}
+	s.Run()
+	// Two at a time: finish at 10,10,20,20 us.
+	want := []Time{Time(10 * Microsecond), Time(10 * Microsecond), Time(20 * Microsecond), Time(20 * Microsecond)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceFIFONoOvertaking(t *testing.T) {
+	s := New()
+	defer s.Close()
+	r := NewResource(s, "r", 2)
+	var order []string
+	s.Go("big1", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(10 * Microsecond)
+		r.Release(2)
+		order = append(order, "big1")
+	})
+	s.Go("big2", func(p *Proc) {
+		p.Sleep(Microsecond)
+		r.Acquire(p, 2)
+		order = append(order, "big2")
+		p.Sleep(10 * Microsecond)
+		r.Release(2)
+	})
+	s.Go("small", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		r.Acquire(p, 1) // arrives after big2; must not overtake it
+		order = append(order, "small")
+		r.Release(1)
+	})
+	s.Run()
+	if order[0] != "big1" || order[1] != "big2" || order[2] != "small" {
+		t.Fatalf("grant order %v, want [big1 big2 small]", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	defer s.Close()
+	cpu := NewResource(s, "cpu", 1)
+	s.Go("half", func(p *Proc) {
+		cpu.Use(p, 50*Microsecond)
+		p.Sleep(50 * Microsecond)
+	})
+	s.Run()
+	if u := cpu.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	if bt := cpu.BusyTime(); bt != 50*Microsecond {
+		t.Fatalf("busy time = %v, want 50us", bt)
+	}
+}
+
+func TestResourceMarkEpoch(t *testing.T) {
+	s := New()
+	defer s.Close()
+	cpu := NewResource(s, "cpu", 1)
+	s.Go("w", func(p *Proc) {
+		cpu.Use(p, 10*Microsecond)
+		cpu.MarkEpoch()
+		p.Sleep(10 * Microsecond) // idle interval after epoch
+	})
+	s.Run()
+	if u := cpu.Utilization(); u != 0 {
+		t.Fatalf("post-epoch utilization = %v, want 0", u)
+	}
+}
+
+func TestResourceReleasePanics(t *testing.T) {
+	s := New()
+	defer s.Close()
+	r := NewResource(s, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	r.Release(1)
+}
+
+func TestResourceAcquireOverCapacityPanics(t *testing.T) {
+	s := New()
+	defer s.Close()
+	r := NewResource(s, "r", 1)
+	caught := false
+	s.Go("w", func(p *Proc) {
+		// Recover inside the process body; the process then exits
+		// normally and hands control back to the scheduler.
+		defer func() {
+			if recover() != nil {
+				caught = true
+			}
+		}()
+		r.Acquire(p, 2)
+	})
+	s.Run()
+	if !caught {
+		t.Error("acquire over capacity did not panic")
+	}
+}
+
+// Property: for any workload of n jobs each holding 1 unit for d, a
+// capacity-c resource finishes the batch in ceil(n/c)*d.
+func TestResourceBatchCompletionProperty(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		c := int64(cRaw%4) + 1
+		s := New()
+		defer s.Close()
+		r := NewResource(s, "r", c)
+		d := 10 * Microsecond
+		var last Time
+		for i := 0; i < n; i++ {
+			s.Go("j", func(p *Proc) {
+				r.Use(p, d)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		s.Run()
+		batches := (int64(n) + c - 1) / c
+		return last == Time(Duration(batches)*d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Scheduler owns a virtual clock and an event queue. Logical processes
+// (Proc) are Go goroutines driven as coroutines: exactly one process runs at
+// any instant, and control returns to the scheduler whenever a process
+// blocks (Sleep, Resource.Acquire, Queue.Get, ...). Events with equal
+// timestamps fire in the order they were posted, so a run is a pure function
+// of its inputs and seeds.
+//
+// The kernel knows nothing about networks or storage; those live in the
+// packages layered above (netsim, host, nic, ...).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulated time in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Micros returns a Duration of us microseconds. Fractional microseconds are
+// preserved to nanosecond resolution.
+func Micros(us float64) Duration { return Duration(us * 1e3) }
+
+// Millis returns a Duration of ms milliseconds.
+func Millis(ms float64) Duration { return Duration(ms * 1e6) }
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros converts d to floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds converts t to floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// TransferTime returns the time to move n bytes at rate bytesPerSec.
+// A zero or negative rate means "infinitely fast".
+func TransferTime(n int64, bytesPerSec float64) Duration {
+	if bytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) * 1e9 / bytesPerSec)
+}
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock, the event queue and all processes.
+// The zero value is not usable; call New.
+type Scheduler struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	yield    chan struct{} // a running Proc signals here when it blocks or exits
+	shutdown chan struct{} // closed by Close to reap blocked Procs
+	closed   bool
+	inLoop   bool
+	procSeq  int
+	nEvents  uint64 // total events executed, for diagnostics
+}
+
+// New returns an empty scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{
+		yield:    make(chan struct{}),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Scheduler) Events() uint64 { return s.nEvents }
+
+// post schedules fn at absolute time at. Panics if at is in the past.
+func (s *Scheduler) post(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event posted in the past (at=%d now=%d)", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (s *Scheduler) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.post(s.now.Add(d), fn)
+}
+
+// At schedules fn at the absolute time at.
+func (s *Scheduler) At(at Time, fn func()) { s.post(at, fn) }
+
+// Run executes events until the queue is empty. Processes blocked on
+// resources or queues that will never be signalled are left blocked; call
+// Close to reap them.
+func (s *Scheduler) Run() {
+	s.runUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock
+// to t. Remaining events stay queued.
+func (s *Scheduler) RunUntil(t Time) {
+	s.runUntil(t)
+	if s.now < t {
+		s.now = t
+	}
+}
+
+func (s *Scheduler) runUntil(limit Time) {
+	if s.closed {
+		panic("sim: Run after Close")
+	}
+	if s.inLoop {
+		panic("sim: re-entrant Run (called from inside the simulation)")
+	}
+	s.inLoop = true
+	defer func() { s.inLoop = false }()
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if limit >= 0 && e.at > limit {
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		s.nEvents++
+		e.fn()
+	}
+}
+
+// Close terminates every blocked process so their goroutines exit. The
+// scheduler must not be used afterwards. It is safe to call Close more
+// than once.
+func (s *Scheduler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.shutdown)
+}
+
+// killed is the panic value used to unwind a Proc goroutine at Close time.
+type killed struct{}
+
+// Proc is a logical process: a goroutine that runs only when the scheduler
+// resumes it and always hands control back before simulated time advances.
+type Proc struct {
+	s      *Scheduler
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Go spawns a new process whose body starts executing at the current
+// simulated time (after already-queued events at this time).
+func (s *Scheduler) Go(name string, fn func(p *Proc)) *Proc {
+	s.procSeq++
+	p := &Proc{
+		s:      s,
+		name:   fmt.Sprintf("%s#%d", name, s.procSeq),
+		resume: make(chan struct{}),
+	}
+	s.After(0, func() {
+		go p.run(fn)
+		s.wake(p)
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		p.dead = true
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				return // reaped by Scheduler.Close
+			}
+			panic(fmt.Sprintf("sim: proc %s panicked: %v", p.name, r))
+		}
+		// Normal exit: hand control back to the event loop.
+		select {
+		case p.s.yield <- struct{}{}:
+		case <-p.s.shutdown:
+		}
+	}()
+	p.waitResume()
+	fn(p)
+}
+
+// wake resumes p and blocks until p yields again. It must only be called
+// from inside the event loop (i.e. from an event callback).
+func (s *Scheduler) wake(p *Proc) {
+	if p.dead {
+		return
+	}
+	select {
+	case p.resume <- struct{}{}:
+	case <-s.shutdown:
+		return
+	}
+	select {
+	case <-s.yield:
+	case <-s.shutdown:
+	}
+}
+
+// yieldToLoop hands control from the running process back to the event loop.
+func (p *Proc) yieldToLoop() {
+	select {
+	case p.s.yield <- struct{}{}:
+	case <-p.s.shutdown:
+		panic(killed{})
+	}
+}
+
+func (p *Proc) waitResume() {
+	select {
+	case <-p.resume:
+	case <-p.s.shutdown:
+		panic(killed{})
+	}
+}
+
+// block parks p until some event calls Scheduler.wake(p).
+func (p *Proc) block() {
+	p.yieldToLoop()
+	p.waitResume()
+}
+
+// Name returns the process name (unique within its scheduler).
+func (p *Proc) Name() string { return p.name }
+
+// Sched returns the owning scheduler.
+func (p *Proc) Sched() *Scheduler { return p.s }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// Sleep suspends the process for d. Negative d is treated as zero but still
+// yields, preserving event ordering fairness.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.s
+	s.After(d, func() { s.wake(p) })
+	p.block()
+}
+
+// Yield lets other events scheduled at the current instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }

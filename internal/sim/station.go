@@ -1,0 +1,104 @@
+package sim
+
+// Station is a single-server FIFO queue with service times known at submit
+// time: a CPU, a DMA engine, a link direction, a firmware processor. Unlike
+// Resource it needs no process context — work is scheduled as an event chain
+// — which keeps per-packet simulation cheap.
+//
+// Serve(d, done) enqueues a job of length d behind any outstanding work and
+// calls done when it completes. The queue is work-conserving and
+// non-preemptive.
+type Station struct {
+	s         *Scheduler
+	name      string
+	busyUntil Time
+	epoch     Time
+	busyInt   float64 // total service time scheduled since epoch
+	jobs      uint64
+}
+
+// NewStation creates an idle station.
+func NewStation(s *Scheduler, name string) *Station {
+	return &Station{s: s, name: name, epoch: s.now}
+}
+
+// Name returns the station name.
+func (st *Station) Name() string { return st.name }
+
+// Serve schedules a job of duration d and returns its completion time.
+// done (may be nil) runs at that time.
+func (st *Station) Serve(d Duration, done func()) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := st.s.now
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	fin := start.Add(d)
+	st.busyUntil = fin
+	st.busyInt += float64(d)
+	st.jobs++
+	if done != nil {
+		st.s.At(fin, done)
+	}
+	return fin
+}
+
+// ServeAt is Serve for a job that only becomes ready at time ready (e.g. a
+// fragment that arrives later). Work is scheduled at max(ready, queue tail).
+func (st *Station) ServeAt(ready Time, d Duration, done func()) Time {
+	if d < 0 {
+		d = 0
+	}
+	if ready < st.s.now {
+		ready = st.s.now
+	}
+	start := ready
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	fin := start.Add(d)
+	st.busyUntil = fin
+	st.busyInt += float64(d)
+	st.jobs++
+	if done != nil {
+		st.s.At(fin, done)
+	}
+	return fin
+}
+
+// Wait makes process p execute a job of duration d on the station and
+// blocks until it completes — the process-style entry point.
+func (st *Station) Wait(p *Proc, d Duration) {
+	sig := NewSignal(st.s)
+	st.Serve(d, sig.Fire)
+	sig.Wait(p)
+}
+
+// BusyUntil returns the time the current backlog drains.
+func (st *Station) BusyUntil() Time { return st.busyUntil }
+
+// Jobs returns the number of jobs ever served.
+func (st *Station) Jobs() uint64 { return st.jobs }
+
+// Utilization returns scheduled-service-time / elapsed since the last
+// MarkEpoch. Because service time is accounted at submit time, utilization
+// can transiently exceed 1 while a backlog is queued; by the time the
+// backlog drains it is exact. Mark the epoch at a quiescent instant.
+func (st *Station) Utilization() float64 {
+	elapsed := float64(st.s.now - st.epoch)
+	if elapsed <= 0 {
+		return 0
+	}
+	return st.busyInt / elapsed
+}
+
+// BusyTime returns total service time scheduled since the last MarkEpoch.
+func (st *Station) BusyTime() Duration { return Duration(st.busyInt) }
+
+// MarkEpoch restarts utilization accounting at the current instant.
+func (st *Station) MarkEpoch() {
+	st.busyInt = 0
+	st.epoch = st.s.now
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStationFIFO(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "st")
+	var done []Time
+	record := func() { done = append(done, s.Now()) }
+	st.Serve(10*Microsecond, record)
+	st.Serve(5*Microsecond, record)
+	st.Serve(1*Microsecond, record)
+	s.Run()
+	want := []Time{Time(10 * Microsecond), Time(15 * Microsecond), Time(16 * Microsecond)}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestStationIdleGap(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "st")
+	var second Time
+	st.Serve(10*Microsecond, nil)
+	s.After(50*Microsecond, func() {
+		st.Serve(10*Microsecond, func() { second = s.Now() })
+	})
+	s.Run()
+	if second != Time(60*Microsecond) {
+		t.Fatalf("second job done at %v, want 60us", second)
+	}
+}
+
+func TestStationServeAt(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "st")
+	var fin Time
+	// Job ready at t=20us although submitted at t=0.
+	st.ServeAt(Time(20*Microsecond), 5*Microsecond, func() { fin = s.Now() })
+	s.Run()
+	if fin != Time(25*Microsecond) {
+		t.Fatalf("done at %v, want 25us", fin)
+	}
+}
+
+func TestStationServeAtQueuesBehindBacklog(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "st")
+	st.Serve(30*Microsecond, nil)
+	var fin Time
+	st.ServeAt(Time(10*Microsecond), 5*Microsecond, func() { fin = s.Now() })
+	s.Run()
+	if fin != Time(35*Microsecond) {
+		t.Fatalf("done at %v, want 35us (behind backlog)", fin)
+	}
+}
+
+func TestStationWait(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "cpu")
+	var woke Time
+	s.Go("w", func(p *Proc) {
+		st.Wait(p, 7*Microsecond)
+		woke = p.Now()
+	})
+	s.Run()
+	if woke != Time(7*Microsecond) {
+		t.Fatalf("woke at %v, want 7us", woke)
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	s := New()
+	defer s.Close()
+	st := NewStation(s, "st")
+	st.Serve(25*Microsecond, nil)
+	s.After(100*Microsecond, func() {})
+	s.Run()
+	if u := st.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+	st.MarkEpoch()
+	if st.BusyTime() != 0 {
+		t.Fatal("MarkEpoch did not reset busy time")
+	}
+}
+
+// Property: total completion time of a batch equals the sum of service
+// times when submitted together (single server, work conserving).
+func TestStationWorkConservingProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 || len(ds) > 64 {
+			return true
+		}
+		s := New()
+		defer s.Close()
+		st := NewStation(s, "st")
+		var total Duration
+		var last Time
+		for _, d := range ds {
+			dur := Duration(d) * Nanosecond
+			total += dur
+			last = st.Serve(dur, func() {})
+		}
+		s.Run()
+		return last == Time(total) && s.Now() == Time(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package udpip models the general-purpose network path the paper's
+// standard-NFS baseline uses: UDP/IP over the NIC's Ethernet emulation with
+// a 9 KB jumbo MTU, checksum offload, and interrupt coalescing. Per-packet
+// protocol processing and data copies are charged to the host CPU — the
+// overhead RDDP exists to remove.
+package udpip
+
+import (
+	"fmt"
+
+	"danas/internal/host"
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+// etherPort is the NIC port number reserved for the Ethernet emulation.
+const etherPort = 0
+
+// ipHeaderBytes approximates Ethernet+IP+UDP header bytes per packet.
+const ipHeaderBytes = 46
+
+// Datagram is one UDP datagram as seen by sockets.
+type Datagram struct {
+	From     *Stack
+	FromPort int
+	Bytes    int64 // UDP payload length
+	Body     any   // typed upper-layer content
+	// Direct reports that the receiving NIC placed the payload straight
+	// into a pre-posted buffer (RDDP-RPC header splitting): the reader
+	// skips all payload copies.
+	Direct bool
+}
+
+// fragment is the wire context of one IP fragment of a datagram.
+type fragment struct {
+	d       *Datagram
+	dstPort int
+	id      uint64
+	index   int
+	total   int
+}
+
+// Stack is one host's UDP/IP stack bound to its NIC.
+type Stack struct {
+	h     *host.Host
+	n     *nic.NIC
+	socks map[int]*Socket
+	// reassembly buffers datagram fragments by ID.
+	reasm  map[uint64]int
+	nextID uint64
+
+	// lossRate drops arriving packets with the given probability
+	// (failure injection; UDP provides no reliability, the RPC layer's
+	// retransmission recovers).
+	lossRate float64
+	lossRNG  *sim.Rand
+
+	PacketsIn, PacketsOut, PacketsDropped uint64
+}
+
+// NewStack attaches a UDP/IP stack to a NIC.
+func NewStack(n *nic.NIC) *Stack {
+	st := &Stack{
+		h:     n.Host(),
+		n:     n,
+		socks: make(map[int]*Socket),
+		reasm: make(map[uint64]int),
+	}
+	n.BindHandler(etherPort, st.packetArrived)
+	return st
+}
+
+// Host returns the owning host.
+func (st *Stack) Host() *host.Host { return st.h }
+
+// NIC returns the attached NIC (the hybrid NFS server RDMA-writes to the
+// client NIC it learns from the request's source stack).
+func (st *Stack) NIC() *nic.NIC { return st.n }
+
+// Socket binds a UDP socket to port.
+func (st *Stack) Socket(port int) *Socket {
+	if _, dup := st.socks[port]; dup {
+		panic(fmt.Sprintf("udpip: port %d in use on %s", port, st.h.Name))
+	}
+	sk := &Socket{
+		stack: st,
+		port:  port,
+		queue: sim.NewQueue[*Datagram](st.h.S, fmt.Sprintf("%s/udp%d", st.h.Name, port)),
+	}
+	st.socks[port] = sk
+	return sk
+}
+
+// packetArrived runs in event context for each IP fragment delivered by
+// the NIC: coalesced interrupt, per-packet input processing, reassembly,
+// then socket delivery.
+// SetLoss enables random inbound packet drops at the given rate,
+// deterministically from seed.
+func (st *Stack) SetLoss(rate float64, seed uint64) {
+	st.lossRate = rate
+	st.lossRNG = sim.NewRand(seed)
+}
+
+func (st *Stack) packetArrived(m *nic.Message) {
+	frag := m.Header.(*fragment)
+	if st.lossRate > 0 && st.lossRNG.Float64() < st.lossRate {
+		st.PacketsDropped++
+		return
+	}
+	st.PacketsIn++
+	if m.Direct {
+		frag.d.Direct = true
+	}
+	st.h.CoalescedInterrupt(st.h.P.UDPRecvPacket, func() {
+		st.reasm[frag.id]++
+		if st.reasm[frag.id] < frag.total {
+			return
+		}
+		delete(st.reasm, frag.id)
+		sk, ok := st.socks[frag.dstPort]
+		if !ok {
+			return // no listener: datagram dropped, as UDP does
+		}
+		sk.queue.Put(frag.d)
+	})
+}
+
+// Socket is a bound UDP endpoint.
+type Socket struct {
+	stack *Stack
+	port  int
+	queue *sim.Queue[*Datagram]
+}
+
+// Port returns the bound port number.
+func (sk *Socket) Port() int { return sk.port }
+
+// SendTo transmits a datagram of the given payload size to (dst, dstPort),
+// charging syscall, user-to-mbuf copy, and per-packet output costs.
+// copyBytes normally equals bytes; kernel callers that hand down mbuf
+// chains pass 0 to skip the user copy. A nonzero tag asks the receiving
+// NIC to match a pre-posted buffer (RDDP-RPC).
+func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body any, copyBytes int64, tag uint64) {
+	h := sk.stack.h
+	h.Syscall(p)
+	if copyBytes > 0 {
+		h.Copy(p, copyBytes)
+	}
+	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
+	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)
+	total := int(max64(1, (bytes+maxFrag-1)/maxFrag))
+	sk.stack.nextID++
+	id := sk.stack.nextID
+	sent := int64(0)
+	for i := 0; i < total; i++ {
+		fb := maxFrag
+		if bytes-sent < fb {
+			fb = bytes - sent
+		}
+		sent += fb
+		// Per-packet output processing + doorbell.
+		h.Compute(p, h.P.UDPSendPacket+h.P.PIOWrite)
+		sk.stack.PacketsOut++
+		sk.stack.n.SendAsync(&nic.Message{
+			To:           dst.n,
+			Port:         etherPort,
+			HeaderBytes:  ipHeaderBytes,
+			PayloadBytes: fb,
+			Header:       &fragment{d: d, dstPort: dstPort, id: id, index: i, total: total},
+			Tag:          tag,
+			FragSize:     h.P.EtherMTU,
+		})
+	}
+}
+
+// SendToAsync transmits from event context (kernel timers, retransmission
+// paths): host costs are charged to the CPU asynchronously and the packets
+// go out immediately.
+func (sk *Socket) SendToAsync(dst *Stack, dstPort int, bytes int64, body any, tag uint64) {
+	h := sk.stack.h
+	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
+	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)
+	total := int(max64(1, (bytes+maxFrag-1)/maxFrag))
+	sk.stack.nextID++
+	id := sk.stack.nextID
+	sent := int64(0)
+	for i := 0; i < total; i++ {
+		fb := maxFrag
+		if bytes-sent < fb {
+			fb = bytes - sent
+		}
+		sent += fb
+		h.ComputeAsync(h.P.UDPSendPacket+h.P.PIOWrite, nil)
+		sk.stack.PacketsOut++
+		sk.stack.n.SendAsync(&nic.Message{
+			To:           dst.n,
+			Port:         etherPort,
+			HeaderBytes:  ipHeaderBytes,
+			PayloadBytes: fb,
+			Header:       &fragment{d: d, dstPort: dstPort, id: id, index: i, total: total},
+			Tag:          tag,
+			FragSize:     h.P.EtherMTU,
+		})
+	}
+}
+
+// Recv blocks until a datagram arrives, charging the syscall and the
+// scheduler wakeup. The mbuf-to-destination copy is charged by the caller,
+// which knows whether the destination is a user buffer or the buffer cache.
+func (sk *Socket) Recv(p *sim.Proc) *Datagram {
+	h := sk.stack.h
+	h.Syscall(p)
+	d := sk.queue.Get(p)
+	h.Compute(p, h.P.SchedWakeup)
+	return d
+}
+
+// Pending returns queued datagrams.
+func (sk *Socket) Pending() int { return sk.queue.Len() }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package udpip
+
+import (
+	"testing"
+
+	"danas/internal/host"
+	"danas/internal/netsim"
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+type rig struct {
+	s      *sim.Scheduler
+	p      *host.Params
+	ha, hb *host.Host
+	sa, sb *Stack
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	s := sim.New()
+	t.Cleanup(s.Close)
+	p := host.Default()
+	fab := netsim.NewFabric(s, p.SwitchLatency)
+	cfg := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
+	ha := host.New(s, "a", p)
+	hb := host.New(s, "b", p)
+	na := nic.New(ha, fab.AddPort("a", cfg))
+	nb := nic.New(hb, fab.AddPort("b", cfg))
+	return &rig{s: s, p: p, ha: ha, hb: hb, sa: NewStack(na), sb: NewStack(nb)}
+}
+
+func TestDatagramDelivery(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1000)
+	b := r.sb.Socket(2000)
+	var got *Datagram
+	r.s.Go("recv", func(p *sim.Proc) { got = b.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		a.SendTo(p, r.sb, 2000, 100, "ping", 100, 0)
+	})
+	r.s.Run()
+	if got == nil || got.Body != "ping" || got.Bytes != 100 {
+		t.Fatalf("datagram %+v", got)
+	}
+	if got.From != r.sa || got.FromPort != 1000 {
+		t.Fatal("source not stamped")
+	}
+}
+
+func TestLargeDatagramFragments(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	var got *Datagram
+	r.s.Go("recv", func(p *sim.Proc) { got = b.Recv(p) })
+	r.s.Go("send", func(p *sim.Proc) {
+		a.SendTo(p, r.sb, 2, 64*1024, "big", 64*1024, 0)
+	})
+	r.s.Run()
+	if got == nil || got.Bytes != 64*1024 {
+		t.Fatal("large datagram lost")
+	}
+	// 64KB over (9216-46)-byte fragments = 8 packets.
+	if r.sa.PacketsOut != 8 || r.sb.PacketsIn != 8 {
+		t.Fatalf("packets out=%d in=%d, want 8/8", r.sa.PacketsOut, r.sb.PacketsIn)
+	}
+}
+
+func TestUnboundPortDrops(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	r.s.Go("send", func(p *sim.Proc) {
+		a.SendTo(p, r.sb, 404, 100, "lost", 100, 0)
+	})
+	r.s.Run() // must terminate without a listener
+	if r.sb.PacketsIn != 1 {
+		t.Fatalf("packet not processed: %d", r.sb.PacketsIn)
+	}
+}
+
+func TestDuplicatePortPanics(t *testing.T) {
+	r := newRig(t)
+	r.sa.Socket(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate bind did not panic")
+		}
+	}()
+	r.sa.Socket(5)
+}
+
+func TestInterleavedDatagramsReassembleIndependently(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	var got []string
+	r.s.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			got = append(got, b.Recv(p).Body.(string))
+		}
+	})
+	r.s.Go("send", func(p *sim.Proc) {
+		a.SendTo(p, r.sb, 2, 32*1024, "first", 0, 0)
+		a.SendTo(p, r.sb, 2, 32*1024, "second", 0, 0)
+	})
+	r.s.Run()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// The paper's Table 2: UDP/Ethernet one-byte RTT ~80us on this stack.
+// The precise assertion lives in the exper package; here we bound it.
+func TestRoundTripLatencyOrder(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	var rtt sim.Duration
+	r.s.Go("echo", func(p *sim.Proc) {
+		d := b.Recv(p)
+		b.SendTo(p, d.From, d.FromPort, 1, "pong", 1, 0)
+	})
+	r.s.Go("ping", func(p *sim.Proc) {
+		start := p.Now()
+		a.SendTo(p, r.sb, 2, 1, "ping", 1, 0)
+		a.Recv(p)
+		rtt = p.Now().Sub(start)
+	})
+	r.s.Run()
+	if rtt < 40*sim.Microsecond || rtt > 160*sim.Microsecond {
+		t.Fatalf("UDP RTT %v wildly off the ~80us ballpark", rtt)
+	}
+}

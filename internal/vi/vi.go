@@ -1,0 +1,156 @@
+// Package vi models the Virtual Interface architecture layer the DAFS
+// client and server ride on: connected queue pairs over GM messaging, send
+// and receive descriptors, completion by polling or blocking, and — for
+// Optimistic DAFS — RDMA descriptors whose status field can report the
+// recoverable ("soft") transport errors that carry ORDMA exceptions
+// (§4.1, "NIC-to-NIC exceptions").
+//
+// VI-GM is a host-based library mapping VI operations onto GM, so the
+// latency and bandwidth of VI track GM (paper Table 2: identical numbers
+// for VI-poll and GM).
+package vi
+
+import (
+	"fmt"
+
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+// QP is one side of a connected queue pair.
+type QP struct {
+	name string
+	n    *nic.NIC
+	ep   *nic.Endpoint
+	peer *QP
+}
+
+// Connect creates a connected queue pair between two NICs. port must be
+// unique per NIC; mode selects each side's completion discipline
+// (poll or blocking/interrupt).
+func Connect(a, b *nic.NIC, portA, portB int, modeA, modeB nic.NotifyMode) (*QP, *QP) {
+	qa := &QP{
+		name: fmt.Sprintf("%s/qp%d", a.Name(), portA),
+		n:    a,
+		ep:   a.NewEndpoint(portA, modeA),
+	}
+	qb := &QP{
+		name: fmt.Sprintf("%s/qp%d", b.Name(), portB),
+		n:    b,
+		ep:   b.NewEndpoint(portB, modeB),
+	}
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Name returns the queue pair name.
+func (q *QP) Name() string { return q.name }
+
+// NIC returns the underlying NIC.
+func (q *QP) NIC() *nic.NIC { return q.n }
+
+// Peer returns the other side of the connection.
+func (q *QP) Peer() *QP { return q.peer }
+
+// Mode returns the receive completion discipline.
+func (q *QP) Mode() nic.NotifyMode { return q.ep.Mode }
+
+// SetMode changes the completion discipline (the paper's §5.2 switches the
+// DAFS server from interrupts to polling).
+func (q *QP) SetMode(m nic.NotifyMode) { q.ep.Mode = m }
+
+// Msg describes one message to send on the connection.
+type Msg struct {
+	HeaderBytes  int
+	PayloadBytes int64
+	Header       any
+	Payload      any
+	// Tag requests RDDP-RPC direct placement at the receiver (used by the
+	// pre-posting NFS client, not by DAFS).
+	Tag uint64
+}
+
+// Send posts a message toward the peer from process context.
+func (q *QP) Send(p *sim.Proc, m *Msg) {
+	q.n.Send(p, &nic.Message{
+		To:           q.peer.n,
+		Port:         q.peer.ep.PortNum(),
+		HeaderBytes:  m.HeaderBytes,
+		PayloadBytes: m.PayloadBytes,
+		Header:       m.Header,
+		Payload:      m.Payload,
+		Tag:          m.Tag,
+	})
+}
+
+// SendAsync posts a message from event context (no host cost charged;
+// callers account for it).
+func (q *QP) SendAsync(m *Msg) {
+	q.n.SendAsync(&nic.Message{
+		To:           q.peer.n,
+		Port:         q.peer.ep.PortNum(),
+		HeaderBytes:  m.HeaderBytes,
+		PayloadBytes: m.PayloadBytes,
+		Header:       m.Header,
+		Payload:      m.Payload,
+		Tag:          m.Tag,
+	})
+}
+
+// Recv blocks until a message arrives from the peer.
+func (q *QP) Recv(p *sim.Proc) *nic.Message {
+	return q.ep.Recv(p)
+}
+
+// TryRecv polls the receive queue without blocking.
+func (q *QP) TryRecv(p *sim.Proc) (*nic.Message, bool) {
+	return q.ep.TryRecv(p)
+}
+
+// RDMAResult is a completed RDMA descriptor: Status carries ORDMA
+// exceptions as recoverable transport errors.
+type RDMAResult struct {
+	Status nic.Status
+}
+
+// OK reports success.
+func (r RDMAResult) OK() bool { return r.Status == nic.StatusOK }
+
+// RDMA issues a get/put against the peer's memory and blocks until the
+// descriptor completes, charging the completion cost per the QP's mode.
+func (q *QP) RDMA(p *sim.Proc, kind nic.OpKind, va uint64, length int64, cap []byte) RDMAResult {
+	sig := sim.NewSignal(p.Sched())
+	var st nic.Status
+	q.n.RDMA(p, &nic.Op{
+		Kind:   kind,
+		Target: q.peer.n,
+		VA:     va,
+		Len:    length,
+		Cap:    cap,
+		Notify: q.ep.Mode,
+		Done:   func(s nic.Status) { st = s; sig.Fire() },
+	})
+	sig.Wait(p)
+	// Charge the completion consumption cost in the waiter's context.
+	h := q.n.Host()
+	if q.ep.Mode == nic.Poll {
+		h.Compute(p, h.P.PollGet)
+	} else {
+		h.Compute(p, h.P.SchedWakeup)
+	}
+	return RDMAResult{Status: st}
+}
+
+// RDMAAsync issues a get/put from event context and delivers the result to
+// done after notification costs.
+func (q *QP) RDMAAsync(kind nic.OpKind, va uint64, length int64, cap []byte, done func(RDMAResult)) {
+	q.n.RDMAAsync(&nic.Op{
+		Kind:   kind,
+		Target: q.peer.n,
+		VA:     va,
+		Len:    length,
+		Cap:    cap,
+		Notify: q.ep.Mode,
+		Done:   func(s nic.Status) { done(RDMAResult{Status: s}) },
+	})
+}

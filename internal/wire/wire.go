@@ -1,0 +1,139 @@
+// Package wire defines the on-the-wire header shared by the NAS protocols
+// in this repository (NFS variants, DAFS, ODAFS) and its binary encoding.
+//
+// The simulator passes decoded headers by reference for speed; Encode and
+// Decode exist so header sizes charged to the network are real, and so the
+// format is pinned by round-trip tests.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op enumerates protocol operations.
+type Op uint8
+
+// Protocol operations. The file-access subset mirrors what the paper's
+// systems exercise; session operations support DAFS-style mounts.
+const (
+	OpInvalid Op = iota
+	OpLookup
+	OpGetattr
+	OpRead
+	OpWrite
+	OpCreate
+	OpRemove
+	OpOpen
+	OpClose
+	OpMount
+)
+
+var opNames = [...]string{
+	"invalid", "lookup", "getattr", "read", "write",
+	"create", "remove", "open", "close", "mount",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Status codes carried in replies.
+const (
+	StatusOK uint32 = iota
+	StatusNoEnt
+	StatusExist
+	StatusIO
+	StatusStale
+)
+
+// Header is the protocol header. A single flexible header covers all ops:
+// fields irrelevant to an op are zero and cost nothing extra on the wire
+// beyond the fixed layout, mirroring how the paper's modified NFS carries
+// remote memory pointers in otherwise-standard messages.
+type Header struct {
+	Op     Op
+	XID    uint64
+	FH     uint64 // file handle (fsim.FileID)
+	Offset int64
+	Length int64
+	Status uint32
+
+	// BufVA advertises the caller's registered buffer for RDDP-RDMA
+	// (explicit advertisement, §2.1).
+	BufVA uint64
+
+	// RefVA/RefLen/RefCap piggyback a server memory reference on replies
+	// (ODAFS, §4.2.1). RefCap is empty unless capabilities are enabled.
+	RefVA  uint64
+	RefLen int64
+	RefCap []byte
+
+	// Name carries path components for lookup/create/remove/open.
+	Name string
+}
+
+// fixedSize is the encoded size of the fixed fields.
+const fixedSize = 1 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 2 + 2
+
+// WireSize returns the encoded size in bytes.
+func (h *Header) WireSize() int {
+	return fixedSize + len(h.RefCap) + len(h.Name)
+}
+
+// Encode serializes the header.
+func (h *Header) Encode() []byte {
+	if len(h.RefCap) > 0xffff || len(h.Name) > 0xffff {
+		panic("wire: oversized variable field")
+	}
+	b := make([]byte, 0, h.WireSize())
+	b = append(b, byte(h.Op))
+	b = binary.LittleEndian.AppendUint64(b, h.XID)
+	b = binary.LittleEndian.AppendUint64(b, h.FH)
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Offset))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.Length))
+	b = binary.LittleEndian.AppendUint32(b, h.Status)
+	b = binary.LittleEndian.AppendUint64(b, h.BufVA)
+	b = binary.LittleEndian.AppendUint64(b, h.RefVA)
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.RefLen))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.RefCap)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Name)))
+	b = append(b, h.RefCap...)
+	b = append(b, h.Name...)
+	return b
+}
+
+// ErrTruncated reports a short buffer.
+var ErrTruncated = errors.New("wire: truncated header")
+
+// Decode parses an encoded header.
+func Decode(b []byte) (*Header, error) {
+	if len(b) < fixedSize {
+		return nil, ErrTruncated
+	}
+	h := &Header{}
+	h.Op = Op(b[0])
+	h.XID = binary.LittleEndian.Uint64(b[1:])
+	h.FH = binary.LittleEndian.Uint64(b[9:])
+	h.Offset = int64(binary.LittleEndian.Uint64(b[17:]))
+	h.Length = int64(binary.LittleEndian.Uint64(b[25:]))
+	h.Status = binary.LittleEndian.Uint32(b[33:])
+	h.BufVA = binary.LittleEndian.Uint64(b[37:])
+	h.RefVA = binary.LittleEndian.Uint64(b[45:])
+	h.RefLen = int64(binary.LittleEndian.Uint64(b[53:]))
+	capLen := int(binary.LittleEndian.Uint16(b[61:]))
+	nameLen := int(binary.LittleEndian.Uint16(b[63:]))
+	rest := b[fixedSize:]
+	if len(rest) < capLen+nameLen {
+		return nil, ErrTruncated
+	}
+	if capLen > 0 {
+		h.RefCap = append([]byte(nil), rest[:capLen]...)
+	}
+	h.Name = string(rest[capLen : capLen+nameLen])
+	return h, nil
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	h := &Header{
+		Op: OpRead, XID: 42, FH: 7, Offset: 8192, Length: 4096,
+		Status: StatusOK, BufVA: 0xabc000, RefVA: 0x100000, RefLen: 4096,
+		RefCap: []byte{1, 2, 3}, Name: "file.db",
+	}
+	b := h.Encode()
+	if len(b) != h.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize %d", len(b), h.WireSize())
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("round trip mismatch:\n have %+v\n want %+v", got, h)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	h := &Header{Op: OpOpen, Name: "x"}
+	b := h.Encode()
+	for i := 0; i < len(b); i++ {
+		if _, err := Decode(b[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestEmptyFieldsRoundTrip(t *testing.T) {
+	h := &Header{Op: OpGetattr, XID: 1}
+	got, err := Decode(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RefCap != nil || got.Name != "" {
+		t.Fatalf("empty fields decoded as %+v", got)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("mismatch %+v vs %+v", got, h)
+	}
+}
+
+// Property: Decode(Encode(h)) == h for arbitrary headers.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, xid, fh, bufVA, refVA uint64, off, length, refLen int64,
+		status uint32, capBytes []byte, name string) bool {
+		if len(capBytes) > 256 || len(name) > 256 {
+			return true
+		}
+		h := &Header{
+			Op: Op(op), XID: xid, FH: fh, Offset: off, Length: length,
+			Status: status, BufVA: bufVA, RefVA: refVA, RefLen: refLen,
+			Name: name,
+		}
+		if len(capBytes) > 0 {
+			h.RefCap = capBytes
+		}
+		got, err := Decode(h.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(h, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || Op(99).String() != "op(99)" {
+		t.Fatal("op names broken")
+	}
+}

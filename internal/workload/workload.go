@@ -1,0 +1,170 @@
+// Package workload provides the application-level drivers the paper's
+// evaluation uses: a streaming reader with application-level asynchronous
+// read-ahead (Figures 3, 4 and 7) and a multi-client small-I/O driver.
+package workload
+
+import (
+	"fmt"
+
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// StreamConfig shapes a streaming read run.
+type StreamConfig struct {
+	File      string
+	BlockSize int64
+	// Window is the number of simultaneously outstanding reads — the
+	// paper's clients perform "asynchronous read-ahead without any data
+	// processing" via the DAFS and POSIX aio APIs.
+	Window int
+	// Passes over the file (the server-throughput experiments read the
+	// file twice and measure the second pass).
+	Passes int
+}
+
+// StreamResult reports one pass.
+type StreamResult struct {
+	Bytes   int64
+	Elapsed sim.Duration
+}
+
+// MBps returns throughput in MB/s (10^6 bytes/s, the paper's unit).
+func (r StreamResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// Stream sequentially reads the file Passes times with Window outstanding
+// block reads, returning one result per pass.
+func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
+	}
+	h, err := c.Open(p, cfg.File)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close(p, h)
+	s := p.Sched()
+	results := make([]StreamResult, 0, cfg.Passes)
+	for pass := 0; pass < cfg.Passes; pass++ {
+		start := p.Now()
+		var next int64
+		var total int64
+		var firstErr error
+		done := sim.NewSignal(s)
+		remaining := cfg.Window
+		for w := 0; w < cfg.Window; w++ {
+			bufID := uint64(w + 1)
+			s.Go(fmt.Sprintf("stream-w%d", w), func(wp *sim.Proc) {
+				defer func() {
+					remaining--
+					if remaining == 0 {
+						done.Fire()
+					}
+				}()
+				for {
+					off := next
+					if off >= h.Size {
+						return
+					}
+					next += cfg.BlockSize
+					n, err := c.Read(wp, h, off, cfg.BlockSize, bufID)
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+					total += n
+				}
+			})
+		}
+		done.Wait(p)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		results = append(results, StreamResult{Bytes: total, Elapsed: p.Now().Sub(start)})
+	}
+	return results, nil
+}
+
+// SmallIOConfig shapes a fixed-count random small-read driver (per-client).
+type SmallIOConfig struct {
+	File       string
+	IOSize     int64
+	Count      int
+	Window     int
+	Seed       uint64
+	Sequential bool
+}
+
+// SmallIO issues Count reads of IOSize (random or sequential offsets) with
+// Window outstanding, returning aggregate bytes and elapsed time.
+func SmallIO(p *sim.Proc, c nas.Client, cfg SmallIOConfig) (StreamResult, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	h, err := c.Open(p, cfg.File)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	defer c.Close(p, h)
+	s := p.Sched()
+	rng := sim.NewRand(cfg.Seed + 99)
+	blocks := h.Size / cfg.IOSize
+	if blocks <= 0 {
+		return StreamResult{}, fmt.Errorf("workload: file smaller than I/O size")
+	}
+	offs := make([]int64, cfg.Count)
+	for i := range offs {
+		if cfg.Sequential {
+			offs[i] = (int64(i) % blocks) * cfg.IOSize
+		} else {
+			offs[i] = rng.Int63n(blocks) * cfg.IOSize
+		}
+	}
+	start := p.Now()
+	var total int64
+	var firstErr error
+	idx := 0
+	done := sim.NewSignal(s)
+	remaining := cfg.Window
+	for w := 0; w < cfg.Window; w++ {
+		bufID := uint64(w + 101)
+		s.Go(fmt.Sprintf("smallio-w%d", w), func(wp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			}()
+			for {
+				if idx >= len(offs) {
+					return
+				}
+				off := offs[idx]
+				idx++
+				n, err := c.Read(wp, h, off, cfg.IOSize, bufID)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				total += n
+			}
+		})
+	}
+	done.Wait(p)
+	if firstErr != nil {
+		return StreamResult{}, firstErr
+	}
+	return StreamResult{Bytes: total, Elapsed: p.Now().Sub(start)}, nil
+}

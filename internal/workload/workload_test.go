@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"danas/internal/dafs"
+	"danas/internal/fsim"
+	"danas/internal/host"
+	"danas/internal/netsim"
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+func rig(t *testing.T) (*sim.Scheduler, *fsim.FS, *fsim.ServerCache, *dafs.Client, *host.Host) {
+	t.Helper()
+	s := sim.New()
+	t.Cleanup(s.Close)
+	p := host.Default()
+	fab := netsim.NewFabric(s, p.SwitchLatency)
+	cfg := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
+	sh := host.New(s, "server", p)
+	sn := nic.New(sh, fab.AddPort("server", cfg))
+	fs := fsim.NewFS()
+	disk := fsim.NewDisk(s, "disk", p.DiskSeek, p.DiskBW)
+	sc := fsim.NewServerCache(fs, disk, 64*1024, 1<<16)
+	srv := dafs.NewServer(s, sn, fs, sc, false)
+	ch := host.New(s, "client", p)
+	cn := nic.New(ch, fab.AddPort("client", cfg))
+	return s, fs, sc, dafs.NewClient(s, cn, srv, nic.Poll, dafs.Direct), ch
+}
+
+func TestStreamReadsWholeFile(t *testing.T) {
+	s, fs, sc, c, _ := rig(t)
+	f, _ := fs.Create("data", 1<<22)
+	sc.Warm(f)
+	var res []StreamResult
+	s.Go("app", func(p *sim.Proc) {
+		var err error
+		res, err = Stream(p, c, StreamConfig{File: "data", BlockSize: 64 * 1024, Window: 4, Passes: 2})
+		if err != nil {
+			t.Errorf("stream: %v", err)
+		}
+	})
+	s.Run()
+	if len(res) != 2 {
+		t.Fatalf("passes %d", len(res))
+	}
+	for i, r := range res {
+		if r.Bytes != 1<<22 {
+			t.Fatalf("pass %d read %d bytes", i, r.Bytes)
+		}
+		if r.MBps() <= 0 {
+			t.Fatalf("pass %d zero throughput", i)
+		}
+	}
+}
+
+func TestStreamWindowPipelines(t *testing.T) {
+	measure := func(window int) sim.Duration {
+		s, fs, sc, c, _ := rig(t)
+		f, _ := fs.Create("data", 1<<21)
+		sc.Warm(f)
+		var el sim.Duration
+		s.Go("app", func(p *sim.Proc) {
+			res, err := Stream(p, c, StreamConfig{File: "data", BlockSize: 16 * 1024, Window: window, Passes: 1})
+			if err != nil {
+				t.Errorf("stream: %v", err)
+				return
+			}
+			el = res[0].Elapsed
+		})
+		s.Run()
+		return el
+	}
+	if w8, w1 := measure(8), measure(1); w8 >= w1 {
+		t.Fatalf("window 8 (%v) not faster than window 1 (%v)", w8, w1)
+	}
+}
+
+func TestStreamMissingFile(t *testing.T) {
+	s, _, _, c, _ := rig(t)
+	s.Go("app", func(p *sim.Proc) {
+		if _, err := Stream(p, c, StreamConfig{File: "ghost", BlockSize: 4096}); err == nil {
+			t.Error("stream of missing file succeeded")
+		}
+	})
+	s.Run()
+}
+
+func TestSmallIOSequentialAndRandom(t *testing.T) {
+	for _, seq := range []bool{true, false} {
+		s, fs, sc, c, _ := rig(t)
+		f, _ := fs.Create("data", 1<<22)
+		sc.Warm(f)
+		s.Go("app", func(p *sim.Proc) {
+			res, err := SmallIO(p, c, SmallIOConfig{
+				File: "data", IOSize: 4096, Count: 64, Window: 4, Seed: 5, Sequential: seq,
+			})
+			if err != nil {
+				t.Errorf("smallio(seq=%v): %v", seq, err)
+				return
+			}
+			if res.Bytes != 64*4096 {
+				t.Errorf("smallio(seq=%v) read %d bytes", seq, res.Bytes)
+			}
+		})
+		s.Run()
+	}
+}
+
+func TestSmallIOFileTooSmall(t *testing.T) {
+	s, fs, _, c, _ := rig(t)
+	fs.Create("tiny", 100)
+	s.Go("app", func(p *sim.Proc) {
+		if _, err := SmallIO(p, c, SmallIOConfig{File: "tiny", IOSize: 4096, Count: 4}); err == nil {
+			t.Error("smallio on tiny file succeeded")
+		}
+	})
+	s.Run()
+}
