@@ -12,6 +12,7 @@ package danas
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -109,6 +110,27 @@ func BenchmarkFig7(b *testing.B) {
 		}
 		if v, ok := tbl.Get(4, "DAFS (polling)"); ok {
 			b.ReportMetric(v, "DAFSpoll_4KB_MBps")
+		}
+	}
+}
+
+func BenchmarkScaling(b *testing.B) {
+	// The sweep's 30 cells are independent simulations; run them through
+	// the worker-pool runner at full width. Results are byte-identical
+	// to a serial run (see exper.RunJobs), so the reported metrics are
+	// stable across widths.
+	old := exper.Parallelism()
+	exper.SetParallelism(runtime.GOMAXPROCS(0))
+	defer exper.SetParallelism(old)
+	for i := 0; i < b.N; i++ {
+		rows := exper.Scaling(benchScale)
+		for _, r := range rows {
+			if r.Clients == 1 || r.Clients == 32 {
+				b.ReportMetric(r.AggMBps, unit(r.System, fmt.Sprintf("%dcli_MBps", r.Clients)))
+			}
+			if r.Clients == 32 {
+				b.ReportMetric(r.RespMicros, unit(r.System, "32cli_resp_us"))
+			}
 		}
 	}
 }

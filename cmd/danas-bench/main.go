@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	danas-bench [-scale f] [table2|table3|fig3|fig4|fig5|fig6|fig7|ablations|all]...
+//	danas-bench [-scale f] [-parallel n] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|ablations|all]...
 //
 // With no experiment arguments it runs everything. -scale shrinks file
 // sizes and operation counts (default 1.0, already reduced from paper
-// scale; the steady states are identical).
+// scale; the steady states are identical). -parallel runs each
+// experiment's cells across n OS workers; every cell owns an independent
+// simulation, so output is byte-identical to the serial run.
 package main
 
 import (
@@ -21,8 +23,10 @@ import (
 
 func main() {
 	scaleFlag := flag.Float64("scale", 1.0, "workload scale factor (file sizes, op counts)")
+	parallelFlag := flag.Int("parallel", 1, "worker-pool width for experiment cells (1 = serial)")
 	flag.Parse()
 	scale := exper.Scale(*scaleFlag)
+	exper.SetParallelism(*parallelFlag)
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -33,12 +37,15 @@ func main() {
 		"table3":    runTable3,
 		"fig3":      runFig3,
 		"fig4":      runFig4,
+		"fig34":     runFig34,
 		"fig5":      runFig5,
 		"fig6":      runFig6,
 		"fig7":      runFig7,
+		"scaling":   runScaling,
 		"ablations": runAblations,
 	}
-	order := []string{"table2", "fig3", "fig4", "fig5", "table3", "fig6", "fig7", "ablations"}
+	// "all" uses the combined fig34 so the Figure 3/4 sweep runs once.
+	order := []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "ablations"}
 	for _, a := range args {
 		if a == "all" {
 			for _, name := range order {
@@ -98,6 +105,18 @@ func runFig4(scale exper.Scale) {
 	fmt.Println()
 }
 
+// runFig34 prints Figures 3 and 4 from one sweep (each cell measures
+// both throughput and client CPU).
+func runFig34(scale exper.Scale) {
+	thr, cpu := exper.Fig34(scale)
+	fmt.Println("== Figure 3 ==")
+	fmt.Print(thr)
+	fmt.Println()
+	fmt.Println("== Figure 4 ==")
+	fmt.Print(cpu)
+	fmt.Println()
+}
+
 func runFig5(scale exper.Scale) {
 	fmt.Println("== Figure 5 ==")
 	fmt.Print(exper.Fig5(scale))
@@ -106,15 +125,29 @@ func runFig5(scale exper.Scale) {
 
 func runFig6(scale exper.Scale) {
 	fmt.Println("== Figure 6 ==")
-	fmt.Print(exper.Fig6(scale))
+	txns, cpu := exper.Fig6All(scale)
+	fmt.Print(txns)
 	fmt.Println()
-	fmt.Print(exper.Fig6ServerCPU(scale))
+	fmt.Print(cpu)
 	fmt.Println()
 }
 
 func runFig7(scale exper.Scale) {
 	fmt.Println("== Figure 7 ==")
 	fmt.Print(exper.Fig7(scale))
+	fmt.Println()
+}
+
+func runScaling(scale exper.Scale) {
+	fmt.Println("== Figure 8: multi-client scale-out ==")
+	thr, resp, cpu, link := exper.ScalingTables(exper.Scaling(scale))
+	fmt.Print(thr)
+	fmt.Println()
+	fmt.Print(resp)
+	fmt.Println()
+	fmt.Print(cpu)
+	fmt.Println()
+	fmt.Print(link)
 	fmt.Println()
 }
 

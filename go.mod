@@ -1,0 +1,3 @@
+module danas
+
+go 1.24

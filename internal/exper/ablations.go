@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"fmt"
+
 	"danas/internal/cache"
 	"danas/internal/core"
 	"danas/internal/dafs"
@@ -19,10 +21,18 @@ func AblationTLB(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Ablation A1: ORDMA latency vs NIC TLB miss cost (thrashing TLB)",
 		"miss cost us", "us", "mean latency (us)", "miss rate %")
 	n := scale.count(256)
-	for _, missUS := range []float64{9, 50, 200, 1000, 9000} {
-		mean, missRate := ablationTLBPoint(n, missUS)
-		t.Set(missUS, "mean latency (us)", mean)
-		t.Set(missUS, "miss rate %", missRate*100)
+	missCosts := []float64{9, 50, 200, 1000, 9000}
+	type cell struct{ mean, missRate float64 }
+	results := RunCells(len(missCosts),
+		func(i int) string { return fmt.Sprintf("ablationA1/miss%.0fus", missCosts[i]) },
+		func(i int) cell {
+			var c cell
+			c.mean, c.missRate = ablationTLBPoint(n, missCosts[i])
+			return c
+		})
+	for i, missUS := range missCosts {
+		t.Set(missUS, "mean latency (us)", results[i].mean)
+		t.Set(missUS, "miss rate %", results[i].missRate*100)
 	}
 	return t
 }
@@ -75,13 +85,12 @@ func AblationCapability(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Ablation A2: ORDMA 4KB read latency with capabilities",
 		"capabilities (0=off,1=on)", "us", "mean latency (us)")
 	n := scale.count(256)
-	for _, on := range []bool{false, true} {
-		x := 0.0
-		if on {
-			x = 1.0
-		}
-		t.Set(x, "mean latency (us)", ablationCapPoint(n, on))
-	}
+	names := []string{"ablationA2/caps-off", "ablationA2/caps-on"}
+	results := RunCells(len(names),
+		func(i int) string { return names[i] },
+		func(i int) float64 { return ablationCapPoint(n, i == 1) })
+	t.Set(0, "mean latency (us)", results[0])
+	t.Set(1, "mean latency (us)", results[1])
 	return t
 }
 
@@ -127,14 +136,18 @@ func AblationDirectory(scale Scale) *metrics.Table {
 		"policy (0=LRU,1=MQ)", "txns/s | %", "txns/s", "ORDMA rate %")
 	files := scale.count(1200)
 	txns := scale.count(6000)
-	for _, mq := range []bool{false, true} {
-		x := 0.0
-		if mq {
-			x = 1.0
-		}
-		tps, rate := ablationDirPoint(files, txns, mq)
-		t.Set(x, "txns/s", tps)
-		t.Set(x, "ORDMA rate %", rate*100)
+	type cell struct{ tps, rate float64 }
+	names := []string{"ablationA3/LRU", "ablationA3/MQ"}
+	results := RunCells(len(names),
+		func(i int) string { return names[i] },
+		func(i int) cell {
+			var c cell
+			c.tps, c.rate = ablationDirPoint(files, txns, i == 1)
+			return c
+		})
+	for i := range results {
+		t.Set(float64(i), "txns/s", results[i].tps)
+		t.Set(float64(i), "ORDMA rate %", results[i].rate*100)
 	}
 	return t
 }
@@ -186,8 +199,12 @@ func AblationBatchIO(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Ablation A4: batch I/O client CPU per read",
 		"batch size", "us", "client us/read")
 	n := scale.count(512)
-	for _, batch := range []int{1, 4, 16, 64} {
-		t.Set(float64(batch), "client us/read", ablationBatchPoint(n, batch))
+	batches := []int{1, 4, 16, 64}
+	results := RunCells(len(batches),
+		func(i int) string { return fmt.Sprintf("ablationA4/batch%d", batches[i]) },
+		func(i int) float64 { return ablationBatchPoint(n, batches[i]) })
+	for i, batch := range batches {
+		t.Set(float64(batch), "client us/read", results[i])
 	}
 	return t
 }
@@ -233,13 +250,18 @@ func AblationWriteRatio(scale Scale) *metrics.Table {
 		"read ratio %", "txns/s", "DAFS", "ODAFS")
 	files := scale.count(800)
 	txns := scale.count(6000)
-	for _, readPct := range []int{100, 90, 70, 50} {
-		for _, ordma := range []bool{false, true} {
-			name := "DAFS"
-			if ordma {
-				name = "ODAFS"
-			}
-			t.Set(float64(readPct), name, ablationWriteRatioPoint(files, txns, readPct, ordma))
+	readPcts := []int{100, 90, 70, 50}
+	systems := []string{"DAFS", "ODAFS"}
+	g := RunGrid(len(readPcts), len(systems),
+		func(ri, si int) string {
+			return fmt.Sprintf("ablationA6/read%d%%/%s", readPcts[ri], systems[si])
+		},
+		func(ri, si int) float64 {
+			return ablationWriteRatioPoint(files, txns, readPcts[ri], systems[si] == "ODAFS")
+		})
+	for ri, readPct := range readPcts {
+		for si, name := range systems {
+			t.Set(float64(readPct), name, g.At(ri, si))
 		}
 	}
 	return t
@@ -289,55 +311,62 @@ func AblationSuccessRate(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Ablation A5: ODAFS vs server-side reference validity",
 		"valid refs %", "MB/s", "ODAFS", "DAFS")
 	n := scale.count(2048)
-	for _, valid := range []float64{1.0, 0.75, 0.5, 0.25} {
-		o, d := ablationSuccessPoint(n, valid)
-		t.Set(valid*100, "ODAFS", o)
-		t.Set(valid*100, "DAFS", d)
+	valids := []float64{1.0, 0.75, 0.5, 0.25}
+	systems := []string{"ODAFS", "DAFS"}
+	g := RunGrid(len(valids), len(systems),
+		func(vi, si int) string {
+			return fmt.Sprintf("ablationA5/valid%.0f%%/%s", valids[vi]*100, systems[si])
+		},
+		func(vi, si int) float64 {
+			return ablationSuccessPoint(n, valids[vi], systems[si] == "ODAFS")
+		})
+	for vi, valid := range valids {
+		for si, name := range systems {
+			t.Set(valid*100, name, g.At(vi, si))
+		}
 	}
 	return t
 }
 
-func ablationSuccessPoint(n int, validFrac float64) (odafsMBps, dafsMBps float64) {
-	run := func(ordma bool) float64 {
-		cfg := DefaultClusterConfig()
-		cfg.ServerCacheBlockSize = 4096
-		cfg.ServerCacheBlocks = 4 * n
-		cl := NewCluster(cfg)
-		defer cl.Close()
-		fileSize := int64(n) * 4096
-		f, err := cl.FS.Create("a5", fileSize)
-		if err != nil {
+// ablationSuccessPoint runs one (validity fraction, system) cell.
+func ablationSuccessPoint(n int, validFrac float64, ordma bool) float64 {
+	cfg := DefaultClusterConfig()
+	cfg.ServerCacheBlockSize = 4096
+	cfg.ServerCacheBlocks = 4 * n
+	cl := NewCluster(cfg)
+	defer cl.Close()
+	fileSize := int64(n) * 4096
+	f, err := cl.FS.Create("a5", fileSize)
+	if err != nil {
+		panic(err)
+	}
+	cl.ServerCache.Warm(f)
+	client := cl.CachedClient(0, core.Config{
+		BlockSize:  4096,
+		DataBlocks: 32,
+		Headers:    2 * n,
+		UseORDMA:   ordma,
+	})
+	var mbps float64
+	cl.Go("bench", func(p *sim.Proc) {
+		h, _ := client.Open(p, "a5")
+		if err := client.PopulateDirectory(p, h); err != nil {
 			panic(err)
 		}
-		cl.ServerCache.Warm(f)
-		client := cl.CachedClient(0, core.Config{
-			BlockSize:  4096,
-			DataBlocks: 32,
-			Headers:    2 * n,
-			UseORDMA:   ordma,
-		})
-		var mbps float64
-		cl.Go("bench", func(p *sim.Proc) {
-			h, _ := client.Open(p, "a5")
-			if err := client.PopulateDirectory(p, h); err != nil {
+		// Invalidate a fraction of the exports server-side.
+		cl.ServerCache.EvictFraction(f, 1-validFrac, sim.NewRand(7))
+		cl.ServerNIC.TPT.WarmTLB()
+		start := p.Now()
+		var bytes int64
+		for off := int64(0); off < fileSize; off += 4096 {
+			got, err := client.Read(p, h, off, 4096, 1)
+			if err != nil {
 				panic(err)
 			}
-			// Invalidate a fraction of the exports server-side.
-			cl.ServerCache.EvictFraction(f, 1-validFrac, sim.NewRand(7))
-			cl.ServerNIC.TPT.WarmTLB()
-			start := p.Now()
-			var bytes int64
-			for off := int64(0); off < fileSize; off += 4096 {
-				got, err := client.Read(p, h, off, 4096, 1)
-				if err != nil {
-					panic(err)
-				}
-				bytes += got
-			}
-			mbps = float64(bytes) / 1e6 / p.Now().Sub(start).Seconds()
-		})
-		cl.Run()
-		return mbps
-	}
-	return run(true), run(false)
+			bytes += got
+		}
+		mbps = float64(bytes) / 1e6 / p.Now().Sub(start).Seconds()
+	})
+	cl.Run()
+	return mbps
 }

@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"fmt"
+
 	"danas/internal/metrics"
 	"danas/internal/sim"
 	"danas/internal/workload"
@@ -27,13 +29,22 @@ func Fig34(scale Scale) (throughput, cpu *metrics.Table) {
 		"block KB", "percent", "NFS pre-posting", "NFS hybrid", "DAFS")
 
 	fileSize := scale.bytes(96 << 20)
-	for _, kb := range Fig3BlockSizesKB {
-		block := int64(kb) * 1024
-		for _, system := range Systems {
-			mbps, util := fig3Point(system, fileSize, block)
-			throughput.Set(float64(kb), system, mbps)
+	type cell struct{ mbps, util float64 }
+	g := RunGrid(len(Fig3BlockSizesKB), len(Systems),
+		func(bi, si int) string {
+			return fmt.Sprintf("fig34/%dKB/%s", Fig3BlockSizesKB[bi], Systems[si])
+		},
+		func(bi, si int) cell {
+			var c cell
+			c.mbps, c.util = fig3Point(Systems[si], fileSize, int64(Fig3BlockSizesKB[bi])*1024)
+			return c
+		})
+	for bi, kb := range Fig3BlockSizesKB {
+		for si, system := range Systems {
+			r := g.At(bi, si)
+			throughput.Set(float64(kb), system, r.mbps)
 			if system != "NFS" {
-				cpu.Set(float64(kb), system, util*100)
+				cpu.Set(float64(kb), system, r.util*100)
 			}
 		}
 	}

@@ -27,17 +27,23 @@ func Fig5(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Figure 5: Berkeley DB asynchronous I/O throughput",
 		"copy KB/record", "MB/s", Systems...)
 	records := scale.count(160)
-	for _, system := range Systems {
-		for _, kb := range Fig5CopyKB {
-			copyBytes := int64(kb) * 1024
+	g := RunGrid(len(Systems), len(Fig5CopyKB),
+		func(si, ki int) string {
+			return fmt.Sprintf("fig5/%s/copy%dKB", Systems[si], Fig5CopyKB[ki])
+		},
+		func(si, ki int) float64 {
+			copyBytes := int64(Fig5CopyKB[ki]) * 1024
 			if copyBytes == 0 {
 				copyBytes = 1 // the paper's "one byte" point
 			}
 			if copyBytes > 60*1024 {
 				copyBytes = 60 * 1024
 			}
-			mbps := fig5Point(system, records, copyBytes)
-			t.Set(float64(kb), system, mbps)
+			return fig5Point(Systems[si], records, copyBytes)
+		})
+	for si, system := range Systems {
+		for ki, kb := range Fig5CopyKB {
+			t.Set(float64(kb), system, g.At(si, ki))
 		}
 	}
 	return t

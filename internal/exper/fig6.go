@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"fmt"
+
 	"danas/internal/core"
 	"danas/internal/metrics"
 	"danas/internal/postmark"
@@ -19,41 +21,61 @@ var Fig6HitRatios = []int{25, 50, 75}
 // at every hit ratio, and its server CPU use falls to zero once the
 // directory maps the server cache.
 func Fig6(scale Scale) *metrics.Table {
-	t := metrics.NewTable("Figure 6: PostMark read-only transaction throughput",
+	t, _ := Fig6All(scale)
+	return t
+}
+
+// Fig6All runs the Figure 6 sweep once and returns both the transaction
+// throughput table and its server-CPU companion — each cell computes
+// both quantities, so callers needing both (danas-bench) should use this
+// instead of Fig6 + Fig6ServerCPU, which would sweep twice.
+func Fig6All(scale Scale) (txns, cpu *metrics.Table) {
+	txns = metrics.NewTable("Figure 6: PostMark read-only transaction throughput",
 		"hit ratio %", "txns/s", "DAFS", "ODAFS")
+	cpu = metrics.NewTable("Figure 6 companion: server CPU utilization",
+		"hit ratio %", "percent", "DAFS", "ODAFS")
 	files := scale.count(800)
-	txns := scale.count(6000)
+	nTxns := scale.count(6000)
+	for _, c := range fig6Cells(files, nTxns) {
+		txns.Set(float64(c.ratio), c.name, c.tps)
+		cpu.Set(float64(c.ratio), c.name, c.util*100)
+	}
+	return txns, cpu
+}
+
+// fig6Cell is one (hit ratio, system) PostMark run.
+type fig6Cell struct {
+	ratio     int
+	name      string
+	tps, util float64
+}
+
+// fig6Cells runs every Figure 6 cell through the job runner.
+func fig6Cells(files, txns int) []fig6Cell {
+	var specs []fig6Cell
 	for _, ratio := range Fig6HitRatios {
 		for _, ordma := range []bool{false, true} {
 			name := "DAFS"
 			if ordma {
 				name = "ODAFS"
 			}
-			tps, _ := fig6Point(files, txns, ratio, ordma)
-			t.Set(float64(ratio), name, tps)
+			specs = append(specs, fig6Cell{ratio: ratio, name: name})
 		}
 	}
-	return t
+	return RunCells(len(specs),
+		func(i int) string { return fmt.Sprintf("fig6/%d%%/%s", specs[i].ratio, specs[i].name) },
+		func(i int) fig6Cell {
+			c := specs[i]
+			c.tps, c.util = fig6Point(files, txns, c.ratio, c.name == "ODAFS")
+			return c
+		})
 }
 
 // Fig6ServerCPU returns the server CPU utilization companion series the
 // paper quotes in prose (DAFS 30/25/20% falling; ODAFS ~0 once the
 // directory is populated).
 func Fig6ServerCPU(scale Scale) *metrics.Table {
-	t := metrics.NewTable("Figure 6 companion: server CPU utilization",
-		"hit ratio %", "percent", "DAFS", "ODAFS")
-	files := scale.count(800)
-	txns := scale.count(6000)
-	for _, ratio := range Fig6HitRatios {
-		for _, ordma := range []bool{false, true} {
-			name := "DAFS"
-			if ordma {
-				name = "ODAFS"
-			}
-			_, util := fig6Point(files, txns, ratio, ordma)
-			t.Set(float64(ratio), name, util*100)
-		}
-	}
+	_, t := Fig6All(scale)
 	return t
 }
 

@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"fmt"
+
 	"danas/internal/core"
 	"danas/internal/metrics"
 	"danas/internal/nic"
@@ -26,21 +28,37 @@ func Fig7(scale Scale) *metrics.Table {
 	t := metrics.NewTable("Figure 7: server throughput, two streaming clients",
 		"cache block KB", "MB/s", "DAFS", "DAFS (polling)", "ODAFS")
 	fileSize := scale.bytes(64 << 20)
+	type cell struct {
+		kb         int
+		series     string
+		ordma      bool
+		serverPoll bool
+	}
+	var cells []cell
 	for _, kb := range Fig7BlockSizesKB {
-		block := int64(kb) * 1024
-		t.Set(float64(kb), "DAFS", fig7Point(fileSize, block, false, false))
-		t.Set(float64(kb), "ODAFS", fig7Point(fileSize, block, true, false))
+		cells = append(cells,
+			cell{kb: kb, series: "DAFS"},
+			cell{kb: kb, series: "ODAFS", ordma: true})
 		if kb == 4 {
 			// The paper reports the polling variant at the 4 KB point,
 			// where the interrupt-bound gap is maximal.
-			t.Set(float64(kb), "DAFS (polling)", fig7Point(fileSize, block, false, true))
+			cells = append(cells, cell{kb: kb, series: "DAFS (polling)", serverPoll: true})
 		}
+	}
+	results := RunCells(len(cells),
+		func(i int) string { return fmt.Sprintf("fig7/%dKB/%s", cells[i].kb, cells[i].series) },
+		func(i int) float64 {
+			c := cells[i]
+			return fig7Point(fileSize, int64(c.kb)*1024, c.ordma, c.serverPoll)
+		})
+	for i, c := range cells {
+		t.Set(float64(c.kb), c.series, results[i])
 	}
 	return t
 }
 
 // fig7Point runs one cell: two clients, two passes, measuring aggregate
-// second-pass throughput.
+// second-pass throughput through the N-client barrier harness.
 func fig7Point(fileSize, block int64, ordma, serverPoll bool) float64 {
 	cfg := DefaultClusterConfig()
 	cfg.Clients = 2
@@ -71,60 +89,39 @@ func fig7Point(fileSize, block int64, ordma, serverPoll bool) float64 {
 		dataBlocks = headers / 2 // keep pass 2 missing locally
 	}
 
-	type clientRun struct {
-		res workload.StreamResult
-	}
-	runs := make([]clientRun, 2)
-	barrier := sim.NewSignal(cl.S)
-	arrived := 0
-	done := sim.NewSignal(cl.S)
-	finished := 0
-	var passStart sim.Time
-
-	for i := 0; i < 2; i++ {
-		i := i
-		client := cl.CachedClient(i, core.Config{
+	clients := make([]*core.Client, 2)
+	for i := range clients {
+		clients[i] = cl.CachedClient(i, core.Config{
 			BlockSize:  block,
 			DataBlocks: dataBlocks,
 			Headers:    headers,
 			UseORDMA:   ordma,
 		})
-		cl.Go("streamer", func(p *sim.Proc) {
-			// Pass 1: populate caches and (for ODAFS) the directory.
-			if _, err := workload.Stream(p, client, workload.StreamConfig{
-				File: "big", BlockSize: appBlock, Window: 2, Passes: 1,
-			}); err != nil {
-				panic(err)
-			}
-			// Barrier: both clients start pass 2 together.
-			arrived++
-			if arrived == 2 {
-				cl.ServerNIC.TPT.WarmTLB()
-				cl.ServerNIC.Port().MarkEpoch()
-				passStart = p.Now()
-				barrier.Fire()
-			}
-			barrier.Wait(p)
-			res, err := workload.Stream(p, client, workload.StreamConfig{
-				File: "big", BlockSize: appBlock, Window: 2, Passes: 1,
-			})
-			if err != nil {
-				panic(err)
-			}
-			runs[i].res = res[0]
-			finished++
-			if finished == 2 {
-				done.Fire()
-			}
-		})
 	}
-	var mbps float64
-	cl.Go("measure", func(p *sim.Proc) {
-		done.Wait(p)
-		elapsed := p.Now().Sub(passStart)
-		total := runs[0].res.Bytes + runs[1].res.Bytes
-		mbps = float64(total) / 1e6 / elapsed.Seconds()
+	pass := workload.StreamConfig{File: "big", BlockSize: appBlock, Window: 2, Passes: 1}
+	res := workload.GoMulti(cl.S, workload.MultiSpec{
+		Clients: 2,
+		// Pass 1: populate caches and (for ODAFS) the directory.
+		Warm: func(p *sim.Proc, i int) error {
+			_, err := workload.Stream(p, clients[i], pass)
+			return err
+		},
+		AtBarrier: func() {
+			cl.ServerNIC.TPT.WarmTLB()
+			cl.ServerNIC.Port().MarkEpoch()
+		},
+		// Pass 2: both clients stream together; aggregate is measured.
+		Measured: func(p *sim.Proc, i int) (workload.StreamResult, error) {
+			r, err := workload.Stream(p, clients[i], pass)
+			if err != nil {
+				return workload.StreamResult{}, err
+			}
+			return r[0], nil
+		},
 	})
 	cl.Run()
-	return mbps
+	if res.Err != nil {
+		panic(res.Err)
+	}
+	return res.AggregateMBps()
 }

@@ -1,0 +1,139 @@
+package exper
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Job is one self-contained experiment cell. Every cell builds its own
+// sim.Scheduler and Cluster, shares no state with any other cell, and
+// writes its result only into slots its generator pre-allocated for it.
+// That independence is what makes cells safe to execute concurrently,
+// and slot-addressed results are what keep the assembled tables
+// byte-identical at any worker-pool width: assembly order is fixed by
+// the generator, not by execution order.
+type Job struct {
+	// Name identifies the cell in panics ("fig7/4KB/ODAFS").
+	Name string
+	// Run computes the cell and stores its result in the slot the
+	// generator allocated for it. It must not touch shared state.
+	Run func()
+}
+
+var (
+	parMu       sync.RWMutex
+	parallelism = 1
+)
+
+// SetParallelism sets the worker-pool width every experiment generator
+// uses for its cells (cmd/danas-bench wires -parallel here; the root
+// benchmarks set it to GOMAXPROCS). Widths below 1 mean serial.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parMu.Lock()
+	parallelism = n
+	parMu.Unlock()
+}
+
+// Parallelism returns the current worker-pool width.
+func Parallelism() int {
+	parMu.RLock()
+	defer parMu.RUnlock()
+	return parallelism
+}
+
+// RunJobs executes jobs across a bounded worker pool of the given width;
+// width <= 1 runs them serially on the calling goroutine in order. At
+// every width all jobs run to completion even if one panics, and the
+// first panic is then re-raised on the caller's goroutine with the job
+// name attached.
+func RunJobs(workers int, jobs []Job) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var panicMu sync.Mutex
+	var firstPanic error
+	runOne := func(j Job) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if firstPanic == nil {
+					firstPanic = fmt.Errorf("exper: job %s: %v", j.Name, r)
+				}
+				panicMu.Unlock()
+			}
+		}()
+		j.Run()
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			runOne(j)
+		}
+	} else {
+		ch := make(chan Job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					runOne(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// runJobs executes jobs at the package-level parallelism.
+func runJobs(jobs []Job) { RunJobs(Parallelism(), jobs) }
+
+// Grid holds the results of a two-dimensional job fan-out, addressed by
+// the same (i, j) the cells were built from, so generators never
+// hand-maintain flat-index math in both their build and assembly loops.
+type Grid[T any] struct {
+	nj    int
+	cells []T
+}
+
+// At returns the (i, j) cell.
+func (g *Grid[T]) At(i, j int) T { return g.cells[i*g.nj+j] }
+
+// Flat returns the cells in row-major (i-major, j-minor) order.
+func (g *Grid[T]) Flat() []T { return g.cells }
+
+// RunCells is RunGrid's one-dimensional analogue: one job per index,
+// results returned in index order.
+func RunCells[T any](n int, name func(i int) string, fn func(i int) T) []T {
+	return RunGrid(n, 1,
+		func(i, _ int) string { return name(i) },
+		func(i, _ int) T { return fn(i) }).Flat()
+}
+
+// RunGrid executes one job per (i, j) cell of an ni×nj grid at the
+// package-level parallelism. name labels a cell's job for panic
+// attribution; fn computes the cell.
+func RunGrid[T any](ni, nj int, name func(i, j int) string, fn func(i, j int) T) *Grid[T] {
+	g := &Grid[T]{nj: nj, cells: make([]T, ni*nj)}
+	jobs := make([]Job, 0, ni*nj)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			slot := &g.cells[i*nj+j]
+			jobs = append(jobs, Job{
+				Name: name(i, j),
+				Run:  func() { *slot = fn(i, j) },
+			})
+		}
+	}
+	runJobs(jobs)
+	return g
+}

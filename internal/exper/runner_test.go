@@ -1,0 +1,96 @@
+package exper
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunJobsExecutesAll checks every job runs exactly once at several
+// pool widths, including widths above the job count.
+func TestRunJobsExecutesAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 100} {
+		const n = 40
+		counts := make([]int, n)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			slot := &counts[i]
+			jobs[i] = Job{Name: "job", Run: func() { *slot++ }}
+		}
+		RunJobs(workers, jobs)
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("workers=%d: job %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunJobsPanicCarriesName checks a panicking job surfaces on the
+// caller's goroutine with the job name attached, after every job has
+// run — at serial width and in the pool alike.
+func TestRunJobsPanicCarriesName(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		var ran atomic.Int32 // healthy jobs may run on distinct pool workers
+		jobs := []Job{
+			{Name: "fine/1", Run: func() { ran.Add(1) }},
+			{Name: "broken/cell", Run: func() { panic("boom") }},
+			{Name: "fine/2", Run: func() { ran.Add(1) }},
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic to propagate", workers)
+				}
+				msg, ok := r.(error)
+				if !ok || !strings.Contains(msg.Error(), "broken/cell") || !strings.Contains(msg.Error(), "boom") {
+					t.Errorf("workers=%d: panic %v does not name the failing job", workers, r)
+				}
+				if got := ran.Load(); got != 2 {
+					t.Errorf("workers=%d: healthy jobs ran %d times, want 2 (all jobs run before re-panic)", workers, got)
+				}
+			}()
+			RunJobs(workers, jobs)
+		}()
+	}
+}
+
+// TestParallelismClamp checks the package knob treats widths below one
+// as serial.
+func TestParallelismClamp(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(-3)
+	if got := Parallelism(); got != 1 {
+		t.Errorf("Parallelism() = %d after SetParallelism(-3), want 1", got)
+	}
+	SetParallelism(6)
+	if got := Parallelism(); got != 6 {
+		t.Errorf("Parallelism() = %d, want 6", got)
+	}
+}
+
+// TestParallelOutputByteIdentical is the determinism contract behind
+// danas-bench -parallel: a generator rendered from a parallel run must be
+// byte-identical to the serial run, because cells write only their own
+// slots and assembly order is fixed by the generator.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	SetParallelism(1)
+	serialT2 := Table2AsTable(Table2(tiny)).String()
+	serialF7 := Fig7(tiny).String()
+
+	SetParallelism(8)
+	parT2 := Table2AsTable(Table2(tiny)).String()
+	parF7 := Fig7(tiny).String()
+
+	if serialT2 != parT2 {
+		t.Errorf("Table 2 differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s", serialT2, parT2)
+	}
+	if serialF7 != parF7 {
+		t.Errorf("Figure 7 differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s", serialF7, parF7)
+	}
+}

@@ -1,0 +1,160 @@
+package exper
+
+import (
+	"fmt"
+
+	"danas/internal/core"
+	"danas/internal/metrics"
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/workload"
+)
+
+// ScalingClientCounts is the x-axis of the scale-out sweep: the number of
+// concurrent streaming clients attached to the one server.
+var ScalingClientCounts = []int{1, 2, 4, 8, 16, 32}
+
+// ScalingSystems lists all five evaluated protocols, in legend order.
+var ScalingSystems = []string{"NFS", "NFS pre-posting", "NFS hybrid", "DAFS", "ODAFS"}
+
+// scalingBlock is the unit of network I/O: the client cache block size
+// for the cached (O)DAFS clients and the server cache block size for
+// everyone. 16 KB sits in the region where Figure 7 shows DAFS
+// server-CPU-bound and ODAFS link-bound, so the protocols separate.
+const scalingBlock = 16 * 1024
+
+// scalingAppBlock is the application read size ("a large block size",
+// §5.2); the RDDP systems saturate the link at 64 KB in Figure 3.
+const scalingAppBlock = 64 * 1024
+
+// ScalingRow is one (system, client count) cell of the scale-out sweep.
+type ScalingRow struct {
+	System  string
+	Clients int
+	// AggMBps is aggregate server throughput over the measured pass
+	// (barrier to last client completion).
+	AggMBps float64
+	// RespMicros is the mean per-read response time across all clients.
+	RespMicros float64
+	// ServerCPUPct is server CPU utilization over the measured pass.
+	ServerCPUPct float64
+	// ServerLinkPct is the server uplink (server-to-client direction)
+	// utilization over the measured pass.
+	ServerLinkPct float64
+}
+
+// Scaling runs the "Figure 8"-style multi-client scale-out experiment the
+// paper stops short of (§5.2 ends at two clients): every protocol serves
+// a growing client workgroup, all clients streaming a file warm in the
+// server cache, generalizing Figure 7's two-client barrier pattern to N
+// clients. Reported per cell: aggregate throughput, mean per-op response
+// time, and server CPU and link utilization — the axes along which one
+// server saturates as the workgroup grows.
+func Scaling(scale Scale) []ScalingRow {
+	fileSize := scale.bytes(8 << 20)
+	g := RunGrid(len(ScalingClientCounts), len(ScalingSystems),
+		func(ci, si int) string {
+			return fmt.Sprintf("scaling/%dclients/%s", ScalingClientCounts[ci], ScalingSystems[si])
+		},
+		func(ci, si int) ScalingRow {
+			return scalingPoint(ScalingSystems[si], ScalingClientCounts[ci], fileSize)
+		})
+	return g.Flat()
+}
+
+// ScalingTables renders the sweep as one table per measured quantity.
+func ScalingTables(rows []ScalingRow) (thr, resp, cpu, link *metrics.Table) {
+	thr = metrics.NewTable("Figure 8: aggregate server throughput vs client count",
+		"clients", "MB/s", ScalingSystems...)
+	resp = metrics.NewTable("Figure 8 companion: mean per-read response time",
+		"clients", "us", ScalingSystems...)
+	cpu = metrics.NewTable("Figure 8 companion: server CPU utilization",
+		"clients", "percent", ScalingSystems...)
+	link = metrics.NewTable("Figure 8 companion: server link (tx) utilization",
+		"clients", "percent", ScalingSystems...)
+	for _, r := range rows {
+		x := float64(r.Clients)
+		thr.Set(x, r.System, r.AggMBps)
+		resp.Set(x, r.System, r.RespMicros)
+		cpu.Set(x, r.System, r.ServerCPUPct)
+		link.Set(x, r.System, r.ServerLinkPct)
+	}
+	return thr, resp, cpu, link
+}
+
+// scalingPoint runs one cell: n clients each stream the shared warm file
+// once to warm caches (and, for ODAFS, the reference directory),
+// rendezvous, then stream it again together while the server is measured.
+func scalingPoint(system string, clients int, fileSize int64) ScalingRow {
+	cfg := DefaultClusterConfig()
+	cfg.Clients = clients
+	cfg.ServerCacheBlockSize = scalingBlock
+	cfg.ServerCacheBlocks = int(fileSize/scalingBlock) + 64
+	cfg.Params.NICTLBSize = int(fileSize/4096) + 1024 // always hit, as §5.2 ensures
+	if cfg.NFSWorkers < clients {
+		cfg.NFSWorkers = clients // one nfsd per client, the usual sizing
+	}
+	cl := NewCluster(cfg)
+	defer cl.Close()
+	cl.CreateWarmFile("big", fileSize)
+
+	fileBlocks := int(fileSize / scalingBlock)
+	headers := fileBlocks + 64
+	dataBlocks := int(int64(8<<20) / scalingBlock) // 8 MB of client data cache
+	if dataBlocks > fileBlocks/2 {
+		dataBlocks = fileBlocks / 2 // keep the measured pass missing locally
+	}
+	if dataBlocks < 2 {
+		dataBlocks = 2
+	}
+	nodes := make([]nas.Client, clients)
+	for i := range nodes {
+		switch system {
+		case "DAFS", "ODAFS":
+			nodes[i] = cl.CachedClient(i, core.Config{
+				BlockSize:  scalingBlock,
+				DataBlocks: dataBlocks,
+				Headers:    headers,
+				UseORDMA:   system == "ODAFS",
+			})
+		default:
+			nodes[i] = cl.clientFor(system, i)
+		}
+	}
+
+	var perOp metrics.Hist
+	pass := workload.StreamConfig{File: "big", BlockSize: scalingAppBlock, Window: 2, Passes: 1}
+	measuredPass := pass
+	measuredPass.PerOp = perOp.Observe // sim is single-threaded: safe to share
+	res := workload.GoMulti(cl.S, workload.MultiSpec{
+		Clients: clients,
+		Warm: func(p *sim.Proc, i int) error {
+			_, err := workload.Stream(p, nodes[i], pass)
+			return err
+		},
+		AtBarrier: func() {
+			cl.ServerNIC.TPT.WarmTLB()
+			cl.ServerHost.CPU.MarkEpoch()
+			cl.ServerNIC.Port().MarkEpoch()
+		},
+		Measured: func(p *sim.Proc, i int) (workload.StreamResult, error) {
+			r, err := workload.Stream(p, nodes[i], measuredPass)
+			if err != nil {
+				return workload.StreamResult{}, err
+			}
+			return r[0], nil
+		},
+	})
+	cl.Run()
+	if res.Err != nil {
+		panic(fmt.Sprintf("scaling %s/%d clients: %v", system, clients, res.Err))
+	}
+	return ScalingRow{
+		System:        system,
+		Clients:       clients,
+		AggMBps:       res.AggregateMBps(),
+		RespMicros:    perOp.Mean().Micros(),
+		ServerCPUPct:  cl.ServerHost.CPU.Utilization() * 100,
+		ServerLinkPct: cl.ServerNIC.Port().TxUtilization() * 100,
+	}
+}

@@ -20,12 +20,34 @@ type Table2Row struct {
 // calibration anchors (paper: GM 23us/244MB/s, VI poll 23/244, VI block
 // 53/244, UDP 80us/166MB/s).
 func Table2(scale Scale) []Table2Row {
-	return []Table2Row{
-		{"GM", gmRTT(), gmBW(scale)},
-		{"VI poll", viRTT(nic.Poll), viBW(scale)},
-		{"VI block", viRTT(nic.Intr), viBW(scale)},
-		{"UDP/Ethernet", udpRTT(), udpBW(scale)},
+	specs := []struct {
+		protocol string
+		rtt, bw  func() float64
+	}{
+		{"GM", gmRTT, func() float64 { return gmBW(scale) }},
+		{"VI poll", func() float64 { return viRTT(nic.Poll) }, func() float64 { return viBW(scale) }},
+		{"VI block", func() float64 { return viRTT(nic.Intr) }, func() float64 { return viBW(scale) }},
+		{"UDP/Ethernet", udpRTT, func() float64 { return udpBW(scale) }},
 	}
+	g := RunGrid(len(specs), 2,
+		func(i, j int) string {
+			kind := "rtt"
+			if j == 1 {
+				kind = "bw"
+			}
+			return "table2/" + specs[i].protocol + "/" + kind
+		},
+		func(i, j int) float64 {
+			if j == 0 {
+				return specs[i].rtt()
+			}
+			return specs[i].bw()
+		})
+	rows := make([]Table2Row, len(specs))
+	for i, s := range specs {
+		rows[i] = Table2Row{Protocol: s.protocol, RTTMicros: g.At(i, 0), MBps: g.At(i, 1)}
+	}
+	return rows
 }
 
 // Table2AsTable renders rows for display.

@@ -26,11 +26,31 @@ type Table3Row struct {
 // claim is ORDMA ~36% below direct RPC.
 func Table3(scale Scale) []Table3Row {
 	n := scale.count(512) // 4KB reads measured per cell
-	return []Table3Row{
-		{"RPC in-line read", rawLatency(n, "inline"), cachedLatency(n, "inline")},
-		{"RPC direct read", rawLatency(n, "direct"), cachedLatency(n, "direct")},
-		{"ORDMA read", rawLatency(n, "ordma"), cachedLatency(n, "ordma")},
+	rows := []Table3Row{
+		{Mechanism: "RPC in-line read"},
+		{Mechanism: "RPC direct read"},
+		{Mechanism: "ORDMA read"},
 	}
+	mechanisms := []string{"inline", "direct", "ordma"}
+	g := RunGrid(len(mechanisms), 2,
+		func(mi, ci int) string {
+			kind := "inmem"
+			if ci == 1 {
+				kind = "incache"
+			}
+			return "table3/" + mechanisms[mi] + "/" + kind
+		},
+		func(mi, ci int) float64 {
+			if ci == 0 {
+				return rawLatency(n, mechanisms[mi])
+			}
+			return cachedLatency(n, mechanisms[mi])
+		})
+	for i := range rows {
+		rows[i].InMemMicros = g.At(i, 0)
+		rows[i].InCacheMicros = g.At(i, 1)
+	}
+	return rows
 }
 
 // Table3AsTable renders rows.

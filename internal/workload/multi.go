@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// MultiSpec drives N concurrent clients through a warm phase, a
+// rendezvous barrier, and a measured phase. It is the generalization of
+// the paper's two-client Figure 7 run (both clients stream the file once
+// to warm caches, rendezvous, then stream again while the server is
+// measured) to arbitrary client counts, used by the multi-client
+// scale-out experiment.
+type MultiSpec struct {
+	// Clients is the number of concurrent client processes.
+	Clients int
+	// Warm, when non-nil, runs once per client before the barrier
+	// (cache and — for ODAFS — reference-directory warm-up). A warm
+	// error is recorded on the result and the client skips its measured
+	// phase, but it still reaches the barrier so the rest of the fleet
+	// is not deadlocked.
+	Warm func(p *sim.Proc, i int) error
+	// AtBarrier, when non-nil, runs exactly once: after the last client
+	// has finished warming and before any client starts its measured
+	// phase. Experiments mark measurement epochs here (server CPU, link
+	// utilization, NIC TLB warm).
+	AtBarrier func()
+	// Measured runs per client after the barrier and returns what that
+	// client moved.
+	Measured func(p *sim.Proc, i int) (StreamResult, error)
+}
+
+// MultiResult collects a MultiSpec run. It is filled in as the
+// simulation executes; read it only after the scheduler has quiesced.
+type MultiResult struct {
+	// PerClient holds each client's measured-phase result, indexed by
+	// client number.
+	PerClient []StreamResult
+	// Start is the barrier-release instant; Elapsed spans from Start to
+	// the completion of the slowest client's measured phase.
+	Start   sim.Time
+	Elapsed sim.Duration
+	// Err is the first warm or measured error, if any.
+	Err error
+}
+
+// AggregateBytes returns the total bytes moved in the measured phase.
+func (r *MultiResult) AggregateBytes() int64 {
+	var total int64
+	for _, c := range r.PerClient {
+		total += c.Bytes
+	}
+	return total
+}
+
+// AggregateOps returns the total operations issued in the measured phase.
+func (r *MultiResult) AggregateOps() int64 {
+	var total int64
+	for _, c := range r.PerClient {
+		total += c.Ops
+	}
+	return total
+}
+
+// AggregateMBps returns the aggregate measured-phase throughput in MB/s
+// (10^6 bytes per second, the paper's unit) over the barrier-to-last-
+// completion interval.
+func (r *MultiResult) AggregateMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.AggregateBytes()) / 1e6 / r.Elapsed.Seconds()
+}
+
+// GoMulti spawns the spec's client processes on s and returns the result
+// holder. The caller then drives the scheduler (s.Run) and reads the
+// result once quiescent.
+func GoMulti(s *sim.Scheduler, spec MultiSpec) *MultiResult {
+	n := spec.Clients
+	if n < 1 {
+		panic("workload: MultiSpec.Clients must be >= 1")
+	}
+	res := &MultiResult{PerClient: make([]StreamResult, n)}
+	barrier := sim.NewSignal(s)
+	arrived, finished := 0, 0
+	for i := 0; i < n; i++ {
+		s.Go(fmt.Sprintf("multi-client%d", i), func(p *sim.Proc) {
+			warmErr := error(nil)
+			if spec.Warm != nil {
+				warmErr = spec.Warm(p, i)
+				if warmErr != nil && res.Err == nil {
+					res.Err = warmErr
+				}
+			}
+			arrived++
+			if arrived == n {
+				if spec.AtBarrier != nil {
+					spec.AtBarrier()
+				}
+				res.Start = p.Now()
+				barrier.Fire()
+			}
+			barrier.Wait(p)
+			if warmErr == nil {
+				r, err := spec.Measured(p, i)
+				if err != nil && res.Err == nil {
+					res.Err = err
+				}
+				res.PerClient[i] = r
+			}
+			finished++
+			if finished == n {
+				res.Elapsed = p.Now().Sub(res.Start)
+			}
+		})
+	}
+	return res
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"danas/internal/sim"
+)
+
+// TestGoMultiBarrierSemantics checks the rendezvous contract: no client
+// starts its measured phase before the last client has warmed, AtBarrier
+// runs exactly once at that instant, and the elapsed interval spans the
+// barrier to the slowest client's completion.
+func TestGoMultiBarrierSemantics(t *testing.T) {
+	s := sim.New()
+	t.Cleanup(s.Close)
+	const n = 5
+	warmDone := make([]bool, n)
+	atBarrierCalls := 0
+	var barrierAt sim.Time
+	res := GoMulti(s, MultiSpec{
+		Clients: n,
+		Warm: func(p *sim.Proc, i int) error {
+			// Stagger warm phases: client i warms for (i+1) ms.
+			p.Sleep(sim.Millis(float64(i + 1)))
+			warmDone[i] = true
+			return nil
+		},
+		AtBarrier: func() {
+			atBarrierCalls++
+			for i, done := range warmDone {
+				if !done {
+					t.Errorf("AtBarrier ran before client %d warmed", i)
+				}
+			}
+		},
+		Measured: func(p *sim.Proc, i int) (StreamResult, error) {
+			if barrierAt == 0 {
+				barrierAt = p.Now()
+			} else if p.Now() != barrierAt {
+				t.Errorf("client %d started measured phase at %v, want %v", i, p.Now(), barrierAt)
+			}
+			p.Sleep(sim.Millis(float64(i + 1)))
+			return StreamResult{Bytes: int64(1000 * (i + 1)), Ops: int64(i + 1), Elapsed: sim.Millis(float64(i + 1))}, nil
+		},
+	})
+	s.Run()
+	if res.Err != nil {
+		t.Fatalf("err: %v", res.Err)
+	}
+	if atBarrierCalls != 1 {
+		t.Errorf("AtBarrier called %d times, want 1", atBarrierCalls)
+	}
+	if res.Start != barrierAt {
+		t.Errorf("Start %v, want barrier instant %v", res.Start, barrierAt)
+	}
+	// Slowest client measures for n ms.
+	if res.Elapsed != sim.Millis(n) {
+		t.Errorf("Elapsed %v, want %v", res.Elapsed, sim.Millis(n))
+	}
+	if got, want := res.AggregateBytes(), int64(1000*(1+2+3+4+5)); got != want {
+		t.Errorf("AggregateBytes %d, want %d", got, want)
+	}
+	if got, want := res.AggregateOps(), int64(1+2+3+4+5); got != want {
+		t.Errorf("AggregateOps %d, want %d", got, want)
+	}
+	if res.AggregateMBps() <= 0 {
+		t.Errorf("AggregateMBps %f, want > 0", res.AggregateMBps())
+	}
+}
+
+// TestGoMultiWarmErrorDoesNotDeadlock checks that a client failing its
+// warm phase still reaches the barrier (so the fleet completes) and that
+// the error is surfaced.
+func TestGoMultiWarmErrorDoesNotDeadlock(t *testing.T) {
+	s := sim.New()
+	t.Cleanup(s.Close)
+	boom := errors.New("warm failed")
+	measured := 0
+	res := GoMulti(s, MultiSpec{
+		Clients: 3,
+		Warm: func(p *sim.Proc, i int) error {
+			if i == 1 {
+				return boom
+			}
+			return nil
+		},
+		Measured: func(p *sim.Proc, i int) (StreamResult, error) {
+			measured++
+			return StreamResult{Bytes: 1}, nil
+		},
+	})
+	s.Run()
+	if !errors.Is(res.Err, boom) {
+		t.Errorf("Err = %v, want %v", res.Err, boom)
+	}
+	if measured != 2 {
+		t.Errorf("measured phase ran for %d clients, want 2 (failed client skips)", measured)
+	}
+	if res.AggregateBytes() != 2 {
+		t.Errorf("AggregateBytes %d, want 2", res.AggregateBytes())
+	}
+}
+
+// TestGoMultiStream drives real DAFS clients through GoMulti against one
+// server, the same shape the scale-out experiment uses.
+func TestGoMultiStream(t *testing.T) {
+	s, fs, sc, c, _ := rig(t)
+	const fileSize = 1 << 21
+	f, _ := fs.Create("data", fileSize)
+	sc.Warm(f)
+	// Both "clients" share one mounted client here; the harness only
+	// coordinates processes, so this still exercises the full path.
+	res := GoMulti(s, MultiSpec{
+		Clients: 2,
+		Warm: func(p *sim.Proc, i int) error {
+			_, err := Stream(p, c, StreamConfig{File: "data", BlockSize: 64 * 1024, Window: 2, Passes: 1})
+			return err
+		},
+		Measured: func(p *sim.Proc, i int) (StreamResult, error) {
+			r, err := Stream(p, c, StreamConfig{File: "data", BlockSize: 64 * 1024, Window: 2, Passes: 1})
+			if err != nil {
+				return StreamResult{}, err
+			}
+			return r[0], nil
+		},
+	})
+	s.Run()
+	if res.Err != nil {
+		t.Fatalf("err: %v", res.Err)
+	}
+	if got, want := res.AggregateBytes(), int64(2*fileSize); got != want {
+		t.Errorf("AggregateBytes %d, want %d", got, want)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed %v, want > 0", res.Elapsed)
+	}
+	wantOps := int64(2 * fileSize / (64 * 1024))
+	if got := res.AggregateOps(); got != wantOps {
+		t.Errorf("AggregateOps %d, want %d", got, wantOps)
+	}
+}
+
+// TestStreamPerOpObserver checks the per-op latency hook fires once per
+// block read with a positive duration.
+func TestStreamPerOpObserver(t *testing.T) {
+	s, fs, sc, c, _ := rig(t)
+	f, _ := fs.Create("data", 1<<20)
+	sc.Warm(f)
+	var lats []sim.Duration
+	s.Go("app", func(p *sim.Proc) {
+		res, err := Stream(p, c, StreamConfig{
+			File: "data", BlockSize: 64 * 1024, Window: 2, Passes: 1,
+			PerOp: func(d sim.Duration) { lats = append(lats, d) },
+		})
+		if err != nil {
+			t.Errorf("stream: %v", err)
+			return
+		}
+		if res[0].Ops != int64(len(lats)) {
+			t.Errorf("Ops %d != observed latencies %d", res[0].Ops, len(lats))
+		}
+	})
+	s.Run()
+	if want := 1 << 20 / (64 * 1024); len(lats) != want {
+		t.Fatalf("observed %d latencies, want %d", len(lats), want)
+	}
+	for i, d := range lats {
+		if d <= 0 {
+			t.Errorf("latency[%d] = %v, want > 0", i, d)
+		}
+	}
+}

@@ -21,11 +21,15 @@ type StreamConfig struct {
 	// Passes over the file (the server-throughput experiments read the
 	// file twice and measure the second pass).
 	Passes int
+	// PerOp, when non-nil, observes the response time of every block
+	// read (the scale-out experiment's per-op latency series).
+	PerOp func(sim.Duration)
 }
 
 // StreamResult reports one pass.
 type StreamResult struct {
 	Bytes   int64
+	Ops     int64
 	Elapsed sim.Duration
 }
 
@@ -57,6 +61,7 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 		start := p.Now()
 		var next int64
 		var total int64
+		var ops int64
 		var firstErr error
 		done := sim.NewSignal(s)
 		remaining := cfg.Window
@@ -75,6 +80,7 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 						return
 					}
 					next += cfg.BlockSize
+					opStart := wp.Now()
 					n, err := c.Read(wp, h, off, cfg.BlockSize, bufID)
 					if err != nil {
 						if firstErr == nil {
@@ -82,7 +88,11 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 						}
 						return
 					}
+					if cfg.PerOp != nil {
+						cfg.PerOp(wp.Now().Sub(opStart))
+					}
 					total += n
+					ops++
 				}
 			})
 		}
@@ -90,7 +100,7 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 		if firstErr != nil {
 			return nil, firstErr
 		}
-		results = append(results, StreamResult{Bytes: total, Elapsed: p.Now().Sub(start)})
+		results = append(results, StreamResult{Bytes: total, Ops: ops, Elapsed: p.Now().Sub(start)})
 	}
 	return results, nil
 }
@@ -132,6 +142,7 @@ func SmallIO(p *sim.Proc, c nas.Client, cfg SmallIOConfig) (StreamResult, error)
 	}
 	start := p.Now()
 	var total int64
+	var ops int64
 	var firstErr error
 	idx := 0
 	done := sim.NewSignal(s)
@@ -159,6 +170,7 @@ func SmallIO(p *sim.Proc, c nas.Client, cfg SmallIOConfig) (StreamResult, error)
 					return
 				}
 				total += n
+				ops++
 			}
 		})
 	}
@@ -166,5 +178,5 @@ func SmallIO(p *sim.Proc, c nas.Client, cfg SmallIOConfig) (StreamResult, error)
 	if firstErr != nil {
 		return StreamResult{}, firstErr
 	}
-	return StreamResult{Bytes: total, Elapsed: p.Now().Sub(start)}, nil
+	return StreamResult{Bytes: total, Ops: ops, Elapsed: p.Now().Sub(start)}, nil
 }
