@@ -135,6 +135,29 @@ func BenchmarkScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkScalingGrid(b *testing.B) {
+	// The clients×shards grid at a reduced scale: its 120 cells are
+	// independent simulations run through the worker-pool runner at full
+	// width, byte-identical to serial. Reported: the saturated corner
+	// (32 clients) per shard count, showing aggregate fleet throughput
+	// scaling with servers.
+	old := exper.Parallelism()
+	exper.SetParallelism(runtime.GOMAXPROCS(0))
+	defer exper.SetParallelism(old)
+	for i := 0; i < b.N; i++ {
+		rows := exper.ScalingGrid(exper.Scale(0.05))
+		for _, r := range rows {
+			if r.Clients != 32 {
+				continue
+			}
+			b.ReportMetric(r.AggMBps, unit(r.System, fmt.Sprintf("%dshard_MBps", r.Shards)))
+			if r.Shards == 8 {
+				b.ReportMetric(r.MaxShardCPUPct(), unit(r.System, "8shard_maxcpu_pct"))
+			}
+		}
+	}
+}
+
 func BenchmarkAblationTLB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tbl := exper.AblationTLB(exper.Scale(0.05))

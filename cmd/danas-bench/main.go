@@ -4,48 +4,91 @@
 //
 // Usage:
 //
-//	danas-bench [-scale f] [-parallel n] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|ablations|all]...
+//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|all]...
 //
-// With no experiment arguments it runs everything. -scale shrinks file
-// sizes and operation counts (default 1.0, already reduced from paper
-// scale; the steady states are identical). -parallel runs each
-// experiment's cells across n OS workers; every cell owns an independent
-// simulation, so output is byte-identical to the serial run.
+// With no experiment arguments it runs everything. Experiments can be
+// named positionally or via -exper (comma-separated); the two forms
+// combine. -scale shrinks file sizes and operation counts (default 1.0,
+// already reduced from paper scale; the steady states are identical).
+// -parallel runs each experiment's cells across n OS workers; every cell
+// owns an independent simulation, so output is byte-identical to the
+// serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"danas/internal/exper"
 )
 
+// known maps every runnable experiment name to its generator.
+var known = map[string]func(exper.Scale){
+	"table2":       runTable2,
+	"table3":       runTable3,
+	"fig3":         runFig3,
+	"fig4":         runFig4,
+	"fig34":        runFig34,
+	"fig5":         runFig5,
+	"fig6":         runFig6,
+	"fig7":         runFig7,
+	"scaling":      runScaling,
+	"scaling-grid": runScalingGrid,
+	"ablations":    runAblations,
+}
+
+// order is what "all" runs; it uses the combined fig34 so the Figure 3/4
+// sweep runs once.
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations"}
+
+// validNames returns every accepted experiment argument, sorted.
+func validNames() []string {
+	names := make([]string, 0, len(known)+1)
+	for n := range known {
+		names = append(names, n)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return names
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "danas-bench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	scaleFlag := flag.Float64("scale", 1.0, "workload scale factor (file sizes, op counts)")
 	parallelFlag := flag.Int("parallel", 1, "worker-pool width for experiment cells (1 = serial)")
+	experFlag := flag.String("exper", "", "comma-separated experiment names to run (combines with positional args)")
 	flag.Parse()
+	if *scaleFlag <= 0 {
+		usageErr("-scale must be positive, got %g", *scaleFlag)
+	}
+	if *parallelFlag < 1 {
+		usageErr("-parallel must be at least 1, got %d", *parallelFlag)
+	}
 	scale := exper.Scale(*scaleFlag)
 	exper.SetParallelism(*parallelFlag)
 
 	args := flag.Args()
+	for _, name := range strings.Split(*experFlag, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			args = append(args, name)
+		}
+	}
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
-	known := map[string]func(exper.Scale){
-		"table2":    runTable2,
-		"table3":    runTable3,
-		"fig3":      runFig3,
-		"fig4":      runFig4,
-		"fig34":     runFig34,
-		"fig5":      runFig5,
-		"fig6":      runFig6,
-		"fig7":      runFig7,
-		"scaling":   runScaling,
-		"ablations": runAblations,
+	// Validate every name before running anything.
+	for _, a := range args {
+		if _, ok := known[a]; !ok && a != "all" {
+			usageErr("unknown experiment %q (valid: %s)", a, strings.Join(validNames(), " "))
+		}
 	}
-	// "all" uses the combined fig34 so the Figure 3/4 sweep runs once.
-	order := []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "ablations"}
 	for _, a := range args {
 		if a == "all" {
 			for _, name := range order {
@@ -53,12 +96,7 @@ func main() {
 			}
 			continue
 		}
-		fn, ok := known[a]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "danas-bench: unknown experiment %q\n", a)
-			os.Exit(2)
-		}
-		fn(scale)
+		known[a](scale)
 	}
 }
 
@@ -148,6 +186,12 @@ func runScaling(scale exper.Scale) {
 	fmt.Print(cpu)
 	fmt.Println()
 	fmt.Print(link)
+	fmt.Println()
+}
+
+func runScalingGrid(scale exper.Scale) {
+	fmt.Println("== Figure 9: clients × shards scaling grid ==")
+	fmt.Print(exper.FormatScalingGrid(exper.ScalingGrid(scale)))
 	fmt.Println()
 }
 

@@ -20,6 +20,14 @@
 //
 // The same cache layer with ORDMA disabled is the plain cached-DAFS client
 // the paper compares against in Table 3, Figure 6 and Figure 7.
+//
+// The client also scales past one server: NewStripedClient mounts the
+// same cache over a fleet of DAFS servers striped by block range
+// (internal/stripe). There is still a single client-side block cache; the
+// reference directory partitions into per-shard directories by
+// construction, because a block's offset statically determines the shard
+// whose export space its reference points into, so every ORDMA get is
+// issued on the owning shard's session.
 package core
 
 import (
@@ -31,6 +39,7 @@ import (
 	"danas/internal/nas"
 	"danas/internal/nic"
 	"danas/internal/sim"
+	"danas/internal/stripe"
 )
 
 // arenaBufID identifies the cache's registered block arena in the
@@ -70,14 +79,18 @@ type Stats struct {
 	LocalOpens     uint64 // opens satisfied by an open delegation
 }
 
-// Client is the cached (O)DAFS client.
+// Client is the cached (O)DAFS client: one block cache fronting one DAFS
+// session per shard.
 type Client struct {
-	inner *dafs.Client
-	h     *host.Host
-	c     *cache.Cache
-	cfg   Config
+	inners []*dafs.Client
+	layout stripe.Layout
+	h      *host.Host
+	c      *cache.Cache
+	cfg    Config
 
-	delegations map[string]*nas.Handle
+	// delegations maps an open name to its per-shard handles; index 0 is
+	// the canonical handle the application holds.
+	delegations map[string][]*nas.Handle
 	// inflight coalesces concurrent fetches of the same block: later
 	// readers wait for the first fetch instead of duplicating it.
 	inflight map[cache.Key]*sim.Signal
@@ -87,13 +100,31 @@ type Client struct {
 
 var _ nas.Client = (*Client)(nil)
 
-// NewClient mounts a cached client on clientNIC against srv. For ODAFS
-// semantics the server must have been created optimistic; a non-optimistic
-// server simply never piggybacks references, so UseORDMA degenerates to
-// DAFS (every miss is an RPC).
+// NewClient mounts a cached client on clientNIC against a single srv. For
+// ODAFS semantics the server must have been created optimistic; a
+// non-optimistic server simply never piggybacks references, so UseORDMA
+// degenerates to DAFS (every miss is an RPC).
 func NewClient(s *sim.Scheduler, clientNIC *nic.NIC, srv *dafs.Server, mode nic.NotifyMode, cfg Config) *Client {
+	return NewStripedClient(s, clientNIC, []*dafs.Server{srv}, mode, cfg, stripe.Single())
+}
+
+// NewStripedClient mounts a cached client over one DAFS server per layout
+// shard. Block fetches route to the shard owning the block's offset; the
+// client cache is shared across shards, and a remote reference installed
+// from shard i's reply is only ever exercised against shard i because the
+// layout is static.
+func NewStripedClient(s *sim.Scheduler, clientNIC *nic.NIC, srvs []*dafs.Server, mode nic.NotifyMode, cfg Config, layout stripe.Layout) *Client {
 	if cfg.BlockSize <= 0 || cfg.DataBlocks <= 0 {
 		panic("core: config needs positive block size and data capacity")
+	}
+	if err := layout.Validate(); err != nil {
+		panic(err)
+	}
+	if len(srvs) != layout.Shards {
+		panic(fmt.Sprintf("core: %d servers for %d shards", len(srvs), layout.Shards))
+	}
+	if layout.Shards > 1 && layout.Unit%cfg.BlockSize != 0 {
+		panic(fmt.Sprintf("core: stripe unit %d not a multiple of cache block size %d", layout.Unit, cfg.BlockSize))
 	}
 	if cfg.Headers < cfg.DataBlocks {
 		cfg.Headers = cfg.DataBlocks
@@ -106,12 +137,17 @@ func NewClient(s *sim.Scheduler, clientNIC *nic.NIC, srv *dafs.Server, mode nic.
 	if cfg.InlineRPC {
 		transfer = dafs.Inline
 	}
+	inners := make([]*dafs.Client, len(srvs))
+	for i, srv := range srvs {
+		inners[i] = dafs.NewClient(s, clientNIC, srv, mode, transfer)
+	}
 	return &Client{
-		inner:       dafs.NewClient(s, clientNIC, srv, mode, transfer),
+		inners:      inners,
+		layout:      layout,
 		h:           clientNIC.Host(),
 		c:           cache.New(cfg.BlockSize, cfg.DataBlocks, cfg.Headers, opts...),
 		cfg:         cfg,
-		delegations: make(map[string]*nas.Handle),
+		delegations: make(map[string][]*nas.Handle),
 		inflight:    make(map[cache.Key]*sim.Signal),
 	}
 }
@@ -130,24 +166,42 @@ func (c *Client) Stats() Stats { return c.stats }
 // CacheStats exposes the underlying block cache counters.
 func (c *Client) CacheStats() cache.Stats { return c.c.Stats() }
 
-// Inner returns the underlying DAFS session client.
-func (c *Client) Inner() *dafs.Client { return c.inner }
+// Inner returns the underlying DAFS session client for shard 0.
+func (c *Client) Inner() *dafs.Client { return c.inners[0] }
 
-// Open implements nas.Client. After the first open of a file the server
-// grants an open delegation, so subsequent opens and closes are satisfied
-// locally (§5.2, "Effect of client caching").
+// Layout returns the striping scheme (stripe.Single() when unstriped).
+func (c *Client) Layout() stripe.Layout { return c.layout }
+
+// shardHandle resolves the per-shard handle for h, falling back to h
+// itself (always correct on shard 0, whose handle is canonical).
+func (c *Client) shardHandle(h *nas.Handle, shard int) *nas.Handle {
+	if hs, ok := c.delegations[h.Name]; ok && shard < len(hs) {
+		return hs[shard]
+	}
+	return h
+}
+
+// Open implements nas.Client. After the first open of a file — which
+// resolves it on every shard — the servers grant an open delegation, so
+// subsequent opens and closes are satisfied locally (§5.2, "Effect of
+// client caching").
 func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
-	if h, ok := c.delegations[name]; ok {
+	if hs, ok := c.delegations[name]; ok {
 		c.stats.LocalOpens++
 		c.h.Compute(p, c.h.P.CacheLookup)
-		return h, nil
+		return hs[0], nil
 	}
-	h, err := c.inner.Open(p, name)
+	hs := make([]*nas.Handle, len(c.inners))
+	err := stripe.FanOut(p, len(c.inners), "odafs-open", func(wp *sim.Proc, i int) error {
+		h, err := c.inners[i].Open(wp, name)
+		hs[i] = h
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	c.delegations[name] = h
-	return h, nil
+	c.delegations[name] = hs
+	return hs[0], nil
 }
 
 // Close implements nas.Client: local under a delegation.
@@ -163,29 +217,37 @@ func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
 		c.h.Compute(p, c.h.P.CacheLookup)
 		return h.Size, nil
 	}
-	return c.inner.Getattr(p, h)
+	return c.inners[0].Getattr(p, h)
 }
 
-// Create implements nas.Client.
+// Create implements nas.Client: the name is created on every shard
+// concurrently.
 func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
-	h, err := c.inner.Create(p, name)
+	hs := make([]*nas.Handle, len(c.inners))
+	err := stripe.FanOut(p, len(c.inners), "odafs-create", func(wp *sim.Proc, i int) error {
+		h, err := c.inners[i].Create(wp, name)
+		hs[i] = h
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	c.delegations[name] = h
-	return h, nil
+	c.delegations[name] = hs
+	return hs[0], nil
 }
 
-// Remove implements nas.Client.
+// Remove implements nas.Client: the name is removed from every shard.
 func (c *Client) Remove(p *sim.Proc, name string) error {
 	delete(c.delegations, name)
-	return c.inner.Remove(p, name)
+	return stripe.FanOut(p, len(c.inners), "odafs-remove", func(wp *sim.Proc, i int) error {
+		return c.inners[i].Remove(wp, name)
+	})
 }
 
 // Read implements nas.Client. The request is decomposed into cache blocks;
 // all missing blocks are fetched concurrently (the cache's internal
 // read-ahead matches the application request size, §5.2 "Server
-// throughput").
+// throughput"), each from the shard owning its offset.
 func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
 	if n <= 0 {
 		return 0, nil
@@ -244,8 +306,8 @@ func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (i
 }
 
 // fetchBlock brings one block into the cache: ORDMA when the directory
-// knows where the block lives on the server, RPC otherwise — with the
-// client always prepared to catch an exception and recover via RPC
+// knows where the block lives on the owning shard, RPC otherwise — with
+// the client always prepared to catch an exception and recover via RPC
 // (§4.2 principle (c)). Concurrent fetches of the same block coalesce.
 func (c *Client) fetchBlock(p *sim.Proc, h *nas.Handle, blockOff int64) error {
 	key := cache.Key{File: h.FH, Off: c.c.Align(blockOff)}
@@ -268,8 +330,9 @@ func (c *Client) fetchBlockUncoalesced(p *sim.Proc, h *nas.Handle, blockOff int6
 	}
 	if c.cfg.UseORDMA {
 		if ref := c.c.RefOf(h.FH, blockOff); ref != nil {
+			shard := c.layout.ShardOf(blockOff)
 			c.stats.ORDMAReads++
-			res := c.inner.QP().RDMA(p, nic.Get, ref.VA, min64(blockLen, ref.Len), ref.Cap)
+			res := c.inners[shard].QP().RDMA(p, nic.Get, ref.VA, min64(blockLen, ref.Len), ref.Cap)
 			if res.OK() {
 				c.stats.ORDMASuccesses++
 				c.chargeInsert(p, h.FH, blockOff)
@@ -285,20 +348,23 @@ func (c *Client) fetchBlockUncoalesced(p *sim.Proc, h *nas.Handle, blockOff int6
 	return c.rpcFetch(p, h, blockOff, blockLen)
 }
 
-// rpcFetch populates a block over the DAFS RPC path, installing any
-// piggybacked reference in the directory.
+// rpcFetch populates a block over the owning shard's DAFS RPC path,
+// installing any piggybacked reference in the directory.
 func (c *Client) rpcFetch(p *sim.Proc, h *nas.Handle, blockOff, blockLen int64) error {
 	c.stats.RPCReads++
+	shard := c.layout.ShardOf(blockOff)
+	inner := c.inners[shard]
+	sh := c.shardHandle(h, shard)
 	var ref *cache.RemoteRef
 	var err error
 	if c.cfg.InlineRPC {
-		_, ref, err = c.inner.ReadInline(p, h, blockOff, blockLen)
+		_, ref, err = inner.ReadInline(p, sh, blockOff, blockLen)
 		if err == nil {
 			// Copy from the communication buffer into the cache block.
 			c.h.Compute(p, c.h.CopyCost(blockLen))
 		}
 	} else {
-		_, ref, err = c.inner.ReadDirect(p, h, blockOff, blockLen, arenaBufID)
+		_, ref, err = inner.ReadDirect(p, sh, blockOff, blockLen, arenaBufID)
 	}
 	if err != nil {
 		return err
@@ -319,9 +385,12 @@ func (c *Client) chargeInsert(p *sim.Proc, fh uint64, off int64) {
 	}
 }
 
-// Write implements nas.Client: write-through, updating the cached copy.
+// Write implements nas.Client: write-through per owning shard (spans run
+// concurrently, like the fetch path), updating the cached copy.
 func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
-	got, err := c.inner.Write(p, h, off, n, bufID)
+	got, err := c.writeSpans(p, h, off, n, func(wp *sim.Proc, shard int, sh *nas.Handle, so, sn int64) (int64, error) {
+		return c.inners[shard].Write(wp, sh, so, sn, bufID)
+	})
 	if err != nil {
 		return got, err
 	}
@@ -330,15 +399,61 @@ func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (
 		bl := c.cfg.BlockSize
 		c.c.Insert(h.FH, bo, bl, nil, nil)
 	}
-	if off+n > h.Size {
-		h.Size = off + n
+	if err := c.extendReplicas(p, h, off, n); err != nil {
+		return got, err
 	}
 	return got, nil
 }
 
-// WriteData implements nas.Client for content-bearing writes.
+// extendReplicas keeps the replicated size metadata coherent after a
+// write ending at off+n: the spans only grew their owning shards, so an
+// extending write sends every lagging shard (stripe.Layout.ExtendTargets)
+// a zero-length write at the new end (the servers extend on Offset
+// beyond EOF). Without this, per-shard sizes diverge and shard-0-sourced
+// opens would understate the file.
+func (c *Client) extendReplicas(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	end := off + n
+	if end <= h.Size {
+		return nil
+	}
+	targets := c.layout.ExtendTargets(off, n)
+	err := stripe.FanOut(p, len(targets), "odafs-extend", func(wp *sim.Proc, i int) error {
+		shard := targets[i]
+		_, err := c.inners[shard].WriteData(wp, c.shardHandle(h, shard), end, nil)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	h.Size = end
+	return nil
+}
+
+// writeSpans runs op over the per-shard spans of [off, off+n)
+// concurrently and sums the bytes written.
+func (c *Client) writeSpans(p *sim.Proc, h *nas.Handle, off, n int64,
+	op func(wp *sim.Proc, shard int, sh *nas.Handle, so, sn int64) (int64, error)) (int64, error) {
+	spans := c.layout.Spans(off, n)
+	got := make([]int64, len(spans))
+	err := stripe.FanOut(p, len(spans), "odafs-wspan", func(wp *sim.Proc, i int) error {
+		sp := spans[i]
+		g, err := op(wp, sp.Shard, c.shardHandle(h, sp.Shard), sp.Off, sp.Len)
+		got[i] = g
+		return err
+	})
+	var total int64
+	for _, g := range got {
+		total += g
+	}
+	return total, err
+}
+
+// WriteData implements nas.Client for content-bearing writes: each shard
+// receives its spans' bytes, concurrently like Write.
 func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {
-	got, err := c.inner.WriteData(p, h, off, data)
+	got, err := c.writeSpans(p, h, off, int64(len(data)), func(wp *sim.Proc, shard int, sh *nas.Handle, so, sn int64) (int64, error) {
+		return c.inners[shard].WriteData(wp, sh, so, data[so-off:so-off+sn])
+	})
 	if err != nil {
 		return got, err
 	}
@@ -346,8 +461,8 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 		c.h.Compute(p, c.h.P.CacheInsert)
 		c.c.Insert(h.FH, bo, c.cfg.BlockSize, nil, nil)
 	}
-	if end := off + int64(len(data)); end > h.Size {
-		h.Size = end
+	if err := c.extendReplicas(p, h, off, int64(len(data))); err != nil {
+		return got, err
 	}
 	return got, nil
 }

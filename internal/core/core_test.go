@@ -180,7 +180,7 @@ func TestOpenDelegationLocal(t *testing.T) {
 			t.Errorf("open: %v", err)
 			return
 		}
-		calls := c.inner.Calls
+		calls := c.Inner().Calls
 		for i := 0; i < 10; i++ {
 			h2, _ := c.Open(p, "data")
 			if h2 != h1 {
@@ -188,8 +188,8 @@ func TestOpenDelegationLocal(t *testing.T) {
 			}
 			c.Close(p, h2)
 		}
-		if c.inner.Calls != calls {
-			t.Errorf("delegated opens went remote: %d extra calls", c.inner.Calls-calls)
+		if c.Inner().Calls != calls {
+			t.Errorf("delegated opens went remote: %d extra calls", c.Inner().Calls-calls)
 		}
 		if c.Stats().LocalOpens != 10 {
 			t.Errorf("local opens %d", c.Stats().LocalOpens)
@@ -206,10 +206,10 @@ func TestCachedReadLocalHit(t *testing.T) {
 	r.s.Go("app", func(p *sim.Proc) {
 		h, _ := c.Open(p, "data")
 		c.Read(p, h, 0, 4096, 1)
-		calls := c.inner.Calls
+		calls := c.Inner().Calls
 		gets := c.Stats().ORDMAReads
 		c.Read(p, h, 0, 4096, 1) // hit
-		if c.inner.Calls != calls || c.Stats().ORDMAReads != gets {
+		if c.Inner().Calls != calls || c.Stats().ORDMAReads != gets {
 			t.Error("cache hit went remote")
 		}
 		if c.Stats().LocalHits != 1 {

@@ -17,6 +17,7 @@ import (
 	"danas/internal/nfs"
 	"danas/internal/nic"
 	"danas/internal/sim"
+	"danas/internal/stripe"
 	"danas/internal/udpip"
 )
 
@@ -46,15 +47,21 @@ type ClusterConfig struct {
 	Params *host.Params
 	// Clients is the number of client hosts.
 	Clients int
-	// ServerCacheBlockSize and ServerCacheBlocks shape the server file
+	// Shards is the number of NAS server machines the namespace is
+	// striped across (0 or 1 = the paper's single server).
+	Shards int
+	// StripeUnit is the block-range striping unit for striped clients
+	// (0 = ServerCacheBlockSize).
+	StripeUnit int64
+	// ServerCacheBlockSize and ServerCacheBlocks shape each server's file
 	// cache.
 	ServerCacheBlockSize int64
 	ServerCacheBlocks    int
-	// Optimistic creates an ODAFS-capable DAFS server.
+	// Optimistic creates ODAFS-capable DAFS servers.
 	Optimistic bool
-	// NFS adds an NFS/UDP server alongside the DAFS server.
+	// NFS adds an NFS/UDP server alongside each DAFS server.
 	NFS bool
-	// NFSWorkers is the nfsd worker pool size.
+	// NFSWorkers is the nfsd worker pool size per shard.
 	NFSWorkers int
 }
 
@@ -64,6 +71,7 @@ func DefaultClusterConfig() ClusterConfig {
 	return ClusterConfig{
 		Params:               host.Default(),
 		Clients:              1,
+		Shards:               1,
 		ServerCacheBlockSize: 16 * 1024,
 		ServerCacheBlocks:    1 << 17,
 		Optimistic:           true,
@@ -79,12 +87,32 @@ type ClientNode struct {
 	Stack *udpip.Stack
 }
 
-// Cluster is the assembled testbed.
+// ServerShard is one NAS server machine: its own host CPU, NIC, link,
+// UDP/IP stack, file system, disk, server cache, and protocol servers.
+type ServerShard struct {
+	Host  *host.Host
+	NIC   *nic.NIC
+	Stack *udpip.Stack
+	FS    *fsim.FS
+	Disk  *fsim.Disk
+	Cache *fsim.ServerCache
+	DAFS  *dafs.Server
+	NFS   *nfs.Server
+}
+
+// Cluster is the assembled testbed: one or more server shards plus client
+// machines on a shared switched fabric. The shard-0 components are also
+// exposed under the legacy single-server field names every pre-stripe
+// experiment uses.
 type Cluster struct {
 	S   *sim.Scheduler
 	P   *host.Params
 	Fab *netsim.Fabric
 
+	// Shards holds every server machine; Shards[0] is the legacy server.
+	Shards []*ServerShard
+
+	// Legacy single-server aliases (shard 0).
 	ServerHost  *host.Host
 	ServerNIC   *nic.NIC
 	ServerStack *udpip.Stack
@@ -97,6 +125,7 @@ type Cluster struct {
 
 	Nodes []*ClientNode
 
+	stripeUnit  int64
 	nextNFSPort int
 }
 
@@ -105,26 +134,53 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Params == nil {
 		cfg.Params = host.Default()
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.StripeUnit <= 0 {
+		cfg.StripeUnit = cfg.ServerCacheBlockSize
+	}
 	s := sim.New()
 	p := cfg.Params
 	fab := netsim.NewFabric(s, p.SwitchLatency)
 	line := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
 
-	c := &Cluster{S: s, P: p, Fab: fab, nextNFSPort: 900}
-	c.ServerHost = host.New(s, "server", p)
-	c.ServerNIC = nic.New(c.ServerHost, fab.AddPort("server", line))
-	c.ServerStack = udpip.NewStack(c.ServerNIC)
-	c.FS = fsim.NewFS()
-	c.Disk = fsim.NewDisk(s, "disk", p.DiskSeek, p.DiskBW)
-	c.ServerCache = fsim.NewServerCache(c.FS, c.Disk, cfg.ServerCacheBlockSize, cfg.ServerCacheBlocks)
-	c.DAFSServer = dafs.NewServer(s, c.ServerNIC, c.FS, c.ServerCache, cfg.Optimistic)
-	if cfg.NFS {
-		c.NFSServer = nfs.NewServer(s, c.ServerStack, c.FS, c.ServerCache, cfg.NFSWorkers)
+	c := &Cluster{S: s, P: p, Fab: fab, stripeUnit: cfg.StripeUnit, nextNFSPort: 900}
+	for i := 0; i < cfg.Shards; i++ {
+		name := "server"
+		if i > 0 {
+			name = fmt.Sprintf("server%d", i+1)
+		}
+		sh := &ServerShard{}
+		sh.Host = host.New(s, name, p)
+		sh.NIC = nic.New(sh.Host, fab.AddPort(name, line))
+		sh.Stack = udpip.NewStack(sh.NIC)
+		sh.FS = fsim.NewFS()
+		sh.Disk = fsim.NewDisk(s, name+"/disk", p.DiskSeek, p.DiskBW)
+		sh.Cache = fsim.NewServerCache(sh.FS, sh.Disk, cfg.ServerCacheBlockSize, cfg.ServerCacheBlocks)
+		sh.DAFS = dafs.NewServer(s, sh.NIC, sh.FS, sh.Cache, cfg.Optimistic)
+		if cfg.NFS {
+			sh.NFS = nfs.NewServer(s, sh.Stack, sh.FS, sh.Cache, cfg.NFSWorkers)
+		}
+		c.Shards = append(c.Shards, sh)
 	}
+	sh0 := c.Shards[0]
+	c.ServerHost, c.ServerNIC, c.ServerStack = sh0.Host, sh0.NIC, sh0.Stack
+	c.FS, c.Disk, c.ServerCache = sh0.FS, sh0.Disk, sh0.Cache
+	c.DAFSServer, c.NFSServer = sh0.DAFS, sh0.NFS
 	for i := 0; i < cfg.Clients; i++ {
 		c.AddClientNode()
 	}
 	return c
+}
+
+// Layout returns the cluster's striping scheme: one span per file when a
+// single shard, block-range striping across all shards otherwise.
+func (c *Cluster) Layout() stripe.Layout {
+	if len(c.Shards) == 1 {
+		return stripe.Single()
+	}
+	return stripe.Layout{Shards: len(c.Shards), Unit: c.stripeUnit}
 }
 
 // AddClientNode attaches another client machine to the fabric.
@@ -141,33 +197,99 @@ func (c *Cluster) AddClientNode() *ClientNode {
 // Close tears down the simulation.
 func (c *Cluster) Close() { c.S.Close() }
 
-// NFSClient mounts an NFS client of the given kind on node i.
+// NFSClient mounts an NFS client of the given kind on node i against
+// shard 0.
 func (c *Cluster) NFSClient(i int, kind nfs.Kind) *nfs.Client {
-	c.nextNFSPort++
-	return nfs.NewClient(c.S, c.Nodes[i].Stack, c.nextNFSPort, c.ServerStack, kind)
+	return c.NFSClientForShard(i, 0, kind)
 }
 
-// DAFSClient mounts a raw (uncached) DAFS client on node i.
+// NFSClientForShard mounts an NFS client on node i against the given
+// shard's server.
+func (c *Cluster) NFSClientForShard(i, shard int, kind nfs.Kind) *nfs.Client {
+	c.nextNFSPort++
+	return nfs.NewClient(c.S, c.Nodes[i].Stack, c.nextNFSPort, c.Shards[shard].Stack, kind)
+}
+
+// DAFSClient mounts a raw (uncached) DAFS client on node i against
+// shard 0.
 func (c *Cluster) DAFSClient(i int, mode nic.NotifyMode, tm dafs.TransferMode) *dafs.Client {
 	return dafs.NewClient(c.S, c.Nodes[i].NIC, c.DAFSServer, mode, tm)
 }
 
-// CachedClient mounts a cached DAFS/ODAFS client on node i.
+// CachedClient mounts a cached DAFS/ODAFS client on node i against
+// shard 0.
 func (c *Cluster) CachedClient(i int, cfg core.Config) *core.Client {
 	return core.NewClient(c.S, c.Nodes[i].NIC, c.DAFSServer, nic.Poll, cfg)
 }
 
+// StripedCachedClient mounts a cached DAFS/ODAFS client on node i whose
+// single block cache fronts every shard's DAFS server (per-shard ORDMA
+// reference directories fall out of the static layout).
+func (c *Cluster) StripedCachedClient(i int, cfg core.Config) *core.Client {
+	srvs := make([]*dafs.Server, len(c.Shards))
+	for s, sh := range c.Shards {
+		srvs[s] = sh.DAFS
+	}
+	return core.NewStripedClient(c.S, c.Nodes[i].NIC, srvs, nic.Poll, cfg, c.Layout())
+}
+
+// StripedNFSClient mounts an NFS client of the given kind on node i
+// routing per-block requests to every shard (the plain client when the
+// cluster has one shard).
+func (c *Cluster) StripedNFSClient(i int, kind nfs.Kind) nas.Client {
+	if len(c.Shards) == 1 {
+		return c.NFSClient(i, kind)
+	}
+	subs := make([]nas.Client, len(c.Shards))
+	for s := range c.Shards {
+		subs[s] = c.NFSClientForShard(i, s, kind)
+	}
+	return stripe.NewClient(c.Layout(), subs)
+}
+
+// StripedDAFSClient mounts a raw DAFS client on node i routing per-block
+// requests to every shard (the plain client when the cluster has one
+// shard).
+func (c *Cluster) StripedDAFSClient(i int, mode nic.NotifyMode, tm dafs.TransferMode) nas.Client {
+	if len(c.Shards) == 1 {
+		return c.DAFSClient(i, mode, tm)
+	}
+	subs := make([]nas.Client, len(c.Shards))
+	for s, sh := range c.Shards {
+		subs[s] = dafs.NewClient(c.S, c.Nodes[i].NIC, sh.DAFS, mode, tm)
+	}
+	return stripe.NewClient(c.Layout(), subs)
+}
+
 // CreateWarmFile creates a synthetic file and warms the server cache with
 // it — the experiments' "file warm in the server cache" precondition —
-// then pre-warms the NIC TLB when the server is optimistic (§5.2).
+// then pre-warms the NIC TLB when the server is optimistic (§5.2). On a
+// sharded cluster the name is replicated to every shard (each shard
+// serves only the block ranges it owns) and every shard is warmed.
 func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
-	f, err := c.FS.Create(name, size)
-	if err != nil {
-		panic(err)
+	var first *fsim.File
+	for _, sh := range c.Shards {
+		f, err := sh.FS.Create(name, size)
+		if err != nil {
+			panic(err)
+		}
+		sh.Cache.Warm(f)
+		sh.NIC.TPT.WarmTLB()
+		if first == nil {
+			first = f
+		}
 	}
-	c.ServerCache.Warm(f)
-	c.ServerNIC.TPT.WarmTLB()
-	return f
+	return first
+}
+
+// MarkServerEpochs restarts CPU and link utilization accounting on every
+// shard (the sharded experiments' barrier action).
+func (c *Cluster) MarkServerEpochs() {
+	for _, sh := range c.Shards {
+		sh.NIC.TPT.WarmTLB()
+		sh.Host.CPU.MarkEpoch()
+		sh.NIC.Port().MarkEpoch()
+	}
 }
 
 // Run drives the simulation until quiescent.
@@ -179,17 +301,23 @@ func (c *Cluster) Go(name string, fn func(p *sim.Proc)) { c.S.Go(name, fn) }
 // clientFor builds the requested nas.Client by system name on node i.
 // Recognized names match the paper's figure legends.
 func (c *Cluster) clientFor(system string, i int) nas.Client {
+	if system == "DAFS" {
+		return c.DAFSClient(i, nic.Poll, dafs.Direct)
+	}
+	return c.NFSClient(i, nfsKindOf(system))
+}
+
+// nfsKindOf maps an NFS-variant legend name to its client kind.
+func nfsKindOf(system string) nfs.Kind {
 	switch system {
 	case "NFS":
-		return c.NFSClient(i, nfs.Standard)
+		return nfs.Standard
 	case "NFS pre-posting":
-		return c.NFSClient(i, nfs.PrePosting)
+		return nfs.PrePosting
 	case "NFS hybrid":
-		return c.NFSClient(i, nfs.Hybrid)
-	case "DAFS":
-		return c.DAFSClient(i, nic.Poll, dafs.Direct)
+		return nfs.Hybrid
 	default:
-		panic("exper: unknown system " + system)
+		panic("exper: not an NFS system: " + system)
 	}
 }
 

@@ -1,0 +1,77 @@
+package exper
+
+import (
+	"testing"
+
+	"danas/internal/core"
+	"danas/internal/dafs"
+	"danas/internal/nas"
+	"danas/internal/nfs"
+	"danas/internal/nic"
+	"danas/internal/sim"
+)
+
+// TestShardedWriteKeepsReplicaSizesCoherent pins the replicated-namespace
+// invariant the striped clients maintain: an extending write grows every
+// shard's replica to the same size (lagging shards get a zero-length
+// size update), so shard-0-sourced Open/Getattr never understates a file
+// and a later whole-file pass covers all the data.
+func TestShardedWriteKeepsReplicaSizesCoherent(t *testing.T) {
+	const unit = 16 * 1024
+	mounts := []struct {
+		name  string
+		mount func(cl *Cluster) nas.Client
+	}{
+		{"ODAFS", func(cl *Cluster) nas.Client {
+			return cl.StripedCachedClient(0, core.Config{BlockSize: unit, DataBlocks: 8, UseORDMA: true})
+		}},
+		{"DAFS raw", func(cl *Cluster) nas.Client {
+			return cl.StripedDAFSClient(0, nic.Poll, dafs.Direct)
+		}},
+		{"NFS hybrid", func(cl *Cluster) nas.Client {
+			return cl.StripedNFSClient(0, nfs.Hybrid)
+		}},
+		{"NFS", func(cl *Cluster) nas.Client {
+			return cl.StripedNFSClient(0, nfs.Standard)
+		}},
+	}
+	for _, m := range mounts {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultClusterConfig()
+			cfg.Shards = 3
+			cfg.ServerCacheBlockSize = unit
+			cfg.StripeUnit = unit
+			cl := NewCluster(cfg)
+			defer cl.Close()
+			c := m.mount(cl)
+			const end = 5 * unit // last span lands on shard 1; shards 0 and 2 lag
+			cl.Go("app", func(p *sim.Proc) {
+				h, err := c.Create(p, "grow")
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				if _, err := c.Write(p, h, 0, end, 1); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if h.Size != end {
+					t.Errorf("canonical handle size %d, want %d", h.Size, end)
+				}
+				if got, err := c.Getattr(p, h); err != nil || got != end {
+					t.Errorf("getattr = %d, %v — want %d", got, err, end)
+				}
+			})
+			cl.Run()
+			for si, sh := range cl.Shards {
+				f, err := sh.FS.Lookup("grow")
+				if err != nil {
+					t.Fatalf("shard %d: %v", si, err)
+				}
+				if f.Size() != end {
+					t.Errorf("shard %d replica size %d, want %d — sizes diverged", si, f.Size(), end)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,34 @@ func TestParallelismClamp(t *testing.T) {
 	}
 }
 
+// TestExperimentGridDeterminism is the determinism regression contract:
+// the full scale-out artifacts — the Figure 8 client sweep and the new
+// Figure 9 clients×servers grid — rendered twice from scratch with the
+// same configuration must be byte-identical, both serially and across a
+// worker pool. Every cell builds its own scheduler and cluster from the
+// same seed state, so any divergence means nondeterminism leaked into
+// the simulation or the assembly order.
+func TestExperimentGridDeterminism(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	render := func() string {
+		thr, resp, cpu, link := ScalingTables(Scaling(tiny))
+		return thr.String() + resp.String() + cpu.String() + link.String() +
+			FormatScalingGrid(ScalingGrid(tiny))
+	}
+	SetParallelism(1)
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatal("two serial runs of the scale-out artifacts differ")
+	}
+	SetParallelism(8)
+	if par := render(); par != first {
+		t.Fatal("parallel run of the scale-out artifacts differs from serial")
+	}
+}
+
 // TestParallelOutputByteIdentical is the determinism contract behind
 // danas-bench -parallel: a generator rendered from a parallel run must be
 // byte-identical to the serial run, because cells write only their own

@@ -3,11 +3,7 @@ package exper
 import (
 	"fmt"
 
-	"danas/internal/core"
 	"danas/internal/metrics"
-	"danas/internal/nas"
-	"danas/internal/sim"
-	"danas/internal/workload"
 )
 
 // ScalingClientCounts is the x-axis of the scale-out sweep: the number of
@@ -84,77 +80,17 @@ func ScalingTables(rows []ScalingRow) (thr, resp, cpu, link *metrics.Table) {
 
 // scalingPoint runs one cell: n clients each stream the shared warm file
 // once to warm caches (and, for ODAFS, the reference directory),
-// rendezvous, then stream it again together while the server is measured.
+// rendezvous, then stream it again together (in lockstep, no stagger —
+// the original Figure 8 methodology) while the one server is measured.
+// It is the single-server projection of the grid's scalingCell.
 func scalingPoint(system string, clients int, fileSize int64) ScalingRow {
-	cfg := DefaultClusterConfig()
-	cfg.Clients = clients
-	cfg.ServerCacheBlockSize = scalingBlock
-	cfg.ServerCacheBlocks = int(fileSize/scalingBlock) + 64
-	cfg.Params.NICTLBSize = int(fileSize/4096) + 1024 // always hit, as §5.2 ensures
-	if cfg.NFSWorkers < clients {
-		cfg.NFSWorkers = clients // one nfsd per client, the usual sizing
-	}
-	cl := NewCluster(cfg)
-	defer cl.Close()
-	cl.CreateWarmFile("big", fileSize)
-
-	fileBlocks := int(fileSize / scalingBlock)
-	headers := fileBlocks + 64
-	dataBlocks := int(int64(8<<20) / scalingBlock) // 8 MB of client data cache
-	if dataBlocks > fileBlocks/2 {
-		dataBlocks = fileBlocks / 2 // keep the measured pass missing locally
-	}
-	if dataBlocks < 2 {
-		dataBlocks = 2
-	}
-	nodes := make([]nas.Client, clients)
-	for i := range nodes {
-		switch system {
-		case "DAFS", "ODAFS":
-			nodes[i] = cl.CachedClient(i, core.Config{
-				BlockSize:  scalingBlock,
-				DataBlocks: dataBlocks,
-				Headers:    headers,
-				UseORDMA:   system == "ODAFS",
-			})
-		default:
-			nodes[i] = cl.clientFor(system, i)
-		}
-	}
-
-	var perOp metrics.Hist
-	pass := workload.StreamConfig{File: "big", BlockSize: scalingAppBlock, Window: 2, Passes: 1}
-	measuredPass := pass
-	measuredPass.PerOp = perOp.Observe // sim is single-threaded: safe to share
-	res := workload.GoMulti(cl.S, workload.MultiSpec{
-		Clients: clients,
-		Warm: func(p *sim.Proc, i int) error {
-			_, err := workload.Stream(p, nodes[i], pass)
-			return err
-		},
-		AtBarrier: func() {
-			cl.ServerNIC.TPT.WarmTLB()
-			cl.ServerHost.CPU.MarkEpoch()
-			cl.ServerNIC.Port().MarkEpoch()
-		},
-		Measured: func(p *sim.Proc, i int) (workload.StreamResult, error) {
-			r, err := workload.Stream(p, nodes[i], measuredPass)
-			if err != nil {
-				return workload.StreamResult{}, err
-			}
-			return r[0], nil
-		},
-	})
-	cl.Run()
-	if res.Err != nil {
-		panic(fmt.Sprintf("scaling %s/%d clients: %v", system, clients, res.Err))
-	}
+	row := scalingCell(system, clients, 1, fileSize, false)
 	return ScalingRow{
-		System:        system,
-		Clients:       clients,
-		AggMBps:       res.AggregateMBps(),
-		RespMicros:    perOp.Mean().Micros(),
-		ServerCPUPct:  cl.ServerHost.CPU.Utilization() * 100,
-		ServerLinkPct: cl.ServerNIC.Port().TxUtilization() * 100,
+		System:        row.System,
+		Clients:       row.Clients,
+		AggMBps:       row.AggMBps,
+		RespMicros:    row.RespMicros,
+		ServerCPUPct:  row.ShardCPUPct[0],
+		ServerLinkPct: row.ShardLinkPct[0],
 	}
 }

@@ -1,0 +1,195 @@
+package fsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fill returns n bytes of the repeated marker value.
+func fill(b byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+// TestOverlayWrites drives the sparse write overlay through overlapping
+// writes and chunk-boundary cases, then reads back and checks every byte
+// against the last writer (or the synthetic content where nothing wrote).
+func TestOverlayWrites(t *testing.T) {
+	const size = 3 * overlayChunk
+	type w struct {
+		off  int64
+		data []byte
+	}
+	cases := []struct {
+		name   string
+		writes []w
+	}{
+		{"single write", []w{{100, fill('a', 50)}}},
+		{"disjoint writes", []w{{0, fill('a', 10)}, {5000, fill('b', 10)}}},
+		{"overlap later wins", []w{{100, fill('a', 100)}, {150, fill('b', 100)}}},
+		{"overlap contained", []w{{100, fill('a', 300)}, {200, fill('b', 50)}}},
+		{"overlap earlier tail", []w{{200, fill('a', 100)}, {100, fill('b', 150)}}},
+		{"exactly at chunk boundary", []w{{overlayChunk, fill('c', 64)}}},
+		{"spanning chunk boundary", []w{{overlayChunk - 32, fill('d', 64)}}},
+		{"ending at chunk boundary", []w{{overlayChunk - 64, fill('e', 64)}}},
+		{"spanning two boundaries", []w{{overlayChunk - 10, fill('f', overlayChunk+20)}}},
+		{"overlap across boundary", []w{
+			{overlayChunk - 100, fill('a', 200)},
+			{overlayChunk - 50, fill('b', 100)},
+		}},
+		{"rewrite same range", []w{{64, fill('a', 64)}, {64, fill('b', 64)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewFS()
+			f, err := fs.Create("f", size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// pristine twin for the untouched-byte expectation
+			ref, _ := NewFS().Create("f", size)
+			want := make([]byte, size)
+			ref.ReadAt(want, 0)
+			for _, wr := range tc.writes {
+				f.WriteAt(wr.data, wr.off)
+				copy(want[wr.off:], wr.data)
+			}
+			got := make([]byte, size)
+			if n := f.ReadAt(got, 0); n != size {
+				t.Fatalf("ReadAt = %d, want %d", n, size)
+			}
+			if !bytes.Equal(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("first mismatch at offset %d: got %q want %q", i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOverlayReadBackAtChunkBoundaries reads written data back through
+// windows that straddle, start at, and end at overlay chunk boundaries.
+func TestOverlayReadBackAtChunkBoundaries(t *testing.T) {
+	const size = 2*overlayChunk + 512
+	fs := NewFS()
+	f, _ := fs.Create("f", size)
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte('A' + i%26)
+	}
+	f.WriteAt(payload, overlayChunk-48) // straddles the first boundary
+	for _, tc := range []struct {
+		name     string
+		off, n   int64
+		wantFrom int64 // offset into payload of the window start, -1 = synthetic
+	}{
+		{"window inside first half", overlayChunk - 48, 48, 0},
+		{"window inside second half", overlayChunk, 48, 48},
+		{"window straddling", overlayChunk - 16, 32, 32},
+		{"window at exact boundary start", overlayChunk, 1, 48},
+		{"window before write", overlayChunk - 200, 64, -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := make([]byte, tc.n)
+			if n := f.ReadAt(got, tc.off); int64(n) != tc.n {
+				t.Fatalf("ReadAt = %d, want %d", n, tc.n)
+			}
+			if tc.wantFrom < 0 {
+				ref, _ := NewFS().Create("f", size)
+				want := make([]byte, tc.n)
+				ref.ReadAt(want, tc.off)
+				if !bytes.Equal(got, want) {
+					t.Fatal("unwritten range no longer matches synthetic content")
+				}
+				return
+			}
+			if !bytes.Equal(got, payload[tc.wantFrom:tc.wantFrom+tc.n]) {
+				t.Fatalf("read %q, want %q", got, payload[tc.wantFrom:tc.wantFrom+tc.n])
+			}
+		})
+	}
+}
+
+// TestLazyContentDeterminism checks synthetic content is a pure function
+// of (file seed, offset): identical creation histories produce identical
+// bytes, re-reads are stable, distinct files differ, and a write to one
+// chunk leaves every other chunk's lazy content untouched.
+func TestLazyContentDeterminism(t *testing.T) {
+	const size = overlayChunk + 4096
+	mk := func() (*File, *File) {
+		fs := NewFS()
+		a, _ := fs.Create("a", size)
+		b, _ := fs.Create("b", size)
+		return a, b
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+
+	read := func(f *File, off, n int64) []byte {
+		p := make([]byte, n)
+		f.ReadAt(p, off)
+		return p
+	}
+	for _, off := range []int64{0, 1, 4095, 4096, overlayChunk - 1, overlayChunk} {
+		w1, w2 := read(a1, off, 512), read(a2, off, 512)
+		if !bytes.Equal(w1, w2) {
+			t.Fatalf("same (seed, offset=%d) produced different bytes across instances", off)
+		}
+		if !bytes.Equal(w1, read(a1, off, 512)) {
+			t.Fatalf("re-read at %d not stable", off)
+		}
+	}
+	if bytes.Equal(read(a1, 0, 4096), read(b1, 0, 4096)) {
+		t.Fatal("distinct files share content — seeds not independent")
+	}
+	if !bytes.Equal(read(b1, 0, 4096), read(b2, 0, 4096)) {
+		t.Fatal("second-created file not deterministic across instances")
+	}
+	// A write in the first chunk must not disturb lazy content elsewhere.
+	before := read(a1, overlayChunk, 4096)
+	a1.WriteAt(fill('z', 128), 64)
+	if !bytes.Equal(before, read(a1, overlayChunk, 4096)) {
+		t.Fatal("write in chunk 0 changed lazy content in chunk 1")
+	}
+	if !bytes.Equal(before, read(a2, overlayChunk, 4096)) {
+		t.Fatal("instances diverged on untouched chunk")
+	}
+}
+
+// TestOverlayShardReplicaAgreement pins the property the striped
+// namespace depends on (internal/stripe): every shard creates the same
+// files in the same order, so any shard serves byte-identical content
+// for the ranges it owns.
+func TestOverlayShardReplicaAgreement(t *testing.T) {
+	const size = 256 * 1024
+	shards := make([]*FS, 4)
+	for i := range shards {
+		shards[i] = NewFS()
+		if _, err := shards[i].Create("meta", 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shards[i].Create("big", size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([]byte, 16*1024)
+	for unit := int64(0); unit < size/int64(len(want)); unit++ {
+		off := unit * int64(len(want))
+		owner := int(unit) % len(shards)
+		if _, err := shards[0].ReadAtFH(2, want, off); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if _, err := shards[owner].ReadAtFH(2, got, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shard %d disagrees with shard 0 at offset %d", owner, off)
+		}
+	}
+}

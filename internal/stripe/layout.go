@@ -1,0 +1,111 @@
+// Package stripe shards the flat NAS namespace across S independent
+// servers by block-range striping: unit u of a file (bytes
+// [u*Unit, (u+1)*Unit)) lives on shard u mod S. Every shard is a complete
+// NAS box — its own file system, disk, server cache, NIC and link — and
+// the namespace is replicated (every shard knows every file's name and
+// size) while the data traffic partitions by offset.
+//
+// The package has two layers: Layout, the pure striping arithmetic, and
+// Client, a nas.Client that routes per-block requests to per-shard
+// sub-clients. The cached ODAFS/DAFS client does its own routing (one
+// client cache, per-shard ORDMA reference directories — see
+// internal/core), but shares the same Layout.
+package stripe
+
+import "fmt"
+
+// Layout describes one striping scheme: S shards with a fixed stripe
+// unit. The zero value is invalid; use New or a literal with Shards >= 1
+// and Unit >= 1.
+type Layout struct {
+	// Shards is the number of servers the namespace is striped across.
+	Shards int
+	// Unit is the stripe unit in bytes: contiguous runs of Unit bytes
+	// map to one shard before striping moves to the next.
+	Unit int64
+}
+
+// New validates and returns a Layout.
+func New(shards int, unit int64) (Layout, error) {
+	l := Layout{Shards: shards, Unit: unit}
+	if err := l.Validate(); err != nil {
+		return Layout{}, err
+	}
+	return l, nil
+}
+
+// Single returns the degenerate one-shard layout (everything on shard 0).
+func Single() Layout { return Layout{Shards: 1, Unit: 1 << 62} }
+
+// Validate reports whether the layout is usable.
+func (l Layout) Validate() error {
+	if l.Shards < 1 {
+		return fmt.Errorf("stripe: layout needs at least one shard, got %d", l.Shards)
+	}
+	if l.Unit < 1 {
+		return fmt.Errorf("stripe: layout needs a positive stripe unit, got %d", l.Unit)
+	}
+	return nil
+}
+
+// ShardOf returns the shard owning the byte at off.
+func (l Layout) ShardOf(off int64) int {
+	if l.Shards == 1 {
+		return 0
+	}
+	return int((off / l.Unit) % int64(l.Shards))
+}
+
+// Span is one contiguous byte range owned by a single shard.
+type Span struct {
+	Shard int
+	Off   int64
+	Len   int64
+}
+
+// ExtendTargets returns the shards whose replicas lag behind off+n after
+// the spans of [off, off+n) were written: every shard except the last
+// span's owner, whose write already extended its replica to the end.
+// The striped clients send these shards a zero-length write at the new
+// end so the replicated size metadata stays coherent.
+func (l Layout) ExtendTargets(off, n int64) []int {
+	last := -1
+	if spans := l.Spans(off, n); len(spans) > 0 {
+		last = spans[len(spans)-1].Shard
+	}
+	var out []int
+	for s := 0; s < l.Shards; s++ {
+		if s != last {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Spans decomposes the byte range [off, off+n) into per-shard contiguous
+// spans in offset order, merging adjacent units that land on the same
+// shard (always the case when Shards == 1). n <= 0 yields nil.
+func (l Layout) Spans(off, n int64) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if l.Shards == 1 {
+		return []Span{{Shard: 0, Off: off, Len: n}}
+	}
+	var out []Span
+	for n > 0 {
+		step := l.Unit - off%l.Unit
+		if step > n {
+			step = n
+		}
+		sh := l.ShardOf(off)
+		if k := len(out) - 1; k >= 0 && out[k].Shard == sh && out[k].Off+out[k].Len == off {
+			out[k].Len += step
+		} else {
+			out = append(out, Span{Shard: sh, Off: off, Len: step})
+		}
+		off += step
+		n -= step
+	}
+	return out
+}

@@ -40,13 +40,21 @@ type fragment struct {
 	total   int
 }
 
+// reasmKey identifies a datagram under reassembly. IDs are assigned per
+// sending stack, so — like real IP reassembly — the key must include the
+// source or concurrent senders' fragments would be conflated.
+type reasmKey struct {
+	from *Stack
+	id   uint64
+}
+
 // Stack is one host's UDP/IP stack bound to its NIC.
 type Stack struct {
 	h     *host.Host
 	n     *nic.NIC
 	socks map[int]*Socket
-	// reassembly buffers datagram fragments by ID.
-	reasm  map[uint64]int
+	// reassembly buffers datagram fragments by (source, ID).
+	reasm  map[reasmKey]int
 	nextID uint64
 
 	// lossRate drops arriving packets with the given probability
@@ -64,7 +72,7 @@ func NewStack(n *nic.NIC) *Stack {
 		h:     n.Host(),
 		n:     n,
 		socks: make(map[int]*Socket),
-		reasm: make(map[uint64]int),
+		reasm: make(map[reasmKey]int),
 	}
 	n.BindHandler(etherPort, st.packetArrived)
 	return st
@@ -112,11 +120,12 @@ func (st *Stack) packetArrived(m *nic.Message) {
 		frag.d.Direct = true
 	}
 	st.h.CoalescedInterrupt(st.h.P.UDPRecvPacket, func() {
-		st.reasm[frag.id]++
-		if st.reasm[frag.id] < frag.total {
+		key := reasmKey{from: frag.d.From, id: frag.id}
+		st.reasm[key]++
+		if st.reasm[key] < frag.total {
 			return
 		}
-		delete(st.reasm, frag.id)
+		delete(st.reasm, key)
 		sk, ok := st.socks[frag.dstPort]
 		if !ok {
 			return // no listener: datagram dropped, as UDP does

@@ -21,6 +21,12 @@ type StreamConfig struct {
 	// Passes over the file (the server-throughput experiments read the
 	// file twice and measure the second pass).
 	Passes int
+	// StartOff staggers the pass: reading starts at the block containing
+	// StartOff and wraps around so the whole file is still covered once
+	// per pass. Multi-client sharded runs stagger clients so they don't
+	// convoy on the same shard sequence in lockstep. 0 = sequential from
+	// the start (the default, identical to the unstaggered behaviour).
+	StartOff int64
 	// PerOp, when non-nil, observes the response time of every block
 	// read (the scale-out experiment's per-op latency series).
 	PerOp func(sim.Duration)
@@ -56,6 +62,11 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 	}
 	defer c.Close(p, h)
 	s := p.Sched()
+	numBlocks := (h.Size + cfg.BlockSize - 1) / cfg.BlockSize
+	var startBlock int64
+	if cfg.StartOff > 0 && numBlocks > 0 {
+		startBlock = (cfg.StartOff / cfg.BlockSize) % numBlocks
+	}
 	results := make([]StreamResult, 0, cfg.Passes)
 	for pass := 0; pass < cfg.Passes; pass++ {
 		start := p.Now()
@@ -75,11 +86,12 @@ func Stream(p *sim.Proc, c nas.Client, cfg StreamConfig) ([]StreamResult, error)
 					}
 				}()
 				for {
-					off := next
-					if off >= h.Size {
+					k := next
+					if k >= numBlocks {
 						return
 					}
-					next += cfg.BlockSize
+					next++
+					off := ((startBlock + k) % numBlocks) * cfg.BlockSize
 					opStart := wp.Now()
 					n, err := c.Read(wp, h, off, cfg.BlockSize, bufID)
 					if err != nil {

@@ -55,6 +55,49 @@ func TestStreamReadsWholeFile(t *testing.T) {
 	}
 }
 
+// TestStreamStartOffCoversWholeFile checks a staggered pass still reads
+// every block exactly once per pass: StartOff rotates where the pass
+// begins but the coverage and byte count are unchanged, including when
+// the file is not a whole number of blocks.
+func TestStreamStartOffCoversWholeFile(t *testing.T) {
+	const block = 64 * 1024
+	for _, tc := range []struct {
+		name     string
+		size     int64
+		startOff int64
+	}{
+		{"aligned start", 16 * block, 4 * block},
+		{"unaligned start rounds to its block", 16 * block, 4*block + 17},
+		{"start beyond file wraps", 16 * block, 100 * block},
+		{"ragged tail", 16*block + 100, 8 * block},
+		{"zero is the unstaggered pass", 16 * block, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, fs, sc, c, _ := rig(t)
+			f, _ := fs.Create("data", tc.size)
+			sc.Warm(f)
+			var res []StreamResult
+			s.Go("app", func(p *sim.Proc) {
+				var err error
+				res, err = Stream(p, c, StreamConfig{
+					File: "data", BlockSize: block, Window: 2, Passes: 1, StartOff: tc.startOff,
+				})
+				if err != nil {
+					t.Errorf("stream: %v", err)
+				}
+			})
+			s.Run()
+			numBlocks := (tc.size + block - 1) / block
+			if res[0].Ops != numBlocks {
+				t.Errorf("ops = %d, want %d (every block exactly once)", res[0].Ops, numBlocks)
+			}
+			if res[0].Bytes != tc.size {
+				t.Errorf("bytes = %d, want %d", res[0].Bytes, tc.size)
+			}
+		})
+	}
+}
+
 func TestStreamWindowPipelines(t *testing.T) {
 	measure := func(window int) sim.Duration {
 		s, fs, sc, c, _ := rig(t)
