@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|all]...
+//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|trace|all]...
 //
 // With no experiment arguments it runs everything. Experiments can be
 // named positionally or via -exper (comma-separated); the two forms
@@ -38,11 +38,13 @@ var known = map[string]func(exper.Scale){
 	"scaling":      runScaling,
 	"scaling-grid": runScalingGrid,
 	"ablations":    runAblations,
+	"trace":        runTrace,
 }
 
 // order is what "all" runs; it uses the combined fig34 so the Figure 3/4
-// sweep runs once.
-var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations"}
+// sweep runs once. New experiments append so earlier sections stay
+// byte-identical.
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace"}
 
 // validNames returns every accepted experiment argument, sorted.
 func validNames() []string {
@@ -192,6 +194,12 @@ func runScaling(scale exper.Scale) {
 func runScalingGrid(scale exper.Scale) {
 	fmt.Println("== Figure 9: clients × shards scaling grid ==")
 	fmt.Print(exper.FormatScalingGrid(exper.ScalingGrid(scale)))
+	fmt.Println()
+}
+
+func runTrace(scale exper.Scale) {
+	fmt.Println("== Trace replay: open-loop Zipf read/write mix over the sharded fleet ==")
+	fmt.Print(exper.FormatTraceReplay(exper.TraceReplay(scale)))
 	fmt.Println()
 }
 

@@ -51,7 +51,7 @@ func main() {
 		cb = *cacheKB * 1024
 	}
 
-	cl := danas.NewCluster(danas.WithServerCache(min64(cb, 64*1024), int(fileSize/min64(cb, 64*1024))+1024))
+	cl := danas.NewCluster(danas.WithServerCache(min(cb, 64*1024), int(fileSize/min(cb, 64*1024))+1024))
 	defer cl.Close()
 	if err := cl.CreateWarmFile("data", fileSize); err != nil {
 		fmt.Fprintln(os.Stderr, "danas-sim:", err)
@@ -132,11 +132,4 @@ func mode(random bool) string {
 		return "random"
 	}
 	return "sequential"
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// asyncCached is the cached client's native nas.AsyncClient: unlike the
+// generic adapter, which parks operations behind a pool of worker
+// processes, every admitted operation starts executing immediately on
+// its own process. Independent operations therefore pipeline through
+// the same block cache — each op's per-shard span fetches overlap with
+// every other outstanding op's (the striped client already splits one
+// op into concurrent spans; this makes distinct ops concurrent too),
+// and fetches of the same block coalesce on the cache's inflight table
+// instead of duplicating wire traffic.
+type asyncCached struct {
+	*Client
+	nas.AsyncBase
+}
+
+// Async returns a native asynchronous facade over the cached (O)DAFS
+// client with the given queue depth.
+func (c *Client) Async(depth int) nas.AsyncClient {
+	a := &asyncCached{Client: c}
+	a.InitAsync(depth)
+	return a
+}
+
+// Submit implements nas.AsyncClient: once admitted (blocking while
+// Depth ops are outstanding), the operation runs on a fresh process at
+// the current instant.
+func (a *asyncCached) Submit(p *sim.Proc, op nas.Op) uint64 {
+	tag, at := a.Begin(p)
+	p.Sched().Go(fmt.Sprintf("odafs-async-%d", tag), func(wp *sim.Proc) {
+		n, err := op.Run(wp, a.Client)
+		a.Finish(nas.Completion{Tag: tag, Op: op, N: n, Err: err, Submitted: at})
+	})
+	return tag
+}

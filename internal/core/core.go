@@ -332,7 +332,7 @@ func (c *Client) fetchBlockUncoalesced(p *sim.Proc, h *nas.Handle, blockOff int6
 		if ref := c.c.RefOf(h.FH, blockOff); ref != nil {
 			shard := c.layout.ShardOf(blockOff)
 			c.stats.ORDMAReads++
-			res := c.inners[shard].QP().RDMA(p, nic.Get, ref.VA, min64(blockLen, ref.Len), ref.Cap)
+			res := c.inners[shard].QP().RDMA(p, nic.Get, ref.VA, min(blockLen, ref.Len), ref.Cap)
 			if res.OK() {
 				c.stats.ORDMASuccesses++
 				c.chargeInsert(p, h.FH, blockOff)
@@ -473,17 +473,10 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 // once").
 func (c *Client) PopulateDirectory(p *sim.Proc, h *nas.Handle) error {
 	for off := int64(0); off < h.Size; off += c.cfg.BlockSize {
-		bl := min64(c.cfg.BlockSize, h.Size-off)
+		bl := min(c.cfg.BlockSize, h.Size-off)
 		if err := c.rpcFetch(p, h, off, bl); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -72,12 +72,13 @@ func TestParallelismClamp(t *testing.T) {
 }
 
 // TestExperimentGridDeterminism is the determinism regression contract:
-// the full scale-out artifacts — the Figure 8 client sweep and the new
-// Figure 9 clients×servers grid — rendered twice from scratch with the
-// same configuration must be byte-identical, both serially and across a
-// worker pool. Every cell builds its own scheduler and cluster from the
-// same seed state, so any divergence means nondeterminism leaked into
-// the simulation or the assembly order.
+// the full scale-out artifacts — the Figure 8 client sweep, the Figure 9
+// clients×servers grid, and the open-loop trace replay — rendered twice
+// from scratch with the same configuration must be byte-identical, both
+// serially and across a worker pool. Every cell builds its own scheduler
+// and cluster (and regenerates its own trace) from the same seed state,
+// so any divergence means nondeterminism leaked into the simulation, the
+// trace generator, or the assembly order.
 func TestExperimentGridDeterminism(t *testing.T) {
 	old := Parallelism()
 	defer SetParallelism(old)
@@ -85,7 +86,8 @@ func TestExperimentGridDeterminism(t *testing.T) {
 	render := func() string {
 		thr, resp, cpu, link := ScalingTables(Scaling(tiny))
 		return thr.String() + resp.String() + cpu.String() + link.String() +
-			FormatScalingGrid(ScalingGrid(tiny))
+			FormatScalingGrid(ScalingGrid(tiny)) +
+			FormatTraceReplay(TraceReplay(tiny))
 	}
 	SetParallelism(1)
 	first := render()

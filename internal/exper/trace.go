@@ -1,0 +1,188 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"danas/internal/core"
+	"danas/internal/metrics"
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/trace"
+	"danas/internal/workload"
+)
+
+// TraceShardCounts is the server axis of the trace-replay experiment.
+var TraceShardCounts = []int{1, 2, 4, 8}
+
+// traceDepth is the replayer's bounded submission queue depth: enough
+// for an open-loop run while a healthy protocol keeps up, small enough
+// that a hopelessly overloaded cell degrades to bounded back-pressure
+// (counted as stalls) instead of unbounded queue growth.
+const traceDepth = 64
+
+// TraceGen returns the deterministic synthetic trace configuration the
+// experiment replays: a Zipf-skewed (files and offsets) 70/30 read/write
+// mix arriving as a Poisson stream whose offered load is sized to press
+// a single shard, so adding shards visibly drains the tail.
+func TraceGen(scale Scale) trace.GenConfig {
+	return trace.GenConfig{
+		Ops:      scale.count(4000),
+		Files:    8,
+		FileSize: scale.bytes(4 << 20),
+		IOSize:   scalingBlock,
+		ReadFrac: 0.7,
+		FileZipf: 0.9,
+		OffZipf:  0.9,
+		Rate:     6000,
+		Seed:     42,
+	}
+}
+
+// TraceRow is one (system, shards) cell of the trace replay.
+type TraceRow struct {
+	System string
+	Shards int
+	// MBps is completed-byte throughput over the replay.
+	MBps float64
+	// P50/P95/P99Micros are response-time percentiles measured from
+	// each operation's recorded arrival time (queueing included).
+	P50Micros float64
+	P95Micros float64
+	P99Micros float64
+	// Stalls counts submissions delayed past their arrival time by a
+	// full queue (0 = the replay stayed open-loop).
+	Stalls int64
+	// MaxOutstanding is the deepest the submission queue got.
+	MaxOutstanding int
+	// ShardCPUPct and ShardLinkPct are per-shard utilization over the
+	// replay, indexed by shard.
+	ShardCPUPct  []float64
+	ShardLinkPct []float64
+}
+
+// TraceReplay replays the synthetic trace over every protocol and fleet
+// size: the open-loop driver issues each operation at its recorded
+// arrival instant over an asynchronous client of depth traceDepth — the
+// cached (O)DAFS clients natively, the RPC stacks through the generic
+// adapter — and reports throughput, latency percentiles and per-shard
+// utilization per cell.
+func TraceReplay(scale Scale) []TraceRow {
+	return TraceReplayOver(scale, TraceShardCounts)
+}
+
+// TraceReplayOver runs the replay over an explicit shard axis (tests use
+// reduced axes; TraceReplay uses the full one).
+func TraceReplayOver(scale Scale, shardCounts []int) []TraceRow {
+	gen := TraceGen(scale)
+	g := RunGrid(len(shardCounts), len(ScalingSystems),
+		func(i, j int) string {
+			return fmt.Sprintf("trace/%dshards/%s", shardCounts[i], ScalingSystems[j])
+		},
+		func(i, j int) TraceRow {
+			return traceCell(ScalingSystems[j], shardCounts[i], gen)
+		})
+	return g.Flat()
+}
+
+// traceCell replays the trace once: one client machine drives the
+// sharded fleet, every traced file striped block-range across the
+// shards and warm in every shard's cache.
+func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
+	tr := trace.Generate(gen)
+	extents := tr.Extents()
+	var footprint int64
+	for _, ext := range extents {
+		footprint += ext.Size
+	}
+
+	cfg := DefaultClusterConfig()
+	cfg.Clients = 1
+	cfg.Shards = shards
+	cfg.ServerCacheBlockSize = scalingBlock
+	cfg.StripeUnit = scalingBlock
+	cfg.ServerCacheBlocks = int(footprint/scalingBlock) + 64
+	cfg.Params.NICTLBSize = int(footprint/4096) + 1024
+	if cfg.NFSWorkers < traceDepth {
+		cfg.NFSWorkers = traceDepth // one nfsd per queue slot
+	}
+	cl := NewCluster(cfg)
+	defer cl.Close()
+	for _, ext := range extents {
+		cl.CreateWarmFile(ext.File, ext.Size)
+	}
+
+	fileBlocks := int(footprint / scalingBlock)
+	dataBlocks := max(fileBlocks/4, 2) // cache ~a quarter of the footprint: the Zipf hot set
+	var ac nas.AsyncClient
+	switch system {
+	case "DAFS", "ODAFS":
+		ac = cl.StripedCachedClient(0, core.Config{
+			BlockSize:  scalingBlock,
+			DataBlocks: dataBlocks,
+			Headers:    fileBlocks + 64,
+			UseORDMA:   system == "ODAFS",
+		}).Async(traceDepth)
+	default:
+		ac = nas.NewAsync(cl.StripedNFSClient(0, nfsKindOf(system)), traceDepth)
+	}
+
+	var res *workload.ReplayResult
+	var rerr error
+	cl.Go("trace-replay", func(p *sim.Proc) {
+		cl.MarkServerEpochs()
+		res, rerr = workload.Replay(p, ac, tr)
+	})
+	cl.Run()
+	if rerr != nil {
+		panic(fmt.Sprintf("trace %s/%ds: %v", system, shards, rerr))
+	}
+	row := TraceRow{
+		System:         system,
+		Shards:         shards,
+		MBps:           res.MBps(),
+		P50Micros:      res.Lat.Quantile(0.50).Micros(),
+		P95Micros:      res.Lat.Quantile(0.95).Micros(),
+		P99Micros:      res.Lat.Quantile(0.99).Micros(),
+		Stalls:         res.Stalls,
+		MaxOutstanding: res.MaxOutstanding,
+	}
+	for _, sh := range cl.Shards {
+		row.ShardCPUPct = append(row.ShardCPUPct, sh.Host.CPU.Utilization()*100)
+		row.ShardLinkPct = append(row.ShardLinkPct, sh.NIC.Port().TxUtilization()*100)
+	}
+	return row
+}
+
+// TraceTables renders the replay as throughput and tail-latency tables
+// (x = shards, one column per system).
+func TraceTables(rows []TraceRow) (thr, p99 *metrics.Table) {
+	thr = metrics.NewTable("Trace replay: completed throughput vs shards",
+		"shards", "MB/s", ScalingSystems...)
+	p99 = metrics.NewTable("Trace replay: p99 response time vs shards",
+		"shards", "us", ScalingSystems...)
+	for _, r := range rows {
+		thr.Set(float64(r.Shards), r.System, r.MBps)
+		p99.Set(float64(r.Shards), r.System, r.P99Micros)
+	}
+	return thr, p99
+}
+
+// FormatTraceReplay renders the replay deterministically: the summary
+// tables followed by one detail line per cell carrying the full
+// percentile set, queue behaviour, and every shard's utilization.
+func FormatTraceReplay(rows []TraceRow) string {
+	var b strings.Builder
+	thr, p99 := TraceTables(rows)
+	b.WriteString(thr.String())
+	b.WriteString("\n")
+	b.WriteString(p99.String())
+	b.WriteString("\n")
+	b.WriteString("per-cell detail (latency us from recorded arrival; stalls = closed-loop submissions):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "S=%d %-16s agg=%7.1f MB/s  p50=%8.1f p95=%8.1f p99=%8.1f  depth<=%-3d stalls=%-5d cpu%%=%s link%%=%s\n",
+			r.Shards, r.System, r.MBps, r.P50Micros, r.P95Micros, r.P99Micros,
+			r.MaxOutstanding, r.Stalls, pctList(r.ShardCPUPct), pctList(r.ShardLinkPct))
+	}
+	return b.String()
+}

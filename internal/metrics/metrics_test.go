@@ -61,6 +61,66 @@ func TestHistQuantileApprox(t *testing.T) {
 	}
 }
 
+// TestHistTailPercentiles drives the estimator with a bimodal
+// distribution — the shape open-loop replay tails take — and checks
+// p50 sits in the body while p95/p99 land in the far mode, each within
+// the histogram's one-bucket (~12.5%) relative error.
+func TestHistTailPercentiles(t *testing.T) {
+	var h Hist
+	for i := 0; i < 900; i++ {
+		h.Observe(100 * sim.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * sim.Millisecond)
+	}
+	if p50 := h.Quantile(0.50).Micros(); p50 < 100 || p50 > 115 {
+		t.Errorf("p50 = %vus, want ~100 within one bucket", p50)
+	}
+	for _, q := range []float64{0.95, 0.99} {
+		if v := h.Quantile(q).Micros(); v < 10000 || v > 11500 {
+			t.Errorf("p%.0f = %vus, want ~10000 within one bucket", q*100, v)
+		}
+	}
+	// Strictly inside the body (900 of 1000 samples): p85 reports it.
+	if p85 := h.Quantile(0.85).Micros(); p85 > 115 {
+		t.Errorf("p85 = %vus, want the 100us body", p85)
+	}
+}
+
+// TestHistQuantileMonotoneInQ checks the estimator never inverts:
+// a higher probability can only report an equal or later bucket.
+func TestHistQuantileMonotoneInQ(t *testing.T) {
+	r := sim.NewRand(3)
+	var h Hist
+	for i := 0; i < 5000; i++ {
+		// Heavy-tailed synthetic latencies: 1us..~1s.
+		h.Observe(sim.Micros(1 + 1e6*r.Float64()*r.Float64()*r.Float64()))
+	}
+	qs := []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0}
+	for i := 1; i < len(qs); i++ {
+		lo, hi := h.Quantile(qs[i-1]), h.Quantile(qs[i])
+		if hi < lo {
+			t.Fatalf("Quantile(%g) = %v below Quantile(%g) = %v", qs[i], hi, qs[i-1], lo)
+		}
+	}
+	if h.Quantile(1.0) < h.Max() {
+		t.Errorf("Quantile(1.0) = %v below observed max %v", h.Quantile(1.0), h.Max())
+	}
+}
+
+// TestHistSingleSample checks all quantiles of a one-sample histogram
+// cover that sample.
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Observe(42 * sim.Microsecond)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < 42*sim.Microsecond || v.Micros() > 42*1.2 {
+			t.Errorf("Quantile(%g) = %v, want the one sample's bucket", q, v)
+		}
+	}
+}
+
 func TestHistEmptyQuantile(t *testing.T) {
 	var h Hist
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 {

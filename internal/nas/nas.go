@@ -52,17 +52,15 @@ type ContentSource interface {
 }
 
 // ReadData performs a timed read via c and then materializes the bytes
-// from src into buf. It returns the bytes read.
+// from src into buf. It returns the bytes read; on a ContentSource
+// failure the partial count materialized before the error is returned
+// alongside it rather than discarded.
 func ReadData(p *sim.Proc, c Client, src ContentSource, h *Handle, off int64, buf []byte, bufID uint64) (int, error) {
 	n, err := c.Read(p, h, off, int64(len(buf)), bufID)
 	if err != nil {
-		return 0, err
+		return int(n), err
 	}
-	got, err := src.ReadAtFH(h.FH, buf[:n], off)
-	if err != nil {
-		return 0, err
-	}
-	return got, nil
+	return src.ReadAtFH(h.FH, buf[:n], off)
 }
 
 // ErrStale is returned for operations on handles the server no longer

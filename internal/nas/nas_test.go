@@ -129,15 +129,23 @@ func (m *memClient) WriteData(p *sim.Proc, h *Handle, off int64, data []byte) (i
 
 var _ Client = (*memClient)(nil)
 
-// memSource materializes bytes by handle, the ContentSource side.
+// memSource materializes bytes by handle, the ContentSource side. When
+// err is set it fails after materializing shortAfter bytes, modelling a
+// source that loses its backing mid-copy.
 type memSource struct {
-	m   *memClient
-	err error
+	m          *memClient
+	err        error
+	shortAfter int
 }
 
 func (s *memSource) ReadAtFH(fh uint64, p []byte, off int64) (int, error) {
 	if s.err != nil {
-		return 0, s.err
+		f, ok := s.m.open[fh]
+		if !ok {
+			return 0, s.err
+		}
+		n := copy(p[:min(len(p), s.shortAfter)], f.data[off:])
+		return n, s.err
 	}
 	f, ok := s.m.open[fh]
 	if !ok {

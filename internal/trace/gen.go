@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// GenConfig shapes a synthetic trace. Generation is a pure function of
+// the config: the same config always yields the same trace, so
+// experiment cells can regenerate it independently (and in parallel)
+// instead of sharing state.
+type GenConfig struct {
+	// Ops is the number of records.
+	Ops int
+	// Files is the number of distinct files ("f00", "f01", ...).
+	Files int
+	// FileSize is each file's size; offsets stay within it, so replays
+	// never extend files.
+	FileSize int64
+	// IOSize is every operation's transfer size.
+	IOSize int64
+	// ReadFrac is the fraction of operations that are reads; the rest
+	// are writes. 1.0 is a pure read stream.
+	ReadFrac float64
+	// FileZipf is the Zipf exponent of the file popularity distribution
+	// (0 = uniform; ~0.9 is the classic hot-spot skew).
+	FileZipf float64
+	// OffZipf is the Zipf exponent over a file's block offsets
+	// (0 = uniform). Hot blocks are scattered through the file by a
+	// seeded permutation so the hot set is not one contiguous prefix.
+	OffZipf float64
+	// Rate is the mean arrival rate in operations per simulated second;
+	// interarrival gaps are exponential (Poisson arrivals). Rate <= 0
+	// makes every operation arrive at time zero.
+	Rate float64
+	// Seed selects the pseudorandom stream.
+	Seed uint64
+}
+
+// Generate builds the trace described by cfg deterministically.
+func Generate(cfg GenConfig) Trace {
+	if cfg.Ops <= 0 {
+		panic("trace: GenConfig.Ops must be positive")
+	}
+	if cfg.Files <= 0 {
+		cfg.Files = 1
+	}
+	if cfg.IOSize <= 0 {
+		panic("trace: GenConfig.IOSize must be positive")
+	}
+	if cfg.FileSize < cfg.IOSize {
+		cfg.FileSize = cfg.IOSize
+	}
+	if cfg.ReadFrac < 0 || cfg.ReadFrac > 1 {
+		panic(fmt.Sprintf("trace: GenConfig.ReadFrac %g outside [0, 1]", cfg.ReadFrac))
+	}
+	blocks := int(cfg.FileSize / cfg.IOSize)
+	names := make([]string, cfg.Files)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%02d", i)
+	}
+	fileDist := newZipf(cfg.Files, cfg.FileZipf)
+	offDist := newZipf(blocks, cfg.OffZipf)
+	// Popularity rank -> block number: scatter the hot blocks so skew
+	// does not degenerate into a sequential prefix scan.
+	scatter := sim.NewRand(cfg.Seed ^ 0x74726163_65736372).Perm(blocks)
+	rng := sim.NewRand(cfg.Seed)
+	var at float64 // seconds
+	t := make(Trace, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		// Four draws per record, always in the same order, so the
+		// stream stays aligned whatever the knobs.
+		gap := rng.Exp()
+		isWrite := rng.Float64() >= cfg.ReadFrac
+		f := fileDist.sample(rng)
+		b := scatter[offDist.sample(rng)]
+		if cfg.Rate > 0 {
+			at += gap / cfg.Rate
+		}
+		kind := nas.OpRead
+		if isWrite {
+			kind = nas.OpWrite
+		}
+		t = append(t, Record{
+			At:   sim.Duration(at * 1e9),
+			Kind: kind,
+			File: names[f],
+			Off:  int64(b) * cfg.IOSize,
+			Size: cfg.IOSize,
+		})
+	}
+	return t
+}
+
+// zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s via an inverse-CDF lookup; s = 0 degenerates to uniform.
+type zipf struct {
+	cum []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = math.Pow(float64(i+1), -s)
+		}
+		total += w
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipf{cum: cum}
+}
+
+func (z *zipf) sample(r *sim.Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}

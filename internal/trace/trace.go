@@ -1,0 +1,171 @@
+// Package trace defines a compact I/O trace record format — arrival
+// time, operation kind, file, offset, size — together with deterministic
+// synthetic generators (Zipf hot-spots over files and offsets,
+// configurable read/write mixes, Poisson arrivals) and a text codec, so
+// real timestamped request streams can be stored, regenerated and
+// replayed. The open-loop replayer in internal/workload issues a trace's
+// operations at their recorded arrival times over any nas.AsyncClient.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"danas/internal/nas"
+	"danas/internal/sim"
+)
+
+// Record is one traced operation.
+type Record struct {
+	// At is the arrival time as an offset from the start of the trace.
+	At sim.Duration
+	// Kind is the data operation (nas.OpRead or nas.OpWrite).
+	Kind nas.OpKind
+	// File names the target file within the replayed namespace.
+	File string
+	// Off and Size delimit the transferred byte range.
+	Off  int64
+	Size int64
+}
+
+// Trace is a sequence of records in non-decreasing arrival order — the
+// open-loop replayer issues them front to back, sleeping to each At.
+// Generators emit sorted records and the codec enforces the ordering in
+// both directions, so an out-of-order external trace is rejected at
+// decode time instead of silently replaying with phantom stalls.
+type Trace []Record
+
+// FileExtent is the minimum size a file must have for a trace to replay
+// against it.
+type FileExtent struct {
+	File string
+	Size int64
+}
+
+// Extents returns, per distinct file and in first-appearance order, the
+// smallest size covering every record touching it (max Off+Size). The
+// replay harness creates or validates the namespace from this.
+func (t Trace) Extents() []FileExtent {
+	idx := make(map[string]int)
+	var out []FileExtent
+	for _, r := range t {
+		end := r.Off + r.Size
+		i, ok := idx[r.File]
+		if !ok {
+			idx[r.File] = len(out)
+			out = append(out, FileExtent{File: r.File, Size: end})
+			continue
+		}
+		if end > out[i].Size {
+			out[i].Size = end
+		}
+	}
+	return out
+}
+
+// Bytes returns the total bytes the trace transfers.
+func (t Trace) Bytes() int64 {
+	var total int64
+	for _, r := range t {
+		total += r.Size
+	}
+	return total
+}
+
+// Duration returns the arrival time of the last record.
+func (t Trace) Duration() sim.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].At
+}
+
+// Encode writes the trace in the text format, one record per line:
+//
+//	<arrival-ns> <R|W> <file> <offset> <bytes>
+//
+// Records must satisfy the same constraints Decode enforces — file
+// names non-empty and whitespace-free, At non-negative and
+// non-decreasing, Off non-negative, Size positive — so every trace
+// Encode accepts, Decode can read back.
+func (t Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var prev sim.Duration
+	for i, r := range t {
+		if r.File == "" || strings.IndexFunc(r.File, isSpace) >= 0 {
+			return fmt.Errorf("trace: record %d: file name %q not encodable", i, r.File)
+		}
+		if r.At < 0 || r.Off < 0 || r.Size <= 0 {
+			return fmt.Errorf("trace: record %d: at %d off %d size %d not encodable", i, int64(r.At), r.Off, r.Size)
+		}
+		if r.At < prev {
+			return fmt.Errorf("trace: record %d: arrival %d before record %d's %d", i, int64(r.At), i-1, int64(prev))
+		}
+		prev = r.At
+		kind := "R"
+		if r.Kind == nas.OpWrite {
+			kind = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %s %d %d\n", int64(r.At), kind, r.File, r.Off, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func isSpace(r rune) bool {
+	return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+}
+
+// Decode parses the text format produced by Encode. Blank lines and
+// lines starting with '#' are skipped.
+func Decode(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	var t Trace
+	line := 0
+	var prev int64
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		f := strings.Fields(s)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(f))
+		}
+		at, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad arrival %q", line, f[0])
+		}
+		if at < prev {
+			return nil, fmt.Errorf("trace: line %d: arrival %d out of order (previous %d)", line, at, prev)
+		}
+		prev = at
+		var kind nas.OpKind
+		switch f[1] {
+		case "R":
+			kind = nas.OpRead
+		case "W":
+			kind = nas.OpWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op kind %q", line, f[1])
+		}
+		off, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad offset %q", line, f[3])
+		}
+		size, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("trace: line %d: bad size %q", line, f[4])
+		}
+		t = append(t, Record{At: sim.Duration(at), Kind: kind, File: f[2], Off: off, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

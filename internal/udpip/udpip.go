@@ -157,7 +157,7 @@ func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body
 	}
 	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
 	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)
-	total := int(max64(1, (bytes+maxFrag-1)/maxFrag))
+	total := int(max(1, (bytes+maxFrag-1)/maxFrag))
 	sk.stack.nextID++
 	id := sk.stack.nextID
 	sent := int64(0)
@@ -189,7 +189,7 @@ func (sk *Socket) SendToAsync(dst *Stack, dstPort int, bytes int64, body any, ta
 	h := sk.stack.h
 	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
 	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)
-	total := int(max64(1, (bytes+maxFrag-1)/maxFrag))
+	total := int(max(1, (bytes+maxFrag-1)/maxFrag))
 	sk.stack.nextID++
 	id := sk.stack.nextID
 	sent := int64(0)
@@ -226,10 +226,3 @@ func (sk *Socket) Recv(p *sim.Proc) *Datagram {
 
 // Pending returns queued datagrams.
 func (sk *Socket) Pending() int { return sk.queue.Len() }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+
+	"danas/internal/metrics"
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/trace"
+)
+
+// ReplayResult reports one open-loop trace replay.
+type ReplayResult struct {
+	// Ops, Bytes and Errors cover completed operations.
+	Ops    int64
+	Bytes  int64
+	Errors int64
+	// Stalls counts operations whose submission was delayed past their
+	// recorded arrival time because the queue was full. A truly
+	// open-loop run has zero; a nonzero count means the protocol fell
+	// far enough behind to exhaust the queue depth and the remaining
+	// issue times are distorted (closed-loop back-pressure).
+	Stalls int64
+	// MaxOutstanding is the deepest the submission queue actually got,
+	// observed at each submission instant.
+	MaxOutstanding int
+	// Issues[i] is the instant record i was actually submitted; in an
+	// open-loop run it equals Start + trace[i].At exactly.
+	Issues []sim.Time
+	// Start is when the replay clock started; Elapsed spans from Start
+	// to the last completion.
+	Start   sim.Time
+	Elapsed sim.Duration
+	// Lat holds per-operation response times measured from each
+	// record's scheduled arrival (not its possibly-delayed submission)
+	// to its completion, so queueing delay counts — the open-loop
+	// convention that avoids coordinated omission.
+	Lat metrics.Hist
+}
+
+// MBps returns completed-byte throughput over the replay in MB/s (10^6
+// bytes per second, the paper's unit).
+func (r *ReplayResult) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// Replay drives an open-loop replay of tr over ac: every record is
+// submitted at its recorded arrival time regardless of completions —
+// a slow protocol accumulates queued operations instead of distorting
+// subsequent issue times — while a collector process reaps completions
+// and accumulates latency percentiles. Submission only stalls if the
+// async client's bounded queue fills (reported via Stalls). Files named
+// by the trace must already exist; they are opened before the clock
+// starts and closed after the last completion. The returned error is
+// the first open failure or per-operation error.
+func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, error) {
+	res := &ReplayResult{Issues: make([]sim.Time, len(tr))}
+	if len(tr) == 0 {
+		return res, nil
+	}
+	extents := tr.Extents()
+	handles := make(map[string]*nas.Handle, len(extents))
+	opened := make([]*nas.Handle, 0, len(extents))
+	defer func() {
+		for _, h := range opened {
+			ac.Close(p, h)
+		}
+	}()
+	for _, ext := range extents {
+		h, err := ac.Open(p, ext.File)
+		if err != nil {
+			return res, fmt.Errorf("replay: open %s: %w", ext.File, err)
+		}
+		handles[ext.File] = h
+		opened = append(opened, h)
+	}
+
+	start := p.Now()
+	res.Start = start
+	// arrival maps a submission tag to its scheduled arrival time. The
+	// scheduler runs one process at a time and the submitter stores the
+	// tag before yielding, so the collector always finds it.
+	arrival := make(map[uint64]sim.Time, len(tr))
+	var firstErr error
+	var lastDone sim.Time
+	collected := 0
+	done := sim.NewSignal(p.Sched())
+	p.Sched().Go("replay-collect", func(wp *sim.Proc) {
+		for collected < len(tr) {
+			for _, comp := range ac.Wait(wp) {
+				collected++
+				res.Ops++
+				res.Bytes += comp.N
+				if comp.Err != nil {
+					res.Errors++
+					if firstErr == nil {
+						firstErr = comp.Err
+					}
+				}
+				res.Lat.Observe(comp.Done.Sub(arrival[comp.Tag]))
+				delete(arrival, comp.Tag)
+				if comp.Done > lastDone {
+					lastDone = comp.Done
+				}
+			}
+		}
+		done.Fire()
+	})
+	depth := uint64(ac.Depth())
+	for i, rec := range tr {
+		target := start.Add(rec.At)
+		if now := p.Now(); now < target {
+			p.Sleep(target.Sub(now))
+		}
+		tag := ac.Submit(p, nas.Op{
+			Kind: rec.Kind,
+			H:    handles[rec.File],
+			Off:  rec.Off,
+			N:    rec.Size,
+			// Cycle through Depth buffer identities, modelling a
+			// depth-sized pool of application buffers.
+			BufID: 1 + uint64(i)%depth,
+		})
+		arrival[tag] = target
+		res.Issues[i] = p.Now()
+		if p.Now() > target {
+			res.Stalls++
+		}
+		if o := ac.Outstanding(); o > res.MaxOutstanding {
+			res.MaxOutstanding = o
+		}
+	}
+	done.Wait(p)
+	res.Elapsed = lastDone.Sub(start)
+	return res, firstErr
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/trace"
+)
+
+// slowClient is a deliberately slow nas.Client: every data operation
+// takes exactly opTime, far longer than the trace's interarrival gaps,
+// so an open-loop replay must pile up outstanding operations.
+type slowClient struct {
+	opTime sim.Duration
+	size   int64
+}
+
+var _ nas.Client = (*slowClient)(nil)
+
+func (c *slowClient) Name() string { return "slow" }
+func (c *slowClient) Open(p *sim.Proc, name string) (*nas.Handle, error) {
+	return &nas.Handle{FH: 1, Size: c.size, Name: name}, nil
+}
+func (c *slowClient) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	p.Sleep(c.opTime)
+	return n, nil
+}
+func (c *slowClient) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	p.Sleep(c.opTime)
+	return n, nil
+}
+func (c *slowClient) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) { return h.Size, nil }
+func (c *slowClient) Create(p *sim.Proc, name string) (*nas.Handle, error) {
+	return c.Open(p, name)
+}
+func (c *slowClient) Remove(p *sim.Proc, name string) error  { return nil }
+func (c *slowClient) Close(p *sim.Proc, h *nas.Handle) error { return nil }
+func (c *slowClient) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {
+	return c.Write(p, h, off, int64(len(data)), 0)
+}
+
+// uniformTrace builds n records arriving every gap, alternating a write
+// in every fourth slot.
+func uniformTrace(n int, gap sim.Duration) trace.Trace {
+	tr := make(trace.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		kind := nas.OpRead
+		if i%4 == 3 {
+			kind = nas.OpWrite
+		}
+		tr = append(tr, trace.Record{
+			At: sim.Duration(i) * gap, Kind: kind,
+			File: "f", Off: int64(i) * 4096, Size: 4096,
+		})
+	}
+	return tr
+}
+
+// TestReplayOpenLoopIssueTimes is the open-loop acceptance property:
+// with a queue deep enough, every operation is issued at exactly its
+// recorded arrival time even though the deliberately slow protocol has
+// many operations queued (depth well past 1), so a slow protocol cannot
+// distort subsequent issue times.
+func TestReplayOpenLoopIssueTimes(t *testing.T) {
+	const ops = 32
+	gap := 20 * sim.Microsecond
+	tr := uniformTrace(ops, gap)
+	sc := &slowClient{opTime: sim.Millis(1), size: int64(ops) * 4096}
+	s := sim.New()
+	t.Cleanup(s.Close)
+	ac := nas.NewAsync(sc, ops) // deep enough that submission never blocks
+	var res *ReplayResult
+	var err error
+	s.Go("replay", func(p *sim.Proc) {
+		res, err = Replay(p, ac, tr)
+	})
+	s.Run()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Stalls != 0 {
+		t.Errorf("open-loop replay recorded %d stalls, want 0", res.Stalls)
+	}
+	for i, rec := range tr {
+		if want := res.Start.Add(rec.At); res.Issues[i] != want {
+			t.Fatalf("record %d issued at %v, want its arrival time %v (drifted %v)",
+				i, res.Issues[i], want, res.Issues[i].Sub(want))
+		}
+	}
+	// The slow protocol really had a deep queue: 1ms ops arriving every
+	// 20us stack nearly the whole trace up.
+	if res.MaxOutstanding <= 1 {
+		t.Errorf("MaxOutstanding = %d; the slow protocol should have queued many ops", res.MaxOutstanding)
+	}
+	if res.Ops != ops || res.Errors != 0 {
+		t.Errorf("completed %d ops with %d errors, want %d/0", res.Ops, res.Errors, ops)
+	}
+	if res.Lat.Count() != ops {
+		t.Errorf("latency histogram holds %d samples, want %d", res.Lat.Count(), ops)
+	}
+	// Every latency includes at least the service time.
+	if res.Lat.Min() < sc.opTime {
+		t.Errorf("min latency %v below the op service time %v", res.Lat.Min(), sc.opTime)
+	}
+	if res.Elapsed < tr.Duration()+sc.opTime {
+		t.Errorf("Elapsed %v shorter than last arrival + service %v", res.Elapsed, tr.Duration()+sc.opTime)
+	}
+}
+
+// TestReplayBoundedDepthBackPressure checks the other side of the
+// contract: with a shallow queue the replayer degrades to bounded
+// back-pressure — submissions stall past their arrival times and the
+// stalls are counted — instead of exceeding the depth.
+func TestReplayBoundedDepthBackPressure(t *testing.T) {
+	const ops = 16
+	tr := uniformTrace(ops, 20*sim.Microsecond)
+	sc := &slowClient{opTime: sim.Millis(1), size: int64(ops) * 4096}
+	s := sim.New()
+	t.Cleanup(s.Close)
+	ac := nas.NewAsync(sc, 2)
+	var res *ReplayResult
+	var err error
+	s.Go("replay", func(p *sim.Proc) {
+		res, err = Replay(p, ac, tr)
+	})
+	s.Run()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.MaxOutstanding > 2 {
+		t.Errorf("MaxOutstanding = %d, bounded depth is 2", res.MaxOutstanding)
+	}
+	if res.Stalls == 0 {
+		t.Error("shallow queue against a slow protocol should record stalls")
+	}
+	late := false
+	for i, rec := range tr {
+		if res.Issues[i] > res.Start.Add(rec.At) {
+			late = true
+		}
+	}
+	if !late {
+		t.Error("no issue time lagged its arrival despite a full queue")
+	}
+	if res.Ops != ops {
+		t.Errorf("completed %d ops, want %d", res.Ops, ops)
+	}
+}
+
+// TestReplayOverDAFS replays a generated trace end-to-end over the real
+// simulated stack (the generic adapter over a raw DAFS session client)
+// and checks bytes, cleanliness, and that per-op latencies are sane.
+func TestReplayOverDAFS(t *testing.T) {
+	s, fs, sc, c, _ := rig(t)
+	gen := trace.GenConfig{
+		Ops: 200, Files: 4, FileSize: 1 << 20, IOSize: 16 * 1024,
+		ReadFrac: 1.0, FileZipf: 0.8, OffZipf: 0.8, Rate: 4000, Seed: 11,
+	}
+	tr := trace.Generate(gen)
+	for _, ext := range tr.Extents() {
+		f, err := fs.Create(ext.File, ext.Size)
+		if err != nil {
+			t.Fatalf("create %s: %v", ext.File, err)
+		}
+		sc.Warm(f)
+	}
+	ac := nas.NewAsync(c, 32)
+	var res *ReplayResult
+	var err error
+	s.Go("replay", func(p *sim.Proc) {
+		res, err = Replay(p, ac, tr)
+	})
+	s.Run()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Ops != int64(gen.Ops) || res.Errors != 0 {
+		t.Fatalf("completed %d ops with %d errors, want %d/0", res.Ops, res.Errors, gen.Ops)
+	}
+	if res.Bytes != tr.Bytes() {
+		t.Errorf("moved %d bytes, trace carries %d", res.Bytes, tr.Bytes())
+	}
+	if res.Lat.Quantile(0.5) <= 0 || res.Lat.Quantile(0.99) < res.Lat.Quantile(0.5) {
+		t.Errorf("percentiles implausible: p50 %v p99 %v", res.Lat.Quantile(0.5), res.Lat.Quantile(0.99))
+	}
+	if res.MBps() <= 0 {
+		t.Error("throughput not positive")
+	}
+}
+
+// TestReplayEmptyTrace checks the degenerate case returns cleanly.
+func TestReplayEmptyTrace(t *testing.T) {
+	s := sim.New()
+	t.Cleanup(s.Close)
+	ac := nas.NewAsync(&slowClient{opTime: sim.Micros(1), size: 4096}, 1)
+	s.Go("replay", func(p *sim.Proc) {
+		res, err := Replay(p, ac, nil)
+		if err != nil || res.Ops != 0 {
+			t.Errorf("empty replay = (%+v, %v), want clean zero result", res, err)
+		}
+	})
+	s.Run()
+}
