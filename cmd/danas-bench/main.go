@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|trace|all]...
+//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|trace|failure|all]...
 //
 // With no experiment arguments it runs everything. Experiments can be
 // named positionally or via -exper (comma-separated); the two forms
@@ -39,12 +39,13 @@ var known = map[string]func(exper.Scale){
 	"scaling-grid": runScalingGrid,
 	"ablations":    runAblations,
 	"trace":        runTrace,
+	"failure":      runFailure,
 }
 
 // order is what "all" runs; it uses the combined fig34 so the Figure 3/4
 // sweep runs once. New experiments append so earlier sections stay
 // byte-identical.
-var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace"}
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure"}
 
 // validNames returns every accepted experiment argument, sorted.
 func validNames() []string {
@@ -194,6 +195,12 @@ func runScaling(scale exper.Scale) {
 func runScalingGrid(scale exper.Scale) {
 	fmt.Println("== Figure 9: clients × shards scaling grid ==")
 	fmt.Print(exper.FormatScalingGrid(exper.ScalingGrid(scale)))
+	fmt.Println()
+}
+
+func runFailure(scale exper.Scale) {
+	fmt.Println("== Failure injection: shard crash/restart and link degradation over the sharded fleet ==")
+	fmt.Print(exper.FormatFailure(exper.Failure(scale)))
 	fmt.Println()
 }
 

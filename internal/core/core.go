@@ -92,10 +92,19 @@ type Client struct {
 	// the canonical handle the application holds.
 	delegations map[string][]*nas.Handle
 	// inflight coalesces concurrent fetches of the same block: later
-	// readers wait for the first fetch instead of duplicating it.
-	inflight map[cache.Key]*sim.Signal
+	// readers wait for the first fetch instead of duplicating it, and
+	// inherit its outcome — including its error, so a failed fetch under
+	// a crashed shard is reported by every coalesced reader instead of
+	// being silently swallowed.
+	inflight map[cache.Key]*inflightFetch
 
 	stats Stats
+}
+
+// inflightFetch is one in-progress block fetch on the coalescing table.
+type inflightFetch struct {
+	sig *sim.Signal
+	err error
 }
 
 var _ nas.Client = (*Client)(nil)
@@ -148,8 +157,27 @@ func NewStripedClient(s *sim.Scheduler, clientNIC *nic.NIC, srvs []*dafs.Server,
 		c:           cache.New(cfg.BlockSize, cfg.DataBlocks, cfg.Headers, opts...),
 		cfg:         cfg,
 		delegations: make(map[string][]*nas.Handle),
-		inflight:    make(map[cache.Key]*sim.Signal),
+		inflight:    make(map[cache.Key]*inflightFetch),
 	}
+}
+
+// SetRetry configures session retransmission on every shard's DAFS
+// session (see dafs.Client.SetRetry): a crashed shard surfaces as
+// nas.ErrTimeout after bounded backoff instead of hanging a fetch.
+func (c *Client) SetRetry(timeout sim.Duration, maxRetries int) {
+	for _, in := range c.inners {
+		in.SetRetry(timeout, maxRetries)
+	}
+}
+
+// Retries sums session-layer retransmissions across every shard session
+// — the transparently absorbed part of a fault.
+func (c *Client) Retries() uint64 {
+	var n uint64
+	for _, in := range c.inners {
+		n += in.Retries
+	}
+	return n
 }
 
 // Name implements nas.Client.
@@ -311,16 +339,16 @@ func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (i
 // (§4.2 principle (c)). Concurrent fetches of the same block coalesce.
 func (c *Client) fetchBlock(p *sim.Proc, h *nas.Handle, blockOff int64) error {
 	key := cache.Key{File: h.FH, Off: c.c.Align(blockOff)}
-	if sig, busy := c.inflight[key]; busy {
-		sig.Wait(p)
-		return nil
+	if f, busy := c.inflight[key]; busy {
+		f.sig.Wait(p)
+		return f.err
 	}
-	sig := sim.NewSignal(p.Sched())
-	c.inflight[key] = sig
-	err := c.fetchBlockUncoalesced(p, h, blockOff)
+	f := &inflightFetch{sig: sim.NewSignal(p.Sched())}
+	c.inflight[key] = f
+	f.err = c.fetchBlockUncoalesced(p, h, blockOff)
 	delete(c.inflight, key)
-	sig.Fire()
-	return err
+	f.sig.Fire()
+	return f.err
 }
 
 func (c *Client) fetchBlockUncoalesced(p *sim.Proc, h *nas.Handle, blockOff int64) error {

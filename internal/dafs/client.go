@@ -35,7 +35,23 @@ type Client struct {
 	nextXID uint64
 	pending map[uint64]*sim.Future[*completion]
 
+	// RetransmitTimeout, when nonzero, re-sends an unanswered session
+	// request after each timeout with exponential backoff (sim.Retry's
+	// shared policy), up to MaxRetries times, then fails the call with
+	// nas.ErrTimeout. There is no session duplicate-request cache:
+	// reads, writes, opens and getattrs are idempotent in the model, so
+	// re-execution is harmless; a retransmitted Create/Remove whose
+	// first execution succeeded can surface ErrExist/ErrNoEnt — the
+	// classic at-least-once artifact NFS shows whenever its DRC is cold,
+	// accepted here since the replayed workloads only retry data ops.
+	RetransmitTimeout sim.Duration
+	MaxRetries        int
+
 	Calls uint64
+	// Retries counts session retransmissions; TimedOut counts calls
+	// that exhausted their budget and failed.
+	Retries  uint64
+	TimedOut uint64
 }
 
 var _ nas.Client = (*Client)(nil)
@@ -45,6 +61,17 @@ type completion struct {
 	hdr          *wire.Header
 	payloadBytes int64
 	payload      any
+	// err is non-nil when the call failed locally (retry exhaustion);
+	// hdr is nil then.
+	err error
+}
+
+// error folds local failure and remote status into one result.
+func (res *completion) error() error {
+	if res.err != nil {
+		return res.err
+	}
+	return statusErr(res.hdr.Status)
 }
 
 // NewClient connects a client on clientNIC to srv. mode picks the client's
@@ -95,6 +122,14 @@ func (c *Client) eventLoop(p *sim.Proc) {
 	}
 }
 
+// SetRetry configures session retransmission: nonzero timeout makes a
+// dead or unreachable server surface as nas.ErrTimeout after bounded
+// backoff instead of hanging the calling process forever.
+func (c *Client) SetRetry(timeout sim.Duration, maxRetries int) {
+	c.RetransmitTimeout = timeout
+	c.MaxRetries = maxRetries
+}
+
 // call issues one session request and waits for its completion.
 func (c *Client) call(p *sim.Proc, hdr *wire.Header, m *msg, payloadBytes int64) *completion {
 	c.h.Compute(p, c.h.P.DAFSClientOp)
@@ -104,11 +139,29 @@ func (c *Client) call(p *sim.Proc, hdr *wire.Header, m *msg, payloadBytes int64)
 	m.Hdr = hdr
 	fut := sim.NewFuture[*completion](p.Sched())
 	c.pending[hdr.XID] = fut
-	c.qp.Send(p, &vi.Msg{
+	vm := &vi.Msg{
 		HeaderBytes:  hdr.WireSize() + 16*len(m.Batch),
 		PayloadBytes: payloadBytes,
 		Header:       m,
-	})
+	}
+	c.qp.Send(p, vm)
+	if c.RetransmitTimeout > 0 {
+		// Retransmission runs in event context (a library timer),
+		// charging send costs asynchronously; on budget exhaustion the
+		// pending future resolves with nas.ErrTimeout.
+		xid := hdr.XID
+		sim.Retry(c.h.S, c.RetransmitTimeout, c.MaxRetries, fut.Fired,
+			func() {
+				c.Retries++
+				c.h.ComputeAsync(c.h.P.DAFSClientOp, nil)
+				c.qp.SendAsync(vm)
+			},
+			func() {
+				delete(c.pending, xid)
+				c.TimedOut++
+				fut.Resolve(&completion{err: nas.ErrTimeout})
+			})
+	}
 	return fut.Value(p)
 }
 
@@ -130,7 +183,7 @@ func statusErr(st uint32) error {
 // Open implements nas.Client.
 func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
 	res := c.call(p, &wire.Header{Op: wire.OpOpen, Name: name}, &msg{}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return nil, err
 	}
 	return &nas.Handle{FH: res.hdr.FH, Size: res.hdr.Length, Name: name}, nil
@@ -139,7 +192,7 @@ func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
 // Getattr implements nas.Client.
 func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
 	res := c.call(p, &wire.Header{Op: wire.OpGetattr, FH: h.FH}, &msg{}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return 0, err
 	}
 	return res.hdr.Length, nil
@@ -148,7 +201,7 @@ func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
 // Create implements nas.Client.
 func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
 	res := c.call(p, &wire.Header{Op: wire.OpCreate, Name: name}, &msg{}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return nil, err
 	}
 	return &nas.Handle{FH: res.hdr.FH, Name: name}, nil
@@ -157,13 +210,13 @@ func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
 // Remove implements nas.Client.
 func (c *Client) Remove(p *sim.Proc, name string) error {
 	res := c.call(p, &wire.Header{Op: wire.OpRemove, Name: name}, &msg{}, 0)
-	return statusErr(res.hdr.Status)
+	return res.error()
 }
 
 // Close implements nas.Client.
 func (c *Client) Close(p *sim.Proc, h *nas.Handle) error {
 	res := c.call(p, &wire.Header{Op: wire.OpClose, FH: h.FH}, &msg{}, 0)
-	return statusErr(res.hdr.Status)
+	return res.error()
 }
 
 // ReadDirect reads n bytes at off into the registered buffer bufID via
@@ -175,7 +228,7 @@ func (c *Client) ReadDirect(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint
 		return 0, nil, err
 	}
 	res := c.call(p, &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA}, &msg{}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return 0, nil, err
 	}
 	return res.hdr.Length, RemoteRefOf(res.hdr), nil
@@ -186,7 +239,7 @@ func (c *Client) ReadDirect(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint
 // or client cache block), which is what distinguishes the Table 3 columns.
 func (c *Client) ReadInline(p *sim.Proc, h *nas.Handle, off, n int64) (int64, *cache.RemoteRef, error) {
 	res := c.call(p, &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n}, &msg{}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return 0, nil, err
 	}
 	return res.hdr.Length, RemoteRefOf(res.hdr), nil
@@ -207,7 +260,7 @@ func (c *Client) BatchReadDirect(p *sim.Proc, h *nas.Handle, offs []int64, n int
 	res := c.call(p, &wire.Header{
 		Op: wire.OpRead, FH: h.FH, Offset: offs[0], Length: n, BufVA: e.Seg.VA,
 	}, &msg{Batch: offs[1:]}, 0)
-	if err := statusErr(res.hdr.Status); err != nil {
+	if err := res.error(); err != nil {
 		return 0, err
 	}
 	return res.hdr.Length, nil
@@ -236,14 +289,20 @@ func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (
 	if c.transfer == Inline {
 		c.h.Compute(p, c.h.CopyCost(n)) // user buffer -> comm buffer
 		res := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n}, &msg{}, n)
-		return res.hdr.Length, statusErr(res.hdr.Status)
+		if err := res.error(); err != nil {
+			return 0, err
+		}
+		return res.hdr.Length, nil
 	}
 	e, err := c.regs.Get(p, bufID, n)
 	if err != nil {
 		return 0, err
 	}
 	res := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA}, &msg{}, 0)
-	return res.hdr.Length, statusErr(res.hdr.Status)
+	if err := res.error(); err != nil {
+		return 0, err
+	}
+	return res.hdr.Length, nil
 }
 
 // WriteData writes real bytes (content-verifying workloads).
@@ -252,5 +311,8 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	c.h.Compute(p, c.h.CopyCost(n))
 	res := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
 		&msg{Data: data}, n)
-	return res.hdr.Length, statusErr(res.hdr.Status)
+	if err := res.error(); err != nil {
+		return 0, err
+	}
+	return res.hdr.Length, nil
 }

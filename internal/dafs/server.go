@@ -40,10 +40,25 @@ type Server struct {
 	// piggyback remote memory references (§4.2.1).
 	Optimistic bool
 
+	// down marks the server host crashed: session requests are discarded
+	// and replies suppressed (failure injection; see SetDown).
+	down bool
+
 	Reads, Writes uint64
 	BytesRead     int64
-	sessions      int
+	// Discarded counts session requests dropped while down.
+	Discarded uint64
+	sessions  int
 }
+
+// SetDown marks the server host crashed (true) or restarted (false).
+// While down the session layer discards arriving requests and
+// suppresses replies of requests already in flight, so clients see
+// silence and recover through their own retransmission. The NIC itself
+// stays powered: ORDMA gets against exports the crash invalidated still
+// fault back to the initiator through the NIC-to-NIC exception path
+// (§4.1) rather than hanging it.
+func (srv *Server) SetDown(down bool) { srv.down = down }
 
 // NewServer creates a DAFS server over the given file cache. When
 // optimistic, the server cache's insert/evict hooks maintain TPT exports
@@ -91,6 +106,10 @@ type msg struct {
 func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
 	for {
 		m := qp.Recv(p)
+		if srv.down {
+			srv.Discarded++
+			continue // crashed host: the request dies unexecuted
+		}
 		req := m.Header.(*msg)
 		// Session demux + protocol handler work.
 		srv.H.Compute(p, srv.H.P.RPCServerCost+srv.H.P.DAFSServerOp)
@@ -116,6 +135,9 @@ func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
 }
 
 func (srv *Server) reply(p *sim.Proc, qp *vi.QP, h *wire.Header) {
+	if srv.down {
+		return // a crash between receive and reply drops the in-flight RPC
+	}
 	qp.Send(p, &vi.Msg{HeaderBytes: h.WireSize(), Header: &msg{Hdr: h}})
 }
 
@@ -169,7 +191,14 @@ func (srv *Server) refFor(f *fsim.File, off int64) (va uint64, length int64, cap
 	if !ok || b.Export == nil {
 		return 0, 0, nil
 	}
-	seg := b.Export.(*nic.Segment)
+	seg, ok := b.Export.(*nic.Segment)
+	if !ok {
+		// A crash or foreign writer left something that is not a live
+		// segment in the export slot: piggyback nothing instead of
+		// panicking — the client's next ORDMA against any stale
+		// reference it still holds faults and falls back to RPC.
+		return 0, 0, nil
+	}
 	if !seg.Valid() {
 		return 0, 0, nil
 	}
@@ -198,13 +227,16 @@ func (srv *Server) read(p *sim.Proc, qp *vi.QP, req *msg) {
 		} else if off+got > f.Size() {
 			got = f.Size() - off
 		}
-		for bo := off; bo < off+got; bo += srv.Cache.BlockSize() {
+		// A crash mid-handler stops the walk: a dead host does no
+		// kernel work and must not re-populate (and re-export) blocks
+		// the crash just flushed and invalidated.
+		for bo := off; bo < off+got && !srv.down; bo += srv.Cache.BlockSize() {
 			srv.H.Compute(p, srv.H.P.CacheLookup)
 			if _, hit := srv.Cache.Get(p, f, bo); !hit {
 				srv.H.Compute(p, srv.H.P.CacheInsert)
 			}
 		}
-		if got > 0 && h.BufVA != 0 {
+		if got > 0 && h.BufVA != 0 && !srv.down {
 			// Direct transfer: one RDMA write per range.
 			srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
 			srv.N.RDMAAsync(&nic.Op{
@@ -230,6 +262,9 @@ func (srv *Server) read(p *sim.Proc, qp *vi.QP, req *msg) {
 		srv.reply(p, qp, resp) // data already in flight ahead of the reply
 		return
 	}
+	if srv.down {
+		return // crash mid-read: the in-line reply is never transmitted
+	}
 	// In-line transfer: payload rides the reply (gather DMA, no copy).
 	qp.Send(p, &vi.Msg{
 		HeaderBytes:  resp.WireSize(),
@@ -250,6 +285,9 @@ func (srv *Server) write(p *sim.Proc, qp *vi.QP, req *msg) {
 		return
 	}
 	n := h.Length
+	if srv.down {
+		return // crash between receive and execution: the write dies with the host
+	}
 	if h.BufVA != 0 && n > 0 {
 		srv.H.Compute(p, srv.H.P.GMSendCost+srv.H.P.PIOWrite)
 		res := qp.RDMA(p, nic.Get, h.BufVA, n, nil)
@@ -265,8 +303,11 @@ func (srv *Server) write(p *sim.Proc, qp *vi.QP, req *msg) {
 	}
 	f.SetMtime(int64(p.Now()))
 	srv.H.Compute(p, srv.H.P.CacheInsert)
-	// Written data enters the server buffer cache (write-behind to disk).
-	srv.Cache.Install(f, h.Offset, n)
+	if !srv.down {
+		// Written data enters the server buffer cache (write-behind to
+		// disk) — unless the host died while the data was in flight.
+		srv.Cache.Install(f, h.Offset, n)
+	}
 	srv.Writes++
 	srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n})
 }

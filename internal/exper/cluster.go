@@ -237,14 +237,26 @@ func (c *Cluster) StripedCachedClient(i int, cfg core.Config) *core.Client {
 // routing per-block requests to every shard (the plain client when the
 // cluster has one shard).
 func (c *Cluster) StripedNFSClient(i int, kind nfs.Kind) nas.Client {
-	if len(c.Shards) == 1 {
-		return c.NFSClient(i, kind)
-	}
+	_, striped := c.StripedNFSClients(i, kind)
+	return striped
+}
+
+// StripedNFSClients is StripedNFSClient exposing the concrete per-shard
+// sub-clients alongside the striped facade, for callers that configure
+// retransmission or read retry counters (the failure experiment). Both
+// entry points share one mount loop so per-shard ordering and port
+// allocation cannot drift between experiments.
+func (c *Cluster) StripedNFSClients(i int, kind nfs.Kind) ([]*nfs.Client, nas.Client) {
+	ncs := make([]*nfs.Client, len(c.Shards))
 	subs := make([]nas.Client, len(c.Shards))
 	for s := range c.Shards {
-		subs[s] = c.NFSClientForShard(i, s, kind)
+		ncs[s] = c.NFSClientForShard(i, s, kind)
+		subs[s] = ncs[s]
 	}
-	return stripe.NewClient(c.Layout(), subs)
+	if len(c.Shards) == 1 {
+		return ncs, ncs[0]
+	}
+	return ncs, stripe.NewClient(c.Layout(), subs)
 }
 
 // StripedDAFSClient mounts a raw DAFS client on node i routing per-block
@@ -280,6 +292,59 @@ func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
 		}
 	}
 	return first
+}
+
+// Crash kills server shard i (failure injection): arriving and queued
+// requests are discarded unexecuted, replies of requests already in the
+// handlers are suppressed, kernel state (IP reassembly, the RPC
+// duplicate-request cache) is lost, the file cache's contents are
+// dropped, and every live TPT/ORDMA export is invalidated so
+// outstanding client references fault — §4.2's lazy-consistency
+// guarantee is exactly what makes a crash safe for direct access. The
+// shard's NIC stays powered, so ORDMA gets fault back to their
+// initiators through the NIC-to-NIC exception path instead of hanging
+// them; RPC clients recover through their own retransmission.
+func (c *Cluster) Crash(shard int) {
+	sh := c.Shards[shard]
+	sh.Stack.SetDown(true)
+	sh.DAFS.SetDown(true)
+	if sh.NFS != nil {
+		sh.NFS.SetDown(true)
+	}
+	// Cold-start the file cache now: eviction hooks invalidate each
+	// block's export, so clients holding references begin to fault
+	// immediately, while the shard is still dark.
+	sh.Cache.FlushAll()
+}
+
+// Restart brings a crashed shard back up with the cold caches the crash
+// left behind; the file system itself (the disk) survives, so post-
+// restart misses repopulate the cache through disk reads.
+func (c *Cluster) Restart(shard int) {
+	sh := c.Shards[shard]
+	// Guarantee the cold-restart contract: a handler whose disk read
+	// was already in flight at the crash instant slips past the
+	// servers' down guards and inserts its block after the crash-time
+	// flush; wipe any such resurrected blocks (and their exports)
+	// before the shard answers again.
+	sh.Cache.FlushAll()
+	sh.Stack.SetDown(false)
+	sh.DAFS.SetDown(false)
+	if sh.NFS != nil {
+		sh.NFS.SetDown(false)
+	}
+}
+
+// DegradeLink clamps shard i's link to the given rate (both directions:
+// the port's rate applies to its uplink serialization and to downlink
+// serialization toward it).
+func (c *Cluster) DegradeLink(shard int, bytesPerSec float64) {
+	c.Shards[shard].NIC.Port().SetBandwidth(bytesPerSec)
+}
+
+// RestoreLink returns shard i's link to the configured full bandwidth.
+func (c *Cluster) RestoreLink(shard int) {
+	c.Shards[shard].NIC.Port().SetBandwidth(c.P.LinkBandwidth)
 }
 
 // MarkServerEpochs restarts CPU and link utilization accounting on every

@@ -85,17 +85,19 @@ func TraceReplayOver(scale Scale, shardCounts []int) []TraceRow {
 	return g.Flat()
 }
 
-// traceCell replays the trace once: one client machine drives the
-// sharded fleet, every traced file striped block-range across the
-// shards and warm in every shard's cache.
-func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
-	tr := trace.Generate(gen)
+// replayCluster builds the cluster every replay cell (trace and
+// failure) drives: one client machine, the traced files striped
+// block-range across the shards and warm in every shard's cache, the
+// nfsd pool matched to the queue depth. It also returns the block
+// accounting the cached clients size themselves from — shared so the
+// failure experiment's baseline stays comparable to the trace
+// experiment's cells by construction.
+func replayCluster(tr trace.Trace, shards int) (cl *Cluster, fileBlocks, dataBlocks int) {
 	extents := tr.Extents()
 	var footprint int64
 	for _, ext := range extents {
 		footprint += ext.Size
 	}
-
 	cfg := DefaultClusterConfig()
 	cfg.Clients = 1
 	cfg.Shards = shards
@@ -106,14 +108,22 @@ func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
 	if cfg.NFSWorkers < traceDepth {
 		cfg.NFSWorkers = traceDepth // one nfsd per queue slot
 	}
-	cl := NewCluster(cfg)
-	defer cl.Close()
+	cl = NewCluster(cfg)
 	for _, ext := range extents {
 		cl.CreateWarmFile(ext.File, ext.Size)
 	}
+	fileBlocks = int(footprint / scalingBlock)
+	dataBlocks = max(fileBlocks/4, 2) // cache ~a quarter of the footprint: the Zipf hot set
+	return cl, fileBlocks, dataBlocks
+}
 
-	fileBlocks := int(footprint / scalingBlock)
-	dataBlocks := max(fileBlocks/4, 2) // cache ~a quarter of the footprint: the Zipf hot set
+// traceCell replays the trace once: one client machine drives the
+// sharded fleet, every traced file striped block-range across the
+// shards and warm in every shard's cache.
+func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
+	tr := trace.Generate(gen)
+	cl, fileBlocks, dataBlocks := replayCluster(tr, shards)
+	defer cl.Close()
 	var ac nas.AsyncClient
 	switch system {
 	case "DAFS", "ODAFS":

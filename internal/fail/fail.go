@@ -1,0 +1,241 @@
+// Package fail provides deterministic failure injection for the
+// simulated fleet: a Schedule is plain data — a time-ordered list of
+// events (shard crash, shard restart, link degradation, link restore) —
+// armed against a Target (the experiment cluster) on a simulation
+// scheduler. Schedules are built by helpers or generated from a seed,
+// never from wall-clock or global randomness, so a fixed schedule yields
+// byte-identical simulation output on every run and at any experiment
+// worker-pool width.
+package fail
+
+import (
+	"fmt"
+	"sort"
+
+	"danas/internal/sim"
+)
+
+// Kind is the event type.
+type Kind int
+
+const (
+	// Crash kills a shard: in-flight requests drop, the server cache is
+	// lost, and every live ORDMA export is invalidated so outstanding
+	// client references fault.
+	Crash Kind = iota
+	// Restart brings a crashed shard back with a cold cache.
+	Restart
+	// DegradeLink clamps a shard's link to Event.Rate bytes/second.
+	DegradeLink
+	// RestoreLink returns a degraded link to full bandwidth.
+	RestoreLink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case DegradeLink:
+		return "degrade-link"
+	case RestoreLink:
+		return "restore-link"
+	default:
+		return fmt.Sprintf("fail-kind(%d)", int(k))
+	}
+}
+
+// Event is one injected fault, At after the schedule is armed.
+type Event struct {
+	At    sim.Duration
+	Kind  Kind
+	Shard int
+	// Rate is the degraded link bandwidth in bytes/second (DegradeLink
+	// only).
+	Rate float64
+}
+
+func (e Event) String() string {
+	if e.Kind == DegradeLink {
+		return fmt.Sprintf("%v shard%d %s to %.0f B/s", e.At, e.Shard, e.Kind, e.Rate)
+	}
+	return fmt.Sprintf("%v shard%d %s", e.At, e.Shard, e.Kind)
+}
+
+// Target is what a schedule acts on. exper.Cluster implements it; tests
+// substitute recorders.
+type Target interface {
+	Crash(shard int)
+	Restart(shard int)
+	DegradeLink(shard int, bytesPerSec float64)
+	RestoreLink(shard int)
+}
+
+// Schedule is a list of events ordered by At.
+type Schedule []Event
+
+// Sorted returns the schedule ordered by At, stable so same-instant
+// events keep their construction order.
+func (s Schedule) Sorted() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Merge combines schedules into one time-ordered schedule.
+func Merge(scheds ...Schedule) Schedule {
+	var out Schedule
+	for _, s := range scheds {
+		out = append(out, s...)
+	}
+	return out.Sorted()
+}
+
+// Validate checks the schedule against a fleet of the given shard count:
+// events must be time-ordered with non-negative offsets, shards in
+// range, degraded rates positive, and per-shard state transitions legal
+// (no crash of a down shard, no restart of an up shard, no restore of an
+// undegraded link).
+func (s Schedule) Validate(shards int) error {
+	down := make([]bool, shards)
+	degraded := make([]bool, shards)
+	last := sim.Duration(0)
+	for i, e := range s {
+		if e.At < 0 {
+			return fmt.Errorf("fail: event %d (%v): negative time", i, e)
+		}
+		if e.At < last {
+			return fmt.Errorf("fail: event %d (%v): out of order (schedule must be sorted by At)", i, e)
+		}
+		last = e.At
+		if e.Shard < 0 || e.Shard >= shards {
+			return fmt.Errorf("fail: event %d (%v): shard out of range [0,%d)", i, e, shards)
+		}
+		switch e.Kind {
+		case Crash:
+			if down[e.Shard] {
+				return fmt.Errorf("fail: event %d (%v): shard already down", i, e)
+			}
+			down[e.Shard] = true
+		case Restart:
+			if !down[e.Shard] {
+				return fmt.Errorf("fail: event %d (%v): shard not down", i, e)
+			}
+			down[e.Shard] = false
+		case DegradeLink:
+			if e.Rate <= 0 {
+				return fmt.Errorf("fail: event %d (%v): non-positive rate", i, e)
+			}
+			degraded[e.Shard] = true
+		case RestoreLink:
+			if !degraded[e.Shard] {
+				return fmt.Errorf("fail: event %d (%v): link not degraded", i, e)
+			}
+			degraded[e.Shard] = false
+		default:
+			return fmt.Errorf("fail: event %d (%v): unknown kind", i, e)
+		}
+	}
+	return nil
+}
+
+// Arm validates the schedule and posts every event on sch relative to
+// the current instant. Events with equal At fire in schedule order (the
+// scheduler is FIFO at equal timestamps).
+func (s Schedule) Arm(sch *sim.Scheduler, shards int, tgt Target) error {
+	if err := s.Validate(shards); err != nil {
+		return err
+	}
+	for _, e := range s {
+		e := e
+		sch.After(e.At, func() {
+			switch e.Kind {
+			case Crash:
+				tgt.Crash(e.Shard)
+			case Restart:
+				tgt.Restart(e.Shard)
+			case DegradeLink:
+				tgt.DegradeLink(e.Shard, e.Rate)
+			case RestoreLink:
+				tgt.RestoreLink(e.Shard)
+			}
+		})
+	}
+	return nil
+}
+
+// CrashRestart builds a schedule crashing shard at the given instant and
+// restarting it down later.
+func CrashRestart(shard int, at, down sim.Duration) Schedule {
+	return Schedule{
+		{At: at, Kind: Crash, Shard: shard},
+		{At: at + down, Kind: Restart, Shard: shard},
+	}
+}
+
+// Degrade builds a schedule clamping shard's link to bytesPerSec over
+// [at, at+dur).
+func Degrade(shard int, at, dur sim.Duration, bytesPerSec float64) Schedule {
+	return Schedule{
+		{At: at, Kind: DegradeLink, Shard: shard, Rate: bytesPerSec},
+		{At: at + dur, Kind: RestoreLink, Shard: shard},
+	}
+}
+
+// GenConfig seeds the random schedule generator.
+type GenConfig struct {
+	// Shards is the fleet size faults are drawn over.
+	Shards int
+	// Crashes is how many crash/restart pairs to attempt; attempts that
+	// would crash an already-down shard are skipped, so the result may
+	// hold fewer.
+	Crashes int
+	// Window is the span crash instants are drawn uniformly from.
+	Window sim.Duration
+	// MeanDown is the mean of the exponentially distributed downtime.
+	MeanDown sim.Duration
+	// Seed makes the draw deterministic.
+	Seed uint64
+}
+
+// Generate draws a crash/restart schedule deterministically from the
+// seed: crash instants uniform over the window, downtimes exponential
+// around MeanDown (at least one millisecond), victims uniform over the
+// shards, overlapping crashes of the same shard skipped. The result
+// always validates against cfg.Shards.
+func Generate(cfg GenConfig) Schedule {
+	if cfg.Shards <= 0 || cfg.Crashes <= 0 || cfg.Window <= 0 {
+		return nil
+	}
+	r := sim.NewRand(cfg.Seed)
+	type draw struct {
+		at    sim.Duration
+		down  sim.Duration
+		shard int
+	}
+	draws := make([]draw, 0, cfg.Crashes)
+	for i := 0; i < cfg.Crashes; i++ {
+		d := draw{
+			at:    sim.Duration(r.Int63n(int64(cfg.Window))),
+			down:  sim.Duration(float64(cfg.MeanDown) * r.Exp()),
+			shard: r.Intn(cfg.Shards),
+		}
+		if d.down < sim.Millisecond {
+			d.down = sim.Millisecond
+		}
+		draws = append(draws, d)
+	}
+	sort.SliceStable(draws, func(i, j int) bool { return draws[i].at < draws[j].at })
+	upAt := make([]sim.Duration, cfg.Shards)
+	var out Schedule
+	for _, d := range draws {
+		if d.at < upAt[d.shard] {
+			continue // shard still down: skip the overlapping crash
+		}
+		out = append(out, CrashRestart(d.shard, d.at, d.down)...)
+		upAt[d.shard] = d.at + d.down
+	}
+	return out.Sorted()
+}

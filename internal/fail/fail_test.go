@@ -1,0 +1,109 @@
+package fail
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"danas/internal/sim"
+)
+
+// recorder is a Target that logs (time, action, shard) tuples.
+type recorder struct {
+	s   *sim.Scheduler
+	log []string
+}
+
+func (r *recorder) note(action string, shard int) {
+	r.log = append(r.log, fmt.Sprintf("%v %s %d", sim.Duration(r.s.Now()), action, shard))
+}
+func (r *recorder) Crash(shard int)                     { r.note("crash", shard) }
+func (r *recorder) Restart(shard int)                   { r.note("restart", shard) }
+func (r *recorder) DegradeLink(shard int, rate float64) { r.note("degrade", shard) }
+func (r *recorder) RestoreLink(shard int)               { r.note("restore", shard) }
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"negative time", Schedule{{At: -1, Kind: Crash}}},
+		{"out of order", Schedule{{At: 10, Kind: Crash}, {At: 5, Kind: Restart}}},
+		{"shard out of range", Schedule{{At: 0, Kind: Crash, Shard: 2}}},
+		{"double crash", Schedule{{At: 0, Kind: Crash}, {At: 1, Kind: Crash}}},
+		{"restart of up shard", Schedule{{At: 0, Kind: Restart}}},
+		{"restore of healthy link", Schedule{{At: 0, Kind: RestoreLink}}},
+		{"zero-rate degrade", Schedule{{At: 0, Kind: DegradeLink}}},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(2); err == nil {
+			t.Errorf("%s: Validate accepted %v", tc.name, tc.s)
+		}
+	}
+	good := Merge(CrashRestart(0, 10, 20), Degrade(1, 5, 30, 1e6))
+	if err := good.Validate(2); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestArmFiresInOrder(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	rec := &recorder{s: s}
+	sched := Merge(
+		CrashRestart(1, 10*sim.Millisecond, 20*sim.Millisecond),
+		Degrade(0, 5*sim.Millisecond, 40*sim.Millisecond, 31.25e6),
+	)
+	if err := sched.Arm(s, 2, rec); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	s.Run()
+	want := []string{
+		"5.000ms degrade 0",
+		"10.000ms crash 1",
+		"30.000ms restart 1",
+		"45.000ms restore 0",
+	}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("event log = %v, want %v", rec.log, want)
+	}
+}
+
+func TestArmRejectsInvalid(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	rec := &recorder{s: s}
+	bad := Schedule{{At: 0, Kind: Restart, Shard: 0}}
+	if err := bad.Arm(s, 1, rec); err == nil {
+		t.Fatal("Arm accepted an invalid schedule")
+	}
+	s.Run()
+	if len(rec.log) != 0 {
+		t.Fatalf("invalid schedule fired events: %v", rec.log)
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{
+		Shards:   4,
+		Crashes:  12,
+		Window:   sim.Second,
+		MeanDown: 50 * sim.Millisecond,
+		Seed:     7,
+	}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("generator produced no events")
+	}
+	if err := a.Validate(cfg.Shards); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, Generate(cfg)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

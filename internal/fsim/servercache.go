@@ -163,6 +163,17 @@ func (c *ServerCache) evict(b *CacheBlock) {
 	}
 }
 
+// FlushAll evicts every resident block — the crash path: a dead server's
+// cache contents are gone, and the eviction hook invalidates each
+// block's ORDMA export so outstanding client references fault instead
+// of reading stale memory. Eviction order is irrelevant (state-only, no
+// events), so map iteration order is safe here.
+func (c *ServerCache) FlushAll() {
+	for _, b := range c.blocks {
+		c.evict(b)
+	}
+}
+
 // EvictFile reclaims all blocks of a file (used to construct cold-cache and
 // partial-hit-rate experiment states).
 func (c *ServerCache) EvictFile(id FileID) {

@@ -75,3 +75,8 @@ var ErrExist = errors.New("nas: file exists")
 
 // ErrIO is returned for generic remote failures.
 var ErrIO = errors.New("nas: i/o error")
+
+// ErrTimeout is returned when an operation gives up after bounded
+// retries against an unresponsive server — the typed, countable outcome
+// of a shard crash or partition (never a hang, never a panic).
+var ErrTimeout = errors.New("nas: operation timed out")

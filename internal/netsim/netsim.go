@@ -94,6 +94,13 @@ func (p *Port) Attach(sink Sink) { p.sink = sink }
 // Config returns the port's line configuration.
 func (p *Port) Config() LineConfig { return p.cfg }
 
+// SetBandwidth changes the port's line rate (failure injection: link
+// degradation). Frames already queued keep the serialization time they
+// were enqueued with; frames sent afterwards serialize at the new rate,
+// in both directions (the rate applies to this port's uplink and to
+// downlink serialization toward it).
+func (p *Port) SetBandwidth(bytesPerSec float64) { p.cfg.Bandwidth = bytesPerSec }
+
 // txTime returns the serialization time of a frame on this line.
 func (p *Port) txTime(bytes int) sim.Duration {
 	return sim.TransferTime(int64(bytes+p.cfg.Overhead), p.cfg.Bandwidth)

@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"errors"
 	"fmt"
 
 	"danas/internal/host"
@@ -84,6 +85,35 @@ func (c *Client) RegCacheLen() int {
 	return c.regs.Len()
 }
 
+// SetRetry configures RPC retransmission (see rpc.Client): nonzero
+// timeout gives classic soft-mount NFS-over-UDP behaviour — bounded
+// exponential backoff, then nas.ErrTimeout — so a crashed shard cannot
+// hang a client process.
+func (c *Client) SetRetry(timeout sim.Duration, maxRetries int) {
+	c.rpc.RetransmitTimeout = timeout
+	c.rpc.MaxRetries = maxRetries
+}
+
+// Retransmits reports RPC retransmissions (transparent retries).
+func (c *Client) Retransmits() uint64 { return c.rpc.Retransmits }
+
+// TimedOut reports calls that exhausted their retries and failed.
+func (c *Client) TimedOut() uint64 { return c.rpc.TimedOut }
+
+// call issues one RPC and folds local transport failure (retry
+// exhaustion against a crashed server) and remote status into a typed
+// nas error.
+func (c *Client) call(p *sim.Proc, hdr *wire.Header, opts rpc.CallOpts) (*rpc.Response, error) {
+	resp := c.rpc.Call(p, hdr, opts)
+	if resp.Err != nil {
+		if errors.Is(resp.Err, rpc.ErrTimeout) {
+			return resp, nas.ErrTimeout
+		}
+		return resp, resp.Err
+	}
+	return resp, statusErr(resp.Hdr.Status)
+}
+
 func statusErr(st uint32) error {
 	switch st {
 	case wire.StatusOK:
@@ -103,8 +133,8 @@ func statusErr(st uint32) error {
 func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpOpen, Name: name}, rpc.CallOpts{})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	resp, err := c.call(p, &wire.Header{Op: wire.OpOpen, Name: name}, rpc.CallOpts{})
+	if err != nil {
 		return nil, err
 	}
 	return &nas.Handle{FH: resp.Hdr.FH, Size: resp.Hdr.Length, Name: name}, nil
@@ -114,8 +144,8 @@ func (c *Client) Open(p *sim.Proc, name string) (*nas.Handle, error) {
 func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpGetattr, FH: h.FH}, rpc.CallOpts{})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	resp, err := c.call(p, &wire.Header{Op: wire.OpGetattr, FH: h.FH}, rpc.CallOpts{})
+	if err != nil {
 		return 0, err
 	}
 	return resp.Hdr.Length, nil
@@ -125,8 +155,8 @@ func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {
 func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpCreate, Name: name}, rpc.CallOpts{})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	resp, err := c.call(p, &wire.Header{Op: wire.OpCreate, Name: name}, rpc.CallOpts{})
+	if err != nil {
 		return nil, err
 	}
 	return &nas.Handle{FH: resp.Hdr.FH, Name: name}, nil
@@ -136,8 +166,8 @@ func (c *Client) Create(p *sim.Proc, name string) (*nas.Handle, error) {
 func (c *Client) Remove(p *sim.Proc, name string) error {
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpRemove, Name: name}, rpc.CallOpts{})
-	return statusErr(resp.Hdr.Status)
+	_, err := c.call(p, &wire.Header{Op: wire.OpRemove, Name: name}, rpc.CallOpts{})
+	return err
 }
 
 // Close implements nas.Client. NFS is stateless: close is local.
@@ -163,8 +193,8 @@ func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (i
 }
 
 func (c *Client) readStandard(p *sim.Proc, h *nas.Handle, off, n int64) (int64, error) {
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n}, rpc.CallOpts{})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	resp, err := c.call(p, &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n}, rpc.CallOpts{})
+	if err != nil {
 		return 0, err
 	}
 	got := resp.Hdr.Length
@@ -184,14 +214,18 @@ func (c *Client) readPrePosting(p *sim.Proc, h *nas.Handle, off, n int64) (int64
 		return 0, err
 	}
 	defer c.h.VM.Unregister(p, reg)
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n}, rpc.CallOpts{
+	hdr := &wire.Header{Op: wire.OpRead, FH: h.FH, Offset: off, Length: n}
+	resp, err := c.call(p, hdr, rpc.CallOpts{
 		Prepare: func(xid uint64) uint64 {
 			c.h.ComputeAsync(c.h.P.PIOWrite, nil) // hand descriptor to NIC
 			c.n.PrePost(xid, n)
 			return xid
 		},
 	})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	if err != nil {
+		// Failed or timed-out call: reclaim the pre-posted buffer so a
+		// dead shard does not leak NIC state.
+		c.n.CancelPrePost(hdr.XID)
 		return 0, err
 	}
 	if !resp.Direct {
@@ -209,10 +243,10 @@ func (c *Client) readHybrid(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint
 	if err != nil {
 		return 0, err
 	}
-	resp := c.rpc.Call(p, &wire.Header{
+	resp, err := c.call(p, &wire.Header{
 		Op: wire.OpRead, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA,
 	}, rpc.CallOpts{})
-	if err := statusErr(resp.Hdr.Status); err != nil {
+	if err != nil {
 		return 0, err
 	}
 	// Data was RDMA-written directly into the registered buffer before
@@ -227,9 +261,12 @@ func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (
 	switch c.kind {
 	case Standard:
 		// Copy user -> mbufs at the client; payload rides the RPC.
-		resp := c.rpc.Call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
+		resp, err := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
 			rpc.CallOpts{PayloadBytes: n, CopyBytes: n})
-		return resp.Hdr.Length, statusErr(resp.Hdr.Status)
+		if err != nil {
+			return 0, err
+		}
+		return resp.Hdr.Length, nil
 	case PrePosting:
 		// Outgoing path: gather DMA straight from the pinned user buffer.
 		reg, err := c.h.VM.Register(p, n)
@@ -237,18 +274,24 @@ func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (
 			return 0, err
 		}
 		defer c.h.VM.Unregister(p, reg)
-		resp := c.rpc.Call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
+		resp, err := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
 			rpc.CallOpts{PayloadBytes: n})
-		return resp.Hdr.Length, statusErr(resp.Hdr.Status)
+		if err != nil {
+			return 0, err
+		}
+		return resp.Hdr.Length, nil
 	case Hybrid:
 		e, err := c.regs.Get(p, bufID, n)
 		if err != nil {
 			return 0, err
 		}
-		resp := c.rpc.Call(p, &wire.Header{
+		resp, err := c.call(p, &wire.Header{
 			Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA,
 		}, rpc.CallOpts{})
-		return resp.Hdr.Length, statusErr(resp.Hdr.Status)
+		if err != nil {
+			return 0, err
+		}
+		return resp.Hdr.Length, nil
 	}
 	panic("nfs: unknown kind")
 }
@@ -259,7 +302,10 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
 	n := int64(len(data))
-	resp := c.rpc.Call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
+	resp, err := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
 		rpc.CallOpts{PayloadBytes: n, CopyBytes: n, Payload: writePayload{data: data}})
-	return resp.Hdr.Length, statusErr(resp.Hdr.Status)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Hdr.Length, nil
 }

@@ -27,6 +27,13 @@ type Server struct {
 	FS    *fsim.FS
 	Cache *fsim.ServerCache
 	n     *nic.NIC
+	// RPC is the underlying RPC service (exposed for failure injection
+	// and DRC inspection).
+	RPC *rpc.Server
+
+	// down marks the server host crashed: handlers already in flight
+	// stop touching the cache and stop moving data (see SetDown).
+	down bool
 
 	Reads, Writes uint64
 	BytesRead     int64
@@ -36,8 +43,21 @@ type Server struct {
 // worker processes.
 func NewServer(s *sim.Scheduler, stack *udpip.Stack, fs *fsim.FS, cache *fsim.ServerCache, nWorkers int) *Server {
 	srv := &Server{H: stack.Host(), FS: fs, Cache: cache, n: stack.NIC()}
-	rpc.NewServer(s, stack, Port, nWorkers, srv.handle)
+	srv.RPC = rpc.NewServer(s, stack, Port, nWorkers, srv.handle)
 	return srv
+}
+
+// SetDown marks the server crashed (true) or restarted (false). A crash
+// also loses the duplicate-request cache — kernel memory dies with the
+// host — so post-restart retransmissions of pre-crash calls re-execute.
+// Handlers in flight at crash time stop re-populating the (flushed)
+// cache and stop transferring data, mirroring dafs.Server's guards.
+func (srv *Server) SetDown(down bool) {
+	srv.down = down
+	srv.RPC.SetDown(down)
+	if down {
+		srv.RPC.ResetDRC()
+	}
 }
 
 func (srv *Server) handle(p *sim.Proc, req *rpc.Request) *rpc.Reply {
@@ -117,8 +137,10 @@ func (srv *Server) read(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 	} else if h.Offset+n > f.Size() {
 		n = f.Size() - h.Offset
 	}
-	// Touch every cache block in the range (disk reads on misses).
-	for off := h.Offset; off < h.Offset+n; off += srv.Cache.BlockSize() {
+	// Touch every cache block in the range (disk reads on misses). A
+	// crash mid-handler stops the walk: a dead host does no kernel work
+	// and must not re-populate the cache the crash just flushed.
+	for off := h.Offset; off < h.Offset+n && !srv.down; off += srv.Cache.BlockSize() {
 		srv.H.Compute(p, srv.H.P.CacheLookup)
 		if _, hit := srv.Cache.Get(p, f, off); !hit {
 			srv.H.Compute(p, srv.H.P.CacheInsert)
@@ -127,7 +149,7 @@ func (srv *Server) read(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 	srv.Reads++
 	srv.BytesRead += n
 
-	if h.BufVA != 0 && n > 0 {
+	if h.BufVA != 0 && n > 0 && !srv.down {
 		// RDDP-RDMA (hybrid): push the data into the client's advertised
 		// buffer with RDMA, then send a small reply. Both traverse the
 		// same NIC pipeline, so the reply arrives after the data.
@@ -163,6 +185,12 @@ func (srv *Server) write(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 	}
 	n := h.Length
 	srv.Writes++
+	if srv.down {
+		// Crash between receive and execution: the write dies with the
+		// host (the client's retransmission re-executes it after the
+		// restart; the DRC was lost with the crash).
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusIO}}
+	}
 	if h.BufVA != 0 && n > 0 {
 		// Pull the data from the client's buffer; block this worker until
 		// the data has arrived so the reply orders after placement.
@@ -195,8 +223,11 @@ func (srv *Server) write(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 	}
 	f.SetMtime(int64(p.Now()))
 	srv.H.Compute(p, srv.H.P.CacheInsert)
-	// Written data enters the server buffer cache (write-behind to disk).
-	srv.Cache.Install(f, h.Offset, n)
+	if !srv.down {
+		// Written data enters the server buffer cache (write-behind to
+		// disk) — unless the host died while the data was in flight.
+		srv.Cache.Install(f, h.Offset, n)
+	}
 	return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n}}
 }
 

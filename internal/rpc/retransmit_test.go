@@ -86,21 +86,61 @@ func TestNoLossNoRetransmit(t *testing.T) {
 	}
 }
 
-func TestGiveUpAfterMaxRetries(t *testing.T) {
+func TestGiveUpAfterMaxRetriesResolvesTimeout(t *testing.T) {
 	r := newRig(t, echoHandler)
 	r.server.stack.SetLoss(1.0, 1) // everything lost
 	r.client.RetransmitTimeout = sim.Millisecond
 	r.client.MaxRetries = 3
-	done := false
+	var resp *Response
 	r.s.Go("app", func(p *sim.Proc) {
-		r.client.Call(p, &wire.Header{Op: wire.OpRead}, CallOpts{})
-		done = true
+		resp = r.client.Call(p, &wire.Header{Op: wire.OpRead}, CallOpts{})
 	})
 	r.s.Run()
-	if done {
-		t.Fatal("call completed through 100% loss")
+	if resp == nil {
+		t.Fatal("call never resolved: a dead server hung the caller")
+	}
+	if resp.Err != ErrTimeout {
+		t.Fatalf("resp.Err = %v, want ErrTimeout", resp.Err)
 	}
 	if r.client.Retransmits != 3 {
 		t.Fatalf("retransmits = %d, want MaxRetries", r.client.Retransmits)
+	}
+	if r.client.TimedOut != 1 {
+		t.Fatalf("TimedOut = %d, want 1", r.client.TimedOut)
+	}
+	if r.client.Outstanding() != 0 {
+		t.Fatalf("timed-out call still pending: Outstanding() = %d", r.client.Outstanding())
+	}
+}
+
+// TestCrashedServerTimesOutThenRecovers drives the full crash story at
+// the RPC layer: calls against a down server resolve with ErrTimeout
+// instead of hanging, and calls issued after a restart succeed again
+// even though the DRC was lost.
+func TestCrashedServerTimesOutThenRecovers(t *testing.T) {
+	r := newRig(t, echoHandler)
+	r.client.RetransmitTimeout = sim.Millisecond
+	r.client.MaxRetries = 2
+	var during, after *Response
+	r.server.SetDown(true)
+	r.server.stack.SetDown(true)
+	r.s.Go("app", func(p *sim.Proc) {
+		during = r.client.Call(p, &wire.Header{Op: wire.OpRead}, CallOpts{})
+	})
+	r.s.After(100*sim.Millisecond, func() {
+		r.server.stack.SetDown(false)
+		r.server.SetDown(false)
+		r.server.ResetDRC()
+	})
+	r.s.Go("app2", func(p *sim.Proc) {
+		p.Sleep(200 * sim.Millisecond)
+		after = r.client.Call(p, &wire.Header{Op: wire.OpRead, Length: 64}, CallOpts{})
+	})
+	r.s.Run()
+	if during == nil || during.Err != ErrTimeout {
+		t.Fatalf("call during crash: got %+v, want ErrTimeout", during)
+	}
+	if after == nil || after.Err != nil || after.Hdr.Status != wire.StatusOK {
+		t.Fatalf("call after restart failed: %+v", after)
 	}
 }

@@ -8,6 +8,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 
 	"danas/internal/nic"
@@ -15,6 +16,13 @@ import (
 	"danas/internal/udpip"
 	"danas/internal/wire"
 )
+
+// ErrTimeout is returned (via Response.Err) when a call exhausts its
+// retransmission budget without an answer — the server is crashed,
+// partitioned, or hopelessly overloaded. Soft-mount semantics: the
+// caller's future always resolves, so a dead shard cannot hang a client
+// process forever.
+var ErrTimeout = errors.New("rpc: call timed out")
 
 // callMsg is the datagram body for both requests and replies.
 type callMsg struct {
@@ -83,8 +91,28 @@ type Server struct {
 	drc      map[drcKey]*drcEntry
 	drcOrder []drcKey
 
+	// down marks the server host crashed: queued and arriving requests
+	// are discarded unexecuted (failure injection; see SetDown).
+	down bool
+
 	Requests   uint64
 	Duplicates uint64
+	// Discarded counts requests dropped while the server was down.
+	Discarded uint64
+}
+
+// SetDown marks the server crashed (true) or recovered (false). While
+// down, worker processes discard requests — including ones already
+// queued in the socket at crash time — without executing handlers or
+// touching the DRC, so in-flight calls die with the host.
+func (srv *Server) SetDown(down bool) { srv.down = down }
+
+// ResetDRC clears the duplicate-request cache — a rebooted server has
+// lost it, so post-restart retransmissions of pre-crash calls re-execute
+// (exactly the classic NFS-over-UDP recovery behaviour).
+func (srv *Server) ResetDRC() {
+	srv.drc = make(map[drcKey]*drcEntry)
+	srv.drcOrder = nil
 }
 
 // NewServer binds an RPC server to (stack, port) and starts nWorkers
@@ -104,6 +132,10 @@ func (srv *Server) worker(p *sim.Proc) {
 	h := srv.stack.Host()
 	for {
 		d := srv.sock.Recv(p)
+		if srv.down {
+			srv.Discarded++
+			continue // crashed host: the request dies unexecuted
+		}
 		msg := d.Body.(*callMsg)
 		// RPC receive demux + dispatch.
 		h.Compute(p, h.P.RPCServerCost)
@@ -165,6 +197,10 @@ type Response struct {
 	// Direct reports the payload was placed by the NIC into the
 	// pre-posted buffer: the client must not copy it anywhere.
 	Direct bool
+	// Err is non-nil when the call failed locally without a reply
+	// (retry exhaustion: ErrTimeout); Hdr and the payload fields are
+	// unset and must not be touched.
+	Err error
 }
 
 // CallOpts tunes one call.
@@ -192,14 +228,18 @@ type Client struct {
 	pending map[uint64]*sim.Future[*Response]
 
 	// RetransmitTimeout, when nonzero, re-sends an unanswered request
-	// after each timeout, up to MaxRetries times — classic RPC-over-UDP
+	// after each timeout with exponential backoff (sim.Retry's shared
+	// policy), up to MaxRetries times — classic RPC-over-UDP
 	// reliability. The server's duplicate-request cache makes retried
-	// calls at-most-once.
+	// calls at-most-once. When the budget is exhausted the call
+	// resolves with ErrTimeout.
 	RetransmitTimeout sim.Duration
 	MaxRetries        int
 
 	Calls       uint64
 	Retransmits uint64
+	// TimedOut counts calls that exhausted their retries and failed.
+	TimedOut uint64
 }
 
 // NewClient creates a client on stack calling (server, serverPort), bound
@@ -260,35 +300,26 @@ func (c *Client) Call(p *sim.Proc, req *wire.Header, opts CallOpts) *Response {
 	bytes := int64(req.WireSize()) + opts.PayloadBytes
 	c.sock.SendTo(p, c.server, c.serverPort, bytes, msg, opts.CopyBytes, 0)
 	if c.RetransmitTimeout > 0 {
-		c.armRetransmit(fut, msg, bytes, 0)
+		// Retransmission runs in event context (the kernel RPC timer),
+		// charging send-side costs asynchronously; on exhaustion the
+		// pending future resolves with ErrTimeout so the caller never
+		// hangs on a dead server.
+		sim.Retry(c.stack.Host().S, c.RetransmitTimeout, c.MaxRetries, fut.Fired,
+			func() {
+				c.Retransmits++
+				c.stack.Host().ComputeAsync(c.stack.Host().P.RPCClientSend, nil)
+				c.sock.SendToAsync(c.server, c.serverPort, bytes, msg, 0)
+			},
+			func() {
+				delete(c.pending, xid)
+				c.TimedOut++
+				fut.Resolve(&Response{Err: ErrTimeout})
+			})
 	}
 
 	resp := fut.Value(p)
 	h.Compute(p, h.P.RPCClientRecv)
 	return resp
-}
-
-// armRetransmit schedules a timeout that re-sends the request if the call
-// is still unanswered. Retransmission happens in event context (the kernel
-// RPC timer), charging send-side costs asynchronously.
-func (c *Client) armRetransmit(fut *sim.Future[*Response], msg *callMsg, bytes int64, tries int) {
-	s := c.stack.Host().S
-	s.After(c.RetransmitTimeout, func() {
-		if fut.Fired() {
-			return
-		}
-		max := c.MaxRetries
-		if max <= 0 {
-			max = 5
-		}
-		if tries >= max {
-			return // give up; the call stays pending (hard mount semantics)
-		}
-		c.Retransmits++
-		c.stack.Host().ComputeAsync(c.stack.Host().P.RPCClientSend, nil)
-		c.sock.SendToAsync(c.server, c.serverPort, bytes, msg, 0)
-		c.armRetransmit(fut, msg, bytes, tries+1)
-	})
 }
 
 // Outstanding returns the number of in-flight calls.

@@ -1,0 +1,41 @@
+package sim
+
+// DefaultRetryLimit is the retransmission budget used when a caller
+// leaves its maximum unset.
+const DefaultRetryLimit = 5
+
+// RetryBackoffCap bounds exponential backoff at this multiple of the
+// base delay.
+const RetryBackoffCap = 16
+
+// Retry drives bounded exponential-backoff retransmission in event
+// context: after each delay it stops if fired() reports the operation
+// complete; otherwise it calls resend() and doubles the delay, capped
+// at RetryBackoffCap*base. Once maxTries resends (DefaultRetryLimit
+// when <= 0) have gone unanswered, giveUp() runs instead. Both the RPC
+// and the DAFS session clients drive their recovery through this one
+// policy, so cross-protocol failure comparisons stay apples-to-apples.
+func Retry(s *Scheduler, base Duration, maxTries int, fired func() bool, resend, giveUp func()) {
+	if maxTries <= 0 {
+		maxTries = DefaultRetryLimit
+	}
+	var arm func(tries int, delay Duration)
+	arm = func(tries int, delay Duration) {
+		s.After(delay, func() {
+			if fired() {
+				return
+			}
+			if tries >= maxTries {
+				giveUp()
+				return
+			}
+			resend()
+			next := 2 * delay
+			if cap := RetryBackoffCap * base; next > cap {
+				next = cap
+			}
+			arm(tries+1, next)
+		})
+	}
+	arm(0, base)
+}

@@ -1,0 +1,120 @@
+package udpip
+
+import (
+	"testing"
+
+	"danas/internal/sim"
+)
+
+// TestReasmStateExpires is the reassembly-leak regression: partial
+// fragment state from lost fragments must be reclaimed by the timeout
+// instead of accumulating forever.
+func TestReasmStateExpires(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	r.sb.ReasmTimeout = 10 * sim.Millisecond
+	// Heavy loss: multi-fragment datagrams lose fragments, stranding
+	// partial reassembly state at the receiver.
+	r.sb.SetLoss(0.5, 99)
+	r.s.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			a.SendTo(p, r.sb, 2, 32*1024, i, 0, 0)
+		}
+	})
+	r.s.Run()
+	if r.sb.ReasmPending() == 0 {
+		t.Skip("loss pattern stranded no partial datagrams (seed-dependent)")
+	}
+	stranded := r.sb.ReasmPending()
+	// Send a clean packet after the timeout: its arrival sweeps the
+	// stale state.
+	r.sb.SetLoss(0, 0)
+	r.s.Go("late", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		a.SendTo(p, r.sb, 2, 100, "late", 0, 0)
+	})
+	r.s.Go("recv", func(p *sim.Proc) {
+		for b.Recv(p).Body != "late" {
+		}
+	})
+	r.s.Run()
+	if got := r.sb.ReasmPending(); got != 0 {
+		t.Fatalf("stale reassembly state survived the timeout: %d entries", got)
+	}
+	if r.sb.ReasmExpired != uint64(stranded) {
+		t.Fatalf("ReasmExpired = %d, want %d", r.sb.ReasmExpired, stranded)
+	}
+}
+
+// TestReasmNoSpuriousExpiry checks healthy multi-fragment traffic is
+// never reclaimed by the sweep.
+func TestReasmNoSpuriousExpiry(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	delivered := 0
+	r.s.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			b.Recv(p)
+			delivered++
+		}
+	})
+	r.s.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			a.SendTo(p, r.sb, 2, 64*1024, i, 0, 0)
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	r.s.Run()
+	if delivered != 50 {
+		t.Fatalf("delivered %d of 50", delivered)
+	}
+	if r.sb.ReasmExpired != 0 {
+		t.Fatalf("healthy traffic expired %d reassemblies", r.sb.ReasmExpired)
+	}
+	if r.sb.ReasmPending() != 0 {
+		t.Fatalf("reassembly state leaked: %d", r.sb.ReasmPending())
+	}
+}
+
+// TestStackDownDropsTraffic checks a crashed stack black-holes both
+// directions and loses reassembly state, and that a restart restores
+// service.
+func TestStackDownDropsTraffic(t *testing.T) {
+	r := newRig(t)
+	a := r.sa.Socket(1)
+	b := r.sb.Socket(2)
+	var got []any
+	r.s.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			got = append(got, b.Recv(p).Body)
+		}
+	})
+	r.s.Go("send", func(p *sim.Proc) {
+		a.SendTo(p, r.sb, 2, 100, "before", 0, 0)
+		p.Sleep(sim.Millisecond)
+		r.sb.SetDown(true)
+		a.SendTo(p, r.sb, 2, 100, "while-down", 0, 0)
+		p.Sleep(sim.Millisecond)
+		r.sb.SetDown(false)
+		a.SendTo(p, r.sb, 2, 100, "after", 0, 0)
+	})
+	r.s.Run()
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("delivered %v, want [before after]", got)
+	}
+	if r.sb.PacketsDropped == 0 {
+		t.Fatal("down stack dropped nothing")
+	}
+	// Outbound from a down stack is silently discarded too.
+	r.sb.SetDown(true)
+	r.s.Go("send-from-down", func(p *sim.Proc) {
+		b.SendTo(p, r.sa, 1, 100, "ghost", 0, 0)
+	})
+	out := r.sb.PacketsOut
+	r.s.Run()
+	if r.sb.PacketsOut != out {
+		t.Fatal("down stack transmitted")
+	}
+}

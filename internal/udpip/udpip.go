@@ -48,14 +48,48 @@ type reasmKey struct {
 	id   uint64
 }
 
+// reasmState is one partially reassembled datagram.
+type reasmState struct {
+	got  int
+	born sim.Time
+}
+
+// reasmEntry records a reassembly's key and birth time in the arrival
+// FIFO the expiry sweep walks. The birth time doubles as a generation:
+// a stale FIFO entry whose key was completed (or re-created by a later
+// datagram) no longer matches the map state and is skipped, so recycled
+// IP ids after a sender restart never collide with leftover state.
+type reasmEntry struct {
+	key  reasmKey
+	born sim.Time
+}
+
+// DefaultReasmTimeout bounds how long a partial datagram may wait for
+// missing fragments before its state is reclaimed. It is far above any
+// healthy inter-fragment gap (which is microseconds even on a congested
+// degraded link), so it only ever fires after real fragment loss.
+const DefaultReasmTimeout = sim.Second
+
 // Stack is one host's UDP/IP stack bound to its NIC.
 type Stack struct {
 	h     *host.Host
 	n     *nic.NIC
 	socks map[int]*Socket
-	// reassembly buffers datagram fragments by (source, ID).
-	reasm  map[reasmKey]int
-	nextID uint64
+	// reassembly buffers datagram fragments by (source, ID); reasmOrder
+	// is the arrival-ordered FIFO the expiry sweep walks.
+	reasmMap   map[reasmKey]*reasmState
+	reasmOrder []reasmEntry
+	nextID     uint64
+
+	// ReasmTimeout is how long partial-fragment state may linger before
+	// being reclaimed (<= 0 disables the sweep). Sustained loss — or a
+	// sender that crashed mid-datagram — would otherwise leak reassembly
+	// state forever.
+	ReasmTimeout sim.Duration
+
+	// down marks the host crashed: every packet in or out is dropped
+	// (failure injection; see SetDown).
+	down bool
 
 	// lossRate drops arriving packets with the given probability
 	// (failure injection; UDP provides no reliability, the RPC layer's
@@ -64,18 +98,62 @@ type Stack struct {
 	lossRNG  *sim.Rand
 
 	PacketsIn, PacketsOut, PacketsDropped uint64
+	// ReasmExpired counts partial datagrams reclaimed by the timeout.
+	ReasmExpired uint64
 }
 
 // NewStack attaches a UDP/IP stack to a NIC.
 func NewStack(n *nic.NIC) *Stack {
 	st := &Stack{
-		h:     n.Host(),
-		n:     n,
-		socks: make(map[int]*Socket),
-		reasm: make(map[reasmKey]int),
+		h:            n.Host(),
+		n:            n,
+		socks:        make(map[int]*Socket),
+		reasmMap:     make(map[reasmKey]*reasmState),
+		ReasmTimeout: DefaultReasmTimeout,
 	}
 	n.BindHandler(etherPort, st.packetArrived)
 	return st
+}
+
+// SetDown marks the stack's host crashed (true) or restarted (false).
+// While down, arriving packets are dropped before any protocol
+// processing and nothing is transmitted — the wire behaviour of a dead
+// machine. Crashing also discards reassembly state: a rebooted kernel
+// has lost those buffers, and dropping them keeps recycled IP ids from
+// completing against a dead sender's leftover fragments.
+func (st *Stack) SetDown(down bool) {
+	st.down = down
+	if down {
+		st.reasmMap = make(map[reasmKey]*reasmState)
+		st.reasmOrder = nil
+	}
+}
+
+// Down reports whether the stack is crashed.
+func (st *Stack) Down() bool { return st.down }
+
+// ReasmPending returns the number of partially reassembled datagrams.
+func (st *Stack) ReasmPending() int { return len(st.reasmMap) }
+
+// gcReasm reclaims partial reassemblies older than ReasmTimeout. It is
+// run opportunistically on packet arrival (no timer events, so healthy
+// runs schedule nothing extra); stale FIFO heads whose reassembly
+// already completed are popped without effect.
+func (st *Stack) gcReasm(now sim.Time) {
+	if st.ReasmTimeout <= 0 {
+		return
+	}
+	for len(st.reasmOrder) > 0 {
+		head := st.reasmOrder[0]
+		if e, live := st.reasmMap[head.key]; live && e.born == head.born {
+			if now.Sub(e.born) < st.ReasmTimeout {
+				return // FIFO is arrival-ordered: the rest are younger
+			}
+			delete(st.reasmMap, head.key)
+			st.ReasmExpired++
+		}
+		st.reasmOrder = st.reasmOrder[1:]
+	}
 }
 
 // Host returns the owning host.
@@ -111,6 +189,10 @@ func (st *Stack) SetLoss(rate float64, seed uint64) {
 
 func (st *Stack) packetArrived(m *nic.Message) {
 	frag := m.Header.(*fragment)
+	if st.down {
+		st.PacketsDropped++
+		return // dead host: the wire sees a black hole
+	}
 	if st.lossRate > 0 && st.lossRNG.Float64() < st.lossRate {
 		st.PacketsDropped++
 		return
@@ -120,12 +202,21 @@ func (st *Stack) packetArrived(m *nic.Message) {
 		frag.d.Direct = true
 	}
 	st.h.CoalescedInterrupt(st.h.P.UDPRecvPacket, func() {
-		key := reasmKey{from: frag.d.From, id: frag.id}
-		st.reasm[key]++
-		if st.reasm[key] < frag.total {
-			return
+		st.gcReasm(st.h.S.Now())
+		if frag.total > 1 {
+			key := reasmKey{from: frag.d.From, id: frag.id}
+			e, ok := st.reasmMap[key]
+			if !ok {
+				e = &reasmState{born: st.h.S.Now()}
+				st.reasmMap[key] = e
+				st.reasmOrder = append(st.reasmOrder, reasmEntry{key: key, born: e.born})
+			}
+			e.got++
+			if e.got < frag.total {
+				return
+			}
+			delete(st.reasmMap, key)
 		}
-		delete(st.reasm, key)
 		sk, ok := st.socks[frag.dstPort]
 		if !ok {
 			return // no listener: datagram dropped, as UDP does
@@ -150,6 +241,9 @@ func (sk *Socket) Port() int { return sk.port }
 // chains pass 0 to skip the user copy. A nonzero tag asks the receiving
 // NIC to match a pre-posted buffer (RDDP-RPC).
 func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body any, copyBytes int64, tag uint64) {
+	if sk.stack.down {
+		return // crashed host: nothing leaves, nothing is charged
+	}
 	h := sk.stack.h
 	h.Syscall(p)
 	if copyBytes > 0 {
@@ -186,6 +280,9 @@ func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body
 // paths): host costs are charged to the CPU asynchronously and the packets
 // go out immediately.
 func (sk *Socket) SendToAsync(dst *Stack, dstPort int, bytes int64, body any, tag uint64) {
+	if sk.stack.down {
+		return // crashed host: nothing leaves, nothing is charged
+	}
 	h := sk.stack.h
 	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
 	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)

@@ -27,6 +27,12 @@ type ReplayResult struct {
 	// Issues[i] is the instant record i was actually submitted; in an
 	// open-loop run it equals Start + trace[i].At exactly.
 	Issues []sim.Time
+	// OpDone[i], OpErr[i] and OpBytes[i] record each trace record's
+	// completion instant, error, and bytes moved — the failure
+	// experiment slices these into before/during/after-fault windows.
+	OpDone  []sim.Time
+	OpErr   []error
+	OpBytes []int64
 	// Start is when the replay clock started; Elapsed spans from Start
 	// to the last completion.
 	Start   sim.Time
@@ -57,7 +63,21 @@ func (r *ReplayResult) MBps() float64 {
 // starts and closed after the last completion. The returned error is
 // the first open failure or per-operation error.
 func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, error) {
-	res := &ReplayResult{Issues: make([]sim.Time, len(tr))}
+	return ReplayWith(p, ac, tr, nil)
+}
+
+// ReplayWith is Replay with a hook that runs at the instant the replay
+// clock starts (after the files are opened, before the first record is
+// issued) — the failure experiments arm their fault schedules there so
+// event offsets are relative to the same origin as the trace's recorded
+// arrival times.
+func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(start sim.Time)) (*ReplayResult, error) {
+	res := &ReplayResult{
+		Issues:  make([]sim.Time, len(tr)),
+		OpDone:  make([]sim.Time, len(tr)),
+		OpErr:   make([]error, len(tr)),
+		OpBytes: make([]int64, len(tr)),
+	}
 	if len(tr) == 0 {
 		return res, nil
 	}
@@ -80,10 +100,14 @@ func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, err
 
 	start := p.Now()
 	res.Start = start
-	// arrival maps a submission tag to its scheduled arrival time. The
-	// scheduler runs one process at a time and the submitter stores the
-	// tag before yielding, so the collector always finds it.
-	arrival := make(map[uint64]sim.Time, len(tr))
+	if onStart != nil {
+		onStart(start)
+	}
+	// recIdx maps a submission tag back to its trace record, from which
+	// the scheduled arrival (start + record.At) derives. The scheduler
+	// runs one process at a time and the submitter stores the tag
+	// before yielding, so the collector always finds it.
+	recIdx := make(map[uint64]int, len(tr))
 	var firstErr error
 	var lastDone sim.Time
 	collected := 0
@@ -100,8 +124,13 @@ func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, err
 						firstErr = comp.Err
 					}
 				}
-				res.Lat.Observe(comp.Done.Sub(arrival[comp.Tag]))
-				delete(arrival, comp.Tag)
+				if i, ok := recIdx[comp.Tag]; ok {
+					res.Lat.Observe(comp.Done.Sub(start.Add(tr[i].At)))
+					res.OpDone[i] = comp.Done
+					res.OpErr[i] = comp.Err
+					res.OpBytes[i] = comp.N
+					delete(recIdx, comp.Tag)
+				}
 				if comp.Done > lastDone {
 					lastDone = comp.Done
 				}
@@ -124,7 +153,7 @@ func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, err
 			// depth-sized pool of application buffers.
 			BufID: 1 + uint64(i)%depth,
 		})
-		arrival[tag] = target
+		recIdx[tag] = i
 		res.Issues[i] = p.Now()
 		if p.Now() > target {
 			res.Stalls++
