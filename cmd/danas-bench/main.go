@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	danas-bench [-scale f] [-parallel n] [-exper names] [table2|table3|fig3|fig4|fig34|fig5|fig6|fig7|scaling|scaling-grid|ablations|trace|failure|all]...
+//	danas-bench [-scale f] [-parallel n] [-exper names] [experiment|all]...
 //
-// With no experiment arguments it runs everything. Experiments can be
-// named positionally or via -exper (comma-separated); the two forms
-// combine. -scale shrinks file sizes and operation counts (default 1.0,
+// The experiment names accepted positionally and by -exper come from the
+// registry in this file; run danas-bench -h for the generated list, which
+// therefore cannot drift from the runnable set. With no experiment
+// arguments it runs everything. Experiments can be named positionally or
+// via -exper (comma-separated); the two forms combine. -scale shrinks file sizes and operation counts (default 1.0,
 // already reduced from paper scale; the steady states are identical).
 // -parallel runs each experiment's cells across n OS workers; every cell
 // owns an independent simulation, so output is byte-identical to the
@@ -25,7 +27,9 @@ import (
 	"danas/internal/exper"
 )
 
-// known maps every runnable experiment name to its generator.
+// known maps every runnable experiment name to its generator — the
+// registry the -exper flag's help text and name validation both derive
+// from, so the documented names can never drift from the runnable ones.
 var known = map[string]func(exper.Scale){
 	"table2":       runTable2,
 	"table3":       runTable3,
@@ -40,12 +44,13 @@ var known = map[string]func(exper.Scale){
 	"ablations":    runAblations,
 	"trace":        runTrace,
 	"failure":      runFailure,
+	"writemix":     runWriteMix,
 }
 
 // order is what "all" runs; it uses the combined fig34 so the Figure 3/4
 // sweep runs once. New experiments append so earlier sections stay
 // byte-identical.
-var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure"}
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure", "writemix"}
 
 // validNames returns every accepted experiment argument, sorted.
 func validNames() []string {
@@ -66,7 +71,16 @@ func usageErr(format string, args ...any) {
 func main() {
 	scaleFlag := flag.Float64("scale", 1.0, "workload scale factor (file sizes, op counts)")
 	parallelFlag := flag.Int("parallel", 1, "worker-pool width for experiment cells (1 = serial)")
-	experFlag := flag.String("exper", "", "comma-separated experiment names to run (combines with positional args)")
+	// The help text is generated from the registry, not hand-written, so
+	// it cannot drift from the registered names.
+	experFlag := flag.String("exper", "",
+		"comma-separated experiment names to run (combines with positional args; valid: "+
+			strings.Join(validNames(), " ")+")")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: danas-bench [flags] [%s]...\n", strings.Join(validNames(), "|"))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *scaleFlag <= 0 {
 		usageErr("-scale must be positive, got %g", *scaleFlag)
@@ -207,6 +221,12 @@ func runFailure(scale exper.Scale) {
 func runTrace(scale exper.Scale) {
 	fmt.Println("== Trace replay: open-loop Zipf read/write mix over the sharded fleet ==")
 	fmt.Print(exper.FormatTraceReplay(exper.TraceReplay(scale)))
+	fmt.Println()
+}
+
+func runWriteMix(scale exper.Scale) {
+	fmt.Println("== Write mix: read/write sweep over write-behind shards (unstable writes + periodic commits) ==")
+	fmt.Print(exper.FormatWriteMix(exper.WriteMix(scale)))
 	fmt.Println()
 }
 

@@ -368,6 +368,13 @@ func (m *Mount) WriteData(p *Proc, h *Handle, off int64, data []byte) (int64, er
 	return m.client.WriteData(p, h, off, data)
 }
 
+// Commit makes earlier writes to [off, off+n) durable, NFSv3-style
+// (n <= 0 commits the whole file). Against a server without
+// write-behind it is a no-op.
+func (m *Mount) Commit(p *Proc, h *Handle, off, n int64) error {
+	return m.client.Commit(p, h, off, n)
+}
+
 // Getattr returns the current file size.
 func (m *Mount) Getattr(p *Proc, h *Handle) (int64, error) { return m.client.Getattr(p, h) }
 

@@ -495,6 +495,44 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	return got, nil
 }
 
+// Commit implements nas.Client, fanning the commit out per shard along
+// the stripe layout: a whole-file commit (n <= 0) reaches every shard,
+// a range commit only the shards owning its spans. Each shard's DAFS
+// session runs the verifier comparison and re-issues its own lost
+// writes, so a crash of one shard never forces rewrites on the others.
+func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	if n <= 0 {
+		return stripe.FanOut(p, len(c.inners), "odafs-commit", func(wp *sim.Proc, i int) error {
+			return c.inners[i].Commit(wp, c.shardHandle(h, i), 0, 0)
+		})
+	}
+	spans := c.layout.Spans(off, n)
+	return stripe.FanOut(p, len(spans), "odafs-commit", func(wp *sim.Proc, i int) error {
+		sp := spans[i]
+		return c.inners[sp.Shard].Commit(wp, c.shardHandle(h, sp.Shard), sp.Off, sp.Len)
+	})
+}
+
+// VerifierMismatches sums commits that detected a shard restart across
+// every shard session; RewrittenRanges sums the lost unstable ranges
+// those commits re-issued.
+func (c *Client) VerifierMismatches() uint64 {
+	var n uint64
+	for _, in := range c.inners {
+		n += in.VerifierMismatches()
+	}
+	return n
+}
+
+// RewrittenRanges sums re-issued lost ranges across every shard session.
+func (c *Client) RewrittenRanges() uint64 {
+	var n uint64
+	for _, in := range c.inners {
+		n += in.RewrittenRanges()
+	}
+	return n
+}
+
 // PopulateDirectory walks the whole file over RPC so the reference
 // directory maps it — the experiments' first pass (§5.2: "the client cache
 // managed to map the entire file on the server after having accessed it

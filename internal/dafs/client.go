@@ -52,6 +52,10 @@ type Client struct {
 	// that exhausted their budget and failed.
 	Retries  uint64
 	TimedOut uint64
+
+	// commits tracks uncommitted unstable writes against the server's
+	// write verifier; Commit re-issues ranges a server crash lost.
+	commits nas.CommitTracker
 }
 
 var _ nas.Client = (*Client)(nil)
@@ -284,23 +288,35 @@ func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (i
 }
 
 // Write implements nas.Client: the server pulls data from the registered
-// buffer with an RDMA read (direct mode) or takes it in-line.
+// buffer with an RDMA read (direct mode) or takes it in-line. The write
+// is unstable: a write-behind server may hold it dirty until Commit.
 func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	return c.write(p, h, off, n, bufID, 0)
+}
+
+// WriteStable is the FILE_SYNC write: the server destages the data to
+// disk before replying, so the range needs no commit.
+func (c *Client) WriteStable(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	return c.write(p, h, off, n, bufID, wire.FlagStable)
+}
+
+func (c *Client) write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64, flags uint8) (int64, error) {
+	var res *completion
 	if c.transfer == Inline {
 		c.h.Compute(p, c.h.CopyCost(n)) // user buffer -> comm buffer
-		res := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n}, &msg{}, n)
-		if err := res.error(); err != nil {
+		res = c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, Flags: flags}, &msg{}, n)
+	} else {
+		e, err := c.regs.Get(p, bufID, n)
+		if err != nil {
 			return 0, err
 		}
-		return res.hdr.Length, nil
+		res = c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA, Flags: flags}, &msg{}, 0)
 	}
-	e, err := c.regs.Get(p, bufID, n)
-	if err != nil {
-		return 0, err
-	}
-	res := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA}, &msg{}, 0)
 	if err := res.error(); err != nil {
 		return 0, err
+	}
+	if flags&wire.FlagStable == 0 {
+		c.commits.NoteUnstable(h.FH, off, res.hdr.Length, res.hdr.Verifier)
 	}
 	return res.hdr.Length, nil
 }
@@ -314,5 +330,28 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	if err := res.error(); err != nil {
 		return 0, err
 	}
+	c.commits.NoteUnstable(h.FH, off, res.hdr.Length, res.hdr.Verifier)
 	return res.hdr.Length, nil
 }
+
+// Commit implements nas.Client: destage the range server-side, then
+// compare the reply's write verifier against the one each uncommitted
+// write was accepted under — ranges accepted by a server incarnation
+// that has since crashed were lost, and are re-issued stably here before
+// Commit returns.
+func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	upTo := c.commits.Snapshot() // writes replied after this are not covered
+	res := c.call(p, &wire.Header{Op: wire.OpCommit, FH: h.FH, Offset: off, Length: n}, &msg{}, 0)
+	if err := res.error(); err != nil {
+		return err
+	}
+	return c.commits.ResolveCommit(h.FH, off, n, res.hdr.Verifier, upTo, func(r nas.WriteRange) error {
+		_, werr := c.WriteStable(p, h, r.Off, r.N, nas.CommitBufID)
+		return werr
+	})
+}
+
+// VerifierMismatches reports commits that detected a server restart;
+// RewrittenRanges reports the unstable ranges re-issued because of them.
+func (c *Client) VerifierMismatches() uint64 { return c.commits.Mismatches }
+func (c *Client) RewrittenRanges() uint64    { return c.commits.Rewrites }

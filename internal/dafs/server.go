@@ -19,6 +19,7 @@ import (
 	"danas/internal/nic"
 	"danas/internal/sim"
 	"danas/internal/vi"
+	"danas/internal/wb"
 	"danas/internal/wire"
 )
 
@@ -39,6 +40,12 @@ type Server struct {
 	// exported through the TPT at insert, invalidated at evict, and reads
 	// piggyback remote memory references (§4.2.1).
 	Optimistic bool
+
+	// WB, when set, is the shard's write-behind subsystem: writes pass
+	// through it (dirty tracking, stability, backpressure) and replies
+	// carry its write verifier. Nil keeps the legacy semantics — a write
+	// is done once its data is in the buffer cache.
+	WB *wb.Flusher
 
 	// down marks the server host crashed: session requests are discarded
 	// and replies suppressed (failure injection; see SetDown).
@@ -79,6 +86,27 @@ func NewServer(s *sim.Scheduler, n *nic.NIC, fs *fsim.FS, sc *fsim.ServerCache, 
 				b.Export = nil
 			}
 		}
+		sc.OnWrite = func(b *fsim.CacheBlock) {
+			// A write landed in an exported block. The export maps the
+			// block's memory, which now holds the new bytes, so a
+			// same-extent overwrite leaves the reference valid and
+			// direct reads serve post-write data. But an extending
+			// write grew the block past the exported length: a direct
+			// read through the old reference would cover only the
+			// pre-write extent and serve stale bytes for the rest, so
+			// the export is invalidated and reissued at the new length
+			// — outstanding client references fault and fall back to
+			// RPC, collecting a fresh reference (§4.2 principle (c)).
+			seg, ok := b.Export.(*nic.Segment)
+			if !ok {
+				return
+			}
+			if seg.Valid() && seg.Len == b.Len {
+				return
+			}
+			n.TPT.Invalidate(seg)
+			b.Export = n.TPT.Export(b.Len)
+		}
 	}
 	return srv
 }
@@ -118,6 +146,15 @@ func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
 			srv.read(p, qp, req)
 		case wire.OpWrite:
 			srv.write(p, qp, req)
+		case wire.OpCommit:
+			// A commit can block for many milliseconds of destage; run
+			// it on its own process so it never head-of-line-blocks the
+			// session's other requests (the client matches replies by
+			// XID, so out-of-order completion is fine). Write-path
+			// backpressure stays in-line by design: throttling the
+			// session is how the server sheds offered write load.
+			req := req
+			srv.S.Go("dafs-commit", func(cp *sim.Proc) { srv.commit(cp, qp, req) })
 		case wire.OpOpen, wire.OpLookup:
 			srv.openOp(p, qp, req)
 		case wire.OpGetattr:
@@ -303,13 +340,46 @@ func (srv *Server) write(p *sim.Proc, qp *vi.QP, req *msg) {
 	}
 	f.SetMtime(int64(p.Now()))
 	srv.H.Compute(p, srv.H.P.CacheInsert)
+	var verifier uint64
 	if !srv.down {
 		// Written data enters the server buffer cache (write-behind to
 		// disk) — unless the host died while the data was in flight.
 		srv.Cache.Install(f, h.Offset, n)
+		if srv.WB != nil {
+			// Dirty tracking, stability and backpressure: a stable write
+			// blocks here until destaged; an unstable one blocks only
+			// at the dirty high-water mark.
+			srv.WB.Write(p, f, h.Offset, n, h.Flags&wire.FlagStable != 0)
+			verifier = srv.WB.Verifier()
+		}
 	}
 	srv.Writes++
-	srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n})
+	srv.reply(p, qp, &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n, Verifier: verifier,
+	})
+}
+
+// commit serves OpCommit: destage every dirty block of the range (the
+// whole file when Length <= 0) and report the write verifier. Without
+// write-behind, data was never volatile, so commit is a no-op carrying
+// verifier zero.
+func (srv *Server) commit(p *sim.Proc, qp *vi.QP, req *msg) {
+	h := req.Hdr
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		srv.reply(p, qp, &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale})
+		return
+	}
+	if srv.down {
+		return // crash between receive and execution: the commit dies with the host
+	}
+	var verifier uint64
+	if srv.WB != nil {
+		verifier = srv.WB.Commit(p, f, h.Offset, h.Length)
+	}
+	srv.reply(p, qp, &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, Verifier: verifier,
+	})
 }
 
 // RemoteRefOf converts piggybacked reply fields into a directory entry.

@@ -19,6 +19,7 @@ import (
 	"danas/internal/sim"
 	"danas/internal/stripe"
 	"danas/internal/udpip"
+	"danas/internal/wb"
 )
 
 // Scale shrinks experiment file sizes and operation counts uniformly so
@@ -63,6 +64,15 @@ type ClusterConfig struct {
 	NFS bool
 	// NFSWorkers is the nfsd worker pool size per shard.
 	NFSWorkers int
+	// WriteBehind gives every shard the write-behind/commit subsystem
+	// (dirty tracking, background flusher, stable/unstable writes, write
+	// verifier). False keeps the legacy semantics — a write is done once
+	// its data is in the buffer cache — so pre-existing experiments are
+	// untouched.
+	WriteBehind bool
+	// WBConfig tunes the flusher when WriteBehind is set (the zero value
+	// selects wb.DefaultConfig).
+	WBConfig wb.Config
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: four PCs, 2 Gb/s
@@ -98,6 +108,9 @@ type ServerShard struct {
 	Cache *fsim.ServerCache
 	DAFS  *dafs.Server
 	NFS   *nfs.Server
+	// WB is the shard's write-behind subsystem (nil unless
+	// ClusterConfig.WriteBehind).
+	WB *wb.Flusher
 }
 
 // Cluster is the assembled testbed: one or more server shards plus client
@@ -161,6 +174,13 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		sh.DAFS = dafs.NewServer(s, sh.NIC, sh.FS, sh.Cache, cfg.Optimistic)
 		if cfg.NFS {
 			sh.NFS = nfs.NewServer(s, sh.Stack, sh.FS, sh.Cache, cfg.NFSWorkers)
+		}
+		if cfg.WriteBehind {
+			sh.WB = wb.NewFlusher(s, name, sh.Cache, sh.Disk, cfg.WBConfig)
+			sh.DAFS.WB = sh.WB
+			if sh.NFS != nil {
+				sh.NFS.WB = sh.WB
+			}
 		}
 		c.Shards = append(c.Shards, sh)
 	}
@@ -311,6 +331,12 @@ func (c *Cluster) Crash(shard int) {
 	if sh.NFS != nil {
 		sh.NFS.SetDown(true)
 	}
+	if sh.WB != nil {
+		// Uncommitted dirty data dies with the host: discard the dirty
+		// ledger and roll the write verifier, so clients comparing
+		// verifiers at their next commit detect the loss and re-issue.
+		sh.WB.Crash()
+	}
 	// Cold-start the file cache now: eviction hooks invalidate each
 	// block's export, so clients holding references begin to fault
 	// immediately, while the shard is still dark.
@@ -347,13 +373,14 @@ func (c *Cluster) RestoreLink(shard int) {
 	c.Shards[shard].NIC.Port().SetBandwidth(c.P.LinkBandwidth)
 }
 
-// MarkServerEpochs restarts CPU and link utilization accounting on every
-// shard (the sharded experiments' barrier action).
+// MarkServerEpochs restarts CPU, link and disk utilization accounting on
+// every shard (the sharded experiments' barrier action).
 func (c *Cluster) MarkServerEpochs() {
 	for _, sh := range c.Shards {
 		sh.NIC.TPT.WarmTLB()
 		sh.Host.CPU.MarkEpoch()
 		sh.NIC.Port().MarkEpoch()
+		sh.Disk.MarkEpoch()
 	}
 }
 

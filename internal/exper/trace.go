@@ -93,6 +93,16 @@ func TraceReplayOver(scale Scale, shardCounts []int) []TraceRow {
 // failure experiment's baseline stays comparable to the trace
 // experiment's cells by construction.
 func replayCluster(tr trace.Trace, shards int) (cl *Cluster, fileBlocks, dataBlocks int) {
+	return replayClusterWith(tr, shards, nil)
+}
+
+// replayClusterWith is replayCluster with a configuration hook applied
+// before the cluster is built (the write-mix experiment arms the
+// write-behind subsystem there). The hook receives the traced
+// footprint in cache blocks — the same figure the cluster is sized
+// from, so derived knobs like water marks cannot desynchronize from
+// the cluster actually built.
+func replayClusterWith(tr trace.Trace, shards int, mutate func(cfg *ClusterConfig, fileBlocks int)) (cl *Cluster, fileBlocks, dataBlocks int) {
 	extents := tr.Extents()
 	var footprint int64
 	for _, ext := range extents {
@@ -107,6 +117,9 @@ func replayCluster(tr trace.Trace, shards int) (cl *Cluster, fileBlocks, dataBlo
 	cfg.Params.NICTLBSize = int(footprint/4096) + 1024
 	if cfg.NFSWorkers < traceDepth {
 		cfg.NFSWorkers = traceDepth // one nfsd per queue slot
+	}
+	if mutate != nil {
+		mutate(&cfg, int(footprint/scalingBlock))
 	}
 	cl = NewCluster(cfg)
 	for _, ext := range extents {

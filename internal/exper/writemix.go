@@ -1,0 +1,212 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"danas/internal/core"
+	"danas/internal/metrics"
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/trace"
+	"danas/internal/wb"
+	"danas/internal/workload"
+)
+
+// WriteMixReadFracs is the mix axis: from the paper's read-only regime
+// (where ORDMA shines) down to a pure write stream (where every
+// protocol is gated by the shards' ability to destage dirty data,
+// §4.2.2).
+var WriteMixReadFracs = []float64{1.0, 0.9, 0.7, 0.5, 0.3, 0.0}
+
+// WriteMixShardCounts is the fleet-size axis.
+var WriteMixShardCounts = []int{1, 2, 4, 8}
+
+// writeMixCommitEvery is how many writes ride between the trace's
+// periodic whole-file commits.
+const writeMixCommitEvery = 32
+
+// writeMixWB sizes the water marks to the replayed footprint: each
+// shard throttles incoming writes once a quarter of the block
+// population it owns is dirty, releases at a quarter of that, and
+// coalesces up to 16 contiguous blocks per destage I/O. Scaling the
+// marks with the footprint keeps backpressure reachable at every
+// -scale, so the stall-time column measures the same phenomenon in CI
+// smoke runs and full runs alike.
+func writeMixWB(fileBlocks, shards int) wb.Config {
+	hw := fileBlocks / (4 * shards)
+	if hw < 8 {
+		hw = 8
+	}
+	lw := hw / 4
+	if lw < 1 {
+		lw = 1
+	}
+	return wb.Config{HighWater: hw, LowWater: lw, MaxBatch: 16}
+}
+
+// WriteMixGen is the trace the (frac) column replays: the trace
+// experiment's Zipf-skewed Poisson stream with the read fraction swept
+// and periodic commit records added.
+func WriteMixGen(scale Scale, readFrac float64) trace.GenConfig {
+	gen := TraceGen(scale)
+	gen.ReadFrac = readFrac
+	gen.CommitEvery = writeMixCommitEvery
+	return gen
+}
+
+// WriteMixRow is one (system, shards, read fraction) cell.
+type WriteMixRow struct {
+	System   string
+	Shards   int
+	ReadFrac float64
+	// MBps is completed-byte throughput over the replay; P50/P99Micros
+	// are response-time percentiles from recorded arrival (commit
+	// operations included, so destage waits count).
+	MBps      float64
+	P50Micros float64
+	P99Micros float64
+	// Stalls and MaxOutstanding describe the open-loop driver's queue.
+	Stalls         int64
+	MaxOutstanding int
+	// StallMillis is total server handler time blocked at the dirty
+	// high-water mark, summed across shards; Throttled counts the writes
+	// that blocked there.
+	StallMillis float64
+	Throttled   uint64
+	// FlushedMB is data destaged by the flushers; BlocksPerFlush is the
+	// mean coalescing achieved per destage I/O; Commits counts OpCommit
+	// executions across shards.
+	FlushedMB      float64
+	BlocksPerFlush float64
+	Commits        uint64
+	// DiskPct is per-shard disk utilization over the replay — the
+	// flusher's destage traffic (reads stay warm in the server caches).
+	DiskPct []float64
+}
+
+// WriteMix sweeps the read/write mix over every protocol and fleet size
+// with the write-behind subsystem armed on every shard: the open-loop
+// replay of the trace experiment, its read fraction swept from 1.0 to
+// 0.0 and periodic commits added, locating the knee where the write
+// path — destage bandwidth and dirty-data backpressure, not the link or
+// CPU — caps the fleet.
+func WriteMix(scale Scale) []WriteMixRow {
+	return WriteMixOver(scale, WriteMixShardCounts, WriteMixReadFracs)
+}
+
+// WriteMixOver runs the sweep over explicit shard and read-fraction axes
+// (tests use reduced axes; WriteMix uses the full ones).
+func WriteMixOver(scale Scale, shardCounts []int, readFracs []float64) []WriteMixRow {
+	ni := len(shardCounts) * len(readFracs)
+	g := RunGrid(ni, len(ScalingSystems),
+		func(i, j int) string {
+			return fmt.Sprintf("writemix/%dshards/read%.0f%%/%s",
+				shardCounts[i/len(readFracs)], readFracs[i%len(readFracs)]*100, ScalingSystems[j])
+		},
+		func(i, j int) WriteMixRow {
+			return writeMixCell(ScalingSystems[j], shardCounts[i/len(readFracs)],
+				readFracs[i%len(readFracs)], scale)
+		})
+	return g.Flat()
+}
+
+// writeMixCell replays the mix once: one client machine drives the
+// sharded fleet through the async API at the trace experiment's queue
+// depth, every shard destaging dirty writes through its own disk.
+func writeMixCell(system string, shards int, readFrac float64, scale Scale) WriteMixRow {
+	tr := trace.Generate(WriteMixGen(scale, readFrac))
+	cl, fileBlocks, dataBlocks := replayClusterWith(tr, shards, func(cfg *ClusterConfig, fileBlocks int) {
+		cfg.WriteBehind = true
+		cfg.WBConfig = writeMixWB(fileBlocks, shards)
+	})
+	defer cl.Close()
+	var ac nas.AsyncClient
+	switch system {
+	case "DAFS", "ODAFS":
+		ac = cl.StripedCachedClient(0, core.Config{
+			BlockSize:  scalingBlock,
+			DataBlocks: dataBlocks,
+			Headers:    fileBlocks + 64,
+			UseORDMA:   system == "ODAFS",
+		}).Async(traceDepth)
+	default:
+		ac = nas.NewAsync(cl.StripedNFSClient(0, nfsKindOf(system)), traceDepth)
+	}
+
+	var res *workload.ReplayResult
+	var rerr error
+	cl.Go("writemix-replay", func(p *sim.Proc) {
+		cl.MarkServerEpochs()
+		res, rerr = workload.Replay(p, ac, tr)
+	})
+	cl.Run()
+	if rerr != nil {
+		panic(fmt.Sprintf("writemix %s/%ds/%.0f%%: %v", system, shards, readFrac*100, rerr))
+	}
+	row := WriteMixRow{
+		System:         system,
+		Shards:         shards,
+		ReadFrac:       readFrac,
+		MBps:           res.MBps(),
+		P50Micros:      res.Lat.Quantile(0.50).Micros(),
+		P99Micros:      res.Lat.Quantile(0.99).Micros(),
+		Stalls:         res.Stalls,
+		MaxOutstanding: res.MaxOutstanding,
+	}
+	var flushes, blocks uint64
+	for _, sh := range cl.Shards {
+		st := sh.WB.Stats()
+		row.StallMillis += float64(st.StallTime) / 1e6
+		row.Throttled += st.Throttled
+		row.FlushedMB += float64(st.BytesFlushed) / 1e6
+		row.Commits += st.Commits
+		flushes += st.Flushes
+		blocks += st.BlocksFlushed
+		row.DiskPct = append(row.DiskPct, sh.Disk.Utilization()*100)
+	}
+	if flushes > 0 {
+		row.BlocksPerFlush = float64(blocks) / float64(flushes)
+	}
+	return row
+}
+
+// WriteMixTables renders, per fleet size, throughput against the read
+// fraction (one column per system).
+func WriteMixTables(rows []WriteMixRow) []*metrics.Table {
+	byShards := make(map[int]*metrics.Table)
+	var order []*metrics.Table
+	for _, r := range rows {
+		t, ok := byShards[r.Shards]
+		if !ok {
+			t = metrics.NewTable(
+				fmt.Sprintf("Write mix: completed throughput vs read fraction, %d shard(s)", r.Shards),
+				"read %", "MB/s", ScalingSystems...)
+			byShards[r.Shards] = t
+			order = append(order, t)
+		}
+		t.Set(r.ReadFrac*100, r.System, r.MBps)
+	}
+	return order
+}
+
+// FormatWriteMix renders the sweep deterministically: the per-fleet-size
+// throughput tables followed by one detail line per cell carrying the
+// tail latency, backpressure stall time, destage volume and coalescing,
+// and every shard's disk utilization.
+func FormatWriteMix(rows []WriteMixRow) string {
+	var b strings.Builder
+	for _, t := range WriteMixTables(rows) {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("per-cell detail (lat us from recorded arrival, commits included; wstall = dirty high-water\n")
+	b.WriteString("throttle time across shards; flush = destaged MB @ mean blocks/IO; disk% = per-shard destage util):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "S=%d read=%3.0f%% %-16s agg=%7.1f MB/s  p50=%9.1f p99=%9.1f  stalls=%-5d wstall=%8.1fms thr=%-5d flush=%7.1fMB@%4.1f commits=%-4d disk%%=%s\n",
+			r.Shards, r.ReadFrac*100, r.System, r.MBps, r.P50Micros, r.P99Micros,
+			r.Stalls, r.StallMillis, r.Throttled, r.FlushedMB, r.BlocksPerFlush, r.Commits,
+			pctList(r.DiskPct))
+	}
+	return b.String()
+}

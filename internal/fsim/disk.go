@@ -47,3 +47,6 @@ func (d *Disk) Write(p *sim.Proc, n int64) {
 
 // Utilization reports the device utilization since its last epoch.
 func (d *Disk) Utilization() float64 { return d.st.Utilization() }
+
+// MarkEpoch restarts utilization accounting at the current instant.
+func (d *Disk) MarkEpoch() { d.st.MarkEpoch() }

@@ -22,7 +22,13 @@ type CacheBlock struct {
 	Len    int64
 	Export any
 	elem   *list.Element
+	dirty  bool
 }
+
+// Dirty reports whether the block holds written data not yet destaged
+// to disk. Dirty blocks are pinned: eviction skips them until the
+// write-behind flusher marks them clean.
+func (b *CacheBlock) Dirty() bool { return b.dirty }
 
 // Ref returns a BlockRef describing the block's content.
 func (b *CacheBlock) Ref() BlockRef {
@@ -41,10 +47,16 @@ type ServerCache struct {
 
 	// OnEvict runs when a block is reclaimed (ODAFS invalidates its
 	// export segment here). OnInsert runs when a block becomes resident.
+	// OnWrite runs when a write lands on an already-resident block,
+	// after the block's extent has been refreshed: the ODAFS export
+	// manager re-exports the block when its extent changed, so no live
+	// reference can describe a stale length.
 	OnEvict  func(*CacheBlock)
 	OnInsert func(*CacheBlock)
+	OnWrite  func(*CacheBlock)
 
 	Hits, Misses uint64
+	dirty        int
 }
 
 // NewServerCache creates a cache of capacity blocks of blockSize bytes over
@@ -131,6 +143,15 @@ func (c *ServerCache) Install(f *File, off, n int64) {
 		key, l := c.align(f, bo)
 		if b, ok := c.blocks[key]; ok {
 			c.lru.MoveToFront(b.elem)
+			// The write landed in the resident block's memory: refresh
+			// its extent (an extending write grows the EOF block) and
+			// let the export manager update or invalidate any live
+			// export, so no outstanding direct-access reference can
+			// describe pre-write state.
+			b.Len = l
+			if c.OnWrite != nil {
+				c.OnWrite(b)
+			}
 			continue
 		}
 		if l > 0 {
@@ -140,13 +161,19 @@ func (c *ServerCache) Install(f *File, off, n int64) {
 }
 
 // insert makes a block resident, evicting LRU victims beyond capacity.
+// Dirty blocks are pinned: they are skipped when hunting victims, so the
+// cache may transiently exceed capacity while dirty data accumulates
+// (the write-behind high-water mark bounds that growth).
 func (c *ServerCache) insert(key BlockKey, l int64) *CacheBlock {
 	b := &CacheBlock{Key: key, Len: l}
 	b.elem = c.lru.PushFront(b)
 	c.blocks[key] = b
-	for len(c.blocks) > c.capacity {
-		back := c.lru.Back()
-		victim := back.Value.(*CacheBlock)
+	for e := c.lru.Back(); len(c.blocks) > c.capacity && e != nil; {
+		victim := e.Value.(*CacheBlock)
+		e = e.Prev()
+		if victim.dirty {
+			continue
+		}
 		c.evict(victim)
 	}
 	if c.OnInsert != nil {
@@ -158,6 +185,10 @@ func (c *ServerCache) insert(key BlockKey, l int64) *CacheBlock {
 func (c *ServerCache) evict(b *CacheBlock) {
 	c.lru.Remove(b.elem)
 	delete(c.blocks, b.Key)
+	if b.dirty {
+		b.dirty = false
+		c.dirty--
+	}
 	if c.OnEvict != nil {
 		c.OnEvict(b)
 	}
@@ -173,6 +204,35 @@ func (c *ServerCache) FlushAll() {
 		c.evict(b)
 	}
 }
+
+// MarkDirty marks the resident block covering off dirty, pinning it
+// against eviction until MarkClean. It returns the block, or nil when no
+// block covers off (the write raced an eviction or crash).
+func (c *ServerCache) MarkDirty(f *File, off int64) *CacheBlock {
+	key, _ := c.align(f, off)
+	b, ok := c.blocks[key]
+	if !ok {
+		return nil
+	}
+	if !b.dirty {
+		b.dirty = true
+		c.dirty++
+	}
+	return b
+}
+
+// MarkClean clears the dirty pin of the block with the given key,
+// tolerating blocks that are no longer resident (lost to a crash while
+// their destage was in flight).
+func (c *ServerCache) MarkClean(key BlockKey) {
+	if b, ok := c.blocks[key]; ok && b.dirty {
+		b.dirty = false
+		c.dirty--
+	}
+}
+
+// DirtyLen returns the number of resident dirty blocks.
+func (c *ServerCache) DirtyLen() int { return c.dirty }
 
 // EvictFile reclaims all blocks of a file (used to construct cold-cache and
 // partial-hit-rate experiment states).

@@ -14,13 +14,20 @@ const (
 	OpRead OpKind = iota
 	// OpWrite transfers bytes from the client buffer to the server.
 	OpWrite
+	// OpCommit makes earlier unstable writes to [Off, Off+N) durable
+	// (N <= 0 commits the whole file); it moves no payload bytes.
+	OpCommit
 )
 
 func (k OpKind) String() string {
-	if k == OpWrite {
+	switch k {
+	case OpWrite:
 		return "write"
+	case OpCommit:
+		return "commit"
+	default:
+		return "read"
 	}
-	return "read"
 }
 
 // Op is one queued data operation: the unit of asynchronous submission.
@@ -38,10 +45,14 @@ type Op struct {
 // Every AsyncClient implementation routes through this so a new OpKind
 // cannot be dispatched inconsistently between them.
 func (op Op) Run(p *sim.Proc, c Client) (int64, error) {
-	if op.Kind == OpWrite {
+	switch op.Kind {
+	case OpWrite:
 		return c.Write(p, op.H, op.Off, op.N, op.BufID)
+	case OpCommit:
+		return 0, c.Commit(p, op.H, op.Off, op.N)
+	default:
+		return c.Read(p, op.H, op.Off, op.N, op.BufID)
 	}
-	return c.Read(p, op.H, op.Off, op.N, op.BufID)
 }
 
 // Completion reports one finished Op, in the style of a VI completion

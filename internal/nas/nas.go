@@ -41,6 +41,13 @@ type Client interface {
 	// WriteData writes real bytes (for workloads that verify content);
 	// timing is charged like Write plus the payload copy.
 	WriteData(p *sim.Proc, h *Handle, off int64, data []byte) (int64, error)
+	// Commit makes earlier unstable writes to [off, off+n) durable on
+	// the server's disk, NFSv3-style (n <= 0 commits the whole file). A
+	// client that detects a changed server write verifier — the server
+	// crashed and lost uncommitted dirty data — re-issues the lost
+	// writes stably before returning. Against a server without
+	// write-behind it is a no-op.
+	Commit(p *sim.Proc, h *Handle, off, n int64) error
 }
 
 // ContentSource resolves file bytes by handle — the simulation's content

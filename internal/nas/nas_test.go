@@ -127,6 +127,14 @@ func (m *memClient) WriteData(p *sim.Proc, h *Handle, off int64, data []byte) (i
 	return n, nil
 }
 
+func (m *memClient) Commit(p *sim.Proc, h *Handle, off, n int64) error {
+	p.Sleep(m.perOp)
+	if _, ok := m.open[h.FH]; !ok {
+		return ErrStale
+	}
+	return nil
+}
+
 var _ Client = (*memClient)(nil)
 
 // memSource materializes bytes by handle, the ContentSource side. When

@@ -51,6 +51,10 @@ type Client struct {
 	rpc  *rpc.Client
 	regs *nic.RegCache // hybrid: cached registrations
 
+	// commits tracks uncommitted unstable writes against the server's
+	// write verifier; Commit re-issues ranges a server crash lost.
+	commits nas.CommitTracker
+
 	nextLocalPort int
 }
 
@@ -254,47 +258,82 @@ func (c *Client) readHybrid(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint
 	return resp.Hdr.Length, nil
 }
 
-// Write implements nas.Client.
+// Write implements nas.Client: an unstable write the server may hold
+// dirty until Commit.
 func (c *Client) Write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	return c.write(p, h, off, n, bufID, 0)
+}
+
+// WriteStable is the FILE_SYNC write: the server destages the data to
+// disk before replying, so the range needs no commit.
+func (c *Client) WriteStable(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (int64, error) {
+	return c.write(p, h, off, n, bufID, wire.FlagStable)
+}
+
+func (c *Client) write(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64, flags uint8) (int64, error) {
 	c.h.Syscall(p)
 	c.h.Compute(p, c.h.P.NFSClientOp)
+	var resp *rpc.Response
+	var err error
 	switch c.kind {
 	case Standard:
 		// Copy user -> mbufs at the client; payload rides the RPC.
-		resp, err := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
+		resp, err = c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, Flags: flags},
 			rpc.CallOpts{PayloadBytes: n, CopyBytes: n})
-		if err != nil {
-			return 0, err
-		}
-		return resp.Hdr.Length, nil
 	case PrePosting:
 		// Outgoing path: gather DMA straight from the pinned user buffer.
-		reg, err := c.h.VM.Register(p, n)
+		var reg *host.Registration
+		reg, err = c.h.VM.Register(p, n)
 		if err != nil {
 			return 0, err
 		}
 		defer c.h.VM.Unregister(p, reg)
-		resp, err := c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n},
+		resp, err = c.call(p, &wire.Header{Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, Flags: flags},
 			rpc.CallOpts{PayloadBytes: n})
-		if err != nil {
-			return 0, err
-		}
-		return resp.Hdr.Length, nil
 	case Hybrid:
-		e, err := c.regs.Get(p, bufID, n)
+		var e *nic.RegEntry
+		e, err = c.regs.Get(p, bufID, n)
 		if err != nil {
 			return 0, err
 		}
-		resp, err := c.call(p, &wire.Header{
-			Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA,
+		resp, err = c.call(p, &wire.Header{
+			Op: wire.OpWrite, FH: h.FH, Offset: off, Length: n, BufVA: e.Seg.VA, Flags: flags,
 		}, rpc.CallOpts{})
-		if err != nil {
-			return 0, err
-		}
-		return resp.Hdr.Length, nil
+	default:
+		panic("nfs: unknown kind")
 	}
-	panic("nfs: unknown kind")
+	if err != nil {
+		return 0, err
+	}
+	if flags&wire.FlagStable == 0 {
+		c.commits.NoteUnstable(h.FH, off, resp.Hdr.Length, resp.Hdr.Verifier)
+	}
+	return resp.Hdr.Length, nil
 }
+
+// Commit implements nas.Client: destage the range server-side, then
+// compare the reply's write verifier against the one each uncommitted
+// write was accepted under — ranges accepted by a server incarnation
+// that has since crashed were lost, and are re-issued stably here before
+// Commit returns.
+func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	c.h.Syscall(p)
+	c.h.Compute(p, c.h.P.NFSClientOp)
+	upTo := c.commits.Snapshot() // writes replied after this are not covered
+	resp, err := c.call(p, &wire.Header{Op: wire.OpCommit, FH: h.FH, Offset: off, Length: n}, rpc.CallOpts{})
+	if err != nil {
+		return err
+	}
+	return c.commits.ResolveCommit(h.FH, off, n, resp.Hdr.Verifier, upTo, func(r nas.WriteRange) error {
+		_, werr := c.WriteStable(p, h, r.Off, r.N, nas.CommitBufID)
+		return werr
+	})
+}
+
+// VerifierMismatches reports commits that detected a server restart;
+// RewrittenRanges reports the unstable ranges re-issued because of them.
+func (c *Client) VerifierMismatches() uint64 { return c.commits.Mismatches }
+func (c *Client) RewrittenRanges() uint64    { return c.commits.Rewrites }
 
 // WriteData sends a write carrying real bytes (used by workloads that
 // verify content round-trips through the server file system).
@@ -307,5 +346,6 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	if err != nil {
 		return 0, err
 	}
+	c.commits.NoteUnstable(h.FH, off, resp.Hdr.Length, resp.Hdr.Verifier)
 	return resp.Hdr.Length, nil
 }

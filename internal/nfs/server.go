@@ -15,6 +15,7 @@ import (
 	"danas/internal/rpc"
 	"danas/internal/sim"
 	"danas/internal/udpip"
+	"danas/internal/wb"
 	"danas/internal/wire"
 )
 
@@ -30,6 +31,12 @@ type Server struct {
 	// RPC is the underlying RPC service (exposed for failure injection
 	// and DRC inspection).
 	RPC *rpc.Server
+
+	// WB, when set, is the shard's write-behind subsystem: writes pass
+	// through it (dirty tracking, stability, backpressure) and replies
+	// carry its write verifier. Nil keeps the legacy semantics — a write
+	// is done once its data is in the buffer cache.
+	WB *wb.Flusher
 
 	// down marks the server host crashed: handlers already in flight
 	// stop touching the cache and stop moving data (see SetDown).
@@ -71,6 +78,8 @@ func (srv *Server) handle(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 		return srv.read(p, req)
 	case wire.OpWrite:
 		return srv.write(p, req)
+	case wire.OpCommit:
+		return srv.commit(p, h)
 	case wire.OpCreate:
 		return srv.create(p, h)
 	case wire.OpRemove:
@@ -223,12 +232,44 @@ func (srv *Server) write(p *sim.Proc, req *rpc.Request) *rpc.Reply {
 	}
 	f.SetMtime(int64(p.Now()))
 	srv.H.Compute(p, srv.H.P.CacheInsert)
+	var verifier uint64
 	if !srv.down {
 		// Written data enters the server buffer cache (write-behind to
 		// disk) — unless the host died while the data was in flight.
 		srv.Cache.Install(f, h.Offset, n)
+		if srv.WB != nil {
+			// Dirty tracking, stability and backpressure: a stable write
+			// blocks here until destaged; an unstable one blocks only
+			// at the dirty high-water mark.
+			srv.WB.Write(p, f, h.Offset, n, h.Flags&wire.FlagStable != 0)
+			verifier = srv.WB.Verifier()
+		}
 	}
-	return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n}}
+	return &rpc.Reply{Hdr: &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, Length: n, Verifier: verifier,
+	}}
+}
+
+// commit serves OpCommit: destage every dirty block of the range (the
+// whole file when Length <= 0) and report the write verifier. Without
+// write-behind, data was never volatile, so commit is a no-op carrying
+// verifier zero.
+func (srv *Server) commit(p *sim.Proc, h *wire.Header) *rpc.Reply {
+	srv.H.Compute(p, srv.H.P.NFSServerOp)
+	f, err := srv.FS.ByID(fsim.FileID(h.FH))
+	if err != nil {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusStale}}
+	}
+	var verifier uint64
+	if srv.WB != nil && !srv.down {
+		verifier = srv.WB.Commit(p, f, h.Offset, h.Length)
+	}
+	if srv.down {
+		return &rpc.Reply{Hdr: &wire.Header{Op: h.Op, XID: h.XID, Status: wire.StatusIO}}
+	}
+	return &rpc.Reply{Hdr: &wire.Header{
+		Op: h.Op, XID: h.XID, Status: wire.StatusOK, Verifier: verifier,
+	}}
 }
 
 // writePayload optionally carries real bytes for writes that must be

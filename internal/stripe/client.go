@@ -201,6 +201,23 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	return total, nil
 }
 
+// Commit implements nas.Client, fanning the commit out per shard along
+// the stripe layout: a whole-file commit (n <= 0) reaches every shard, a
+// range commit only the shards owning its spans. Each sub-client runs
+// its own verifier comparison and re-issues its own lost writes.
+func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	if n <= 0 {
+		return FanOut(p, len(c.subs), "stripe-commit", func(wp *sim.Proc, i int) error {
+			return c.subs[i].Commit(wp, c.shardHandle(h, i), 0, 0)
+		})
+	}
+	spans := c.layout.Spans(off, n)
+	return FanOut(p, len(spans), "stripe-commit", func(wp *sim.Proc, i int) error {
+		sp := spans[i]
+		return c.subs[sp.Shard].Commit(wp, c.shardHandle(h, sp.Shard), sp.Off, sp.Len)
+	})
+}
+
 // Getattr implements nas.Client: attributes come from shard 0 (the
 // namespace is replicated; extendReplicas keeps sizes agreeing).
 func (c *Client) Getattr(p *sim.Proc, h *nas.Handle) (int64, error) {

@@ -102,12 +102,13 @@ func TestSpansCoverExactly(t *testing.T) {
 
 // fakeSub records per-shard traffic for routing assertions.
 type fakeSub struct {
-	shard  int
-	size   int64
-	reads  []Span
-	writes []Span
-	opens  int
-	closes int
+	shard   int
+	size    int64
+	reads   []Span
+	writes  []Span
+	commits []Span
+	opens   int
+	closes  int
 }
 
 func (f *fakeSub) Name() string { return "fake" }
@@ -142,6 +143,10 @@ func (f *fakeSub) Close(p *sim.Proc, h *nas.Handle) error {
 func (f *fakeSub) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {
 	f.writes = append(f.writes, Span{Shard: f.shard, Off: off, Len: int64(len(data))})
 	return int64(len(data)), nil
+}
+func (f *fakeSub) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	f.commits = append(f.commits, Span{Shard: f.shard, Off: off, Len: n})
+	return nil
 }
 
 // TestClientRoutesToOwningShards checks reads split across the owning

@@ -37,6 +37,13 @@ type GenConfig struct {
 	// interarrival gaps are exponential (Poisson arrivals). Rate <= 0
 	// makes every operation arrive at time zero.
 	Rate float64
+	// CommitEvery, when positive, emits a whole-file commit record for
+	// the just-written file after every CommitEvery-th write — the
+	// NFSv3-style periodic commit a write-behind server needs to bound
+	// uncommitted dirty data. Commit records ride the preceding write's
+	// arrival instant and consume no random draws, so the R/W stream is
+	// bit-identical to the same config with CommitEvery zero.
+	CommitEvery int
 	// Seed selects the pseudorandom stream.
 	Seed uint64
 }
@@ -70,6 +77,7 @@ func Generate(cfg GenConfig) Trace {
 	scatter := sim.NewRand(cfg.Seed ^ 0x74726163_65736372).Perm(blocks)
 	rng := sim.NewRand(cfg.Seed)
 	var at float64 // seconds
+	writes := 0
 	t := make(Trace, 0, cfg.Ops)
 	for i := 0; i < cfg.Ops; i++ {
 		// Four draws per record, always in the same order, so the
@@ -92,6 +100,15 @@ func Generate(cfg GenConfig) Trace {
 			Off:  int64(b) * cfg.IOSize,
 			Size: cfg.IOSize,
 		})
+		if isWrite && cfg.CommitEvery > 0 {
+			if writes++; writes%cfg.CommitEvery == 0 {
+				t = append(t, Record{
+					At:   sim.Duration(at * 1e9),
+					Kind: nas.OpCommit,
+					File: names[f],
+				})
+			}
+		}
 	}
 	return t
 }

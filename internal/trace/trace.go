@@ -9,6 +9,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -22,11 +23,12 @@ import (
 type Record struct {
 	// At is the arrival time as an offset from the start of the trace.
 	At sim.Duration
-	// Kind is the data operation (nas.OpRead or nas.OpWrite).
+	// Kind is the operation (nas.OpRead, nas.OpWrite or nas.OpCommit).
 	Kind nas.OpKind
 	// File names the target file within the replayed namespace.
 	File string
-	// Off and Size delimit the transferred byte range.
+	// Off and Size delimit the transferred byte range. A commit record
+	// with Size zero commits the whole file.
 	Off  int64
 	Size int64
 }
@@ -85,12 +87,13 @@ func (t Trace) Duration() sim.Duration {
 
 // Encode writes the trace in the text format, one record per line:
 //
-//	<arrival-ns> <R|W> <file> <offset> <bytes>
+//	<arrival-ns> <R|W|C> <file> <offset> <bytes>
 //
 // Records must satisfy the same constraints Decode enforces — file
 // names non-empty and whitespace-free, At non-negative and
-// non-decreasing, Off non-negative, Size positive — so every trace
-// Encode accepts, Decode can read back.
+// non-decreasing, Off non-negative, Size positive (commit records may
+// carry size zero: commit the whole file) — so every trace Encode
+// accepts, Decode can read back.
 func (t Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var prev sim.Duration
@@ -98,16 +101,27 @@ func (t Trace) Encode(w io.Writer) error {
 		if r.File == "" || strings.IndexFunc(r.File, isSpace) >= 0 {
 			return fmt.Errorf("trace: record %d: file name %q not encodable", i, r.File)
 		}
-		if r.At < 0 || r.Off < 0 || r.Size <= 0 {
+		minSize := int64(1)
+		if r.Kind == nas.OpCommit {
+			minSize = 0
+		}
+		if r.At < 0 || r.Off < 0 || r.Size < minSize {
 			return fmt.Errorf("trace: record %d: at %d off %d size %d not encodable", i, int64(r.At), r.Off, r.Size)
 		}
 		if r.At < prev {
 			return fmt.Errorf("trace: record %d: arrival %d before record %d's %d", i, int64(r.At), i-1, int64(prev))
 		}
 		prev = r.At
-		kind := "R"
-		if r.Kind == nas.OpWrite {
+		var kind string
+		switch r.Kind {
+		case nas.OpRead:
+			kind = "R"
+		case nas.OpWrite:
 			kind = "W"
+		case nas.OpCommit:
+			kind = "C"
+		default:
+			return fmt.Errorf("trace: record %d: %w %v", i, ErrUnknownKind, r.Kind)
 		}
 		if _, err := fmt.Fprintf(bw, "%d %s %s %d %d\n", int64(r.At), kind, r.File, r.Off, r.Size); err != nil {
 			return err
@@ -120,8 +134,15 @@ func isSpace(r rune) bool {
 	return r == ' ' || r == '\t' || r == '\n' || r == '\r'
 }
 
+// ErrUnknownKind reports a record kind the codec does not define. An
+// external trace carrying one is rejected at decode time — silently
+// skipping records would replay a different workload than the trace
+// describes.
+var ErrUnknownKind = errors.New("trace: unknown record kind")
+
 // Decode parses the text format produced by Encode. Blank lines and
-// lines starting with '#' are skipped.
+// lines starting with '#' are skipped; a line whose kind field is not
+// R, W or C fails with an error wrapping ErrUnknownKind.
 func Decode(r io.Reader) (Trace, error) {
 	sc := bufio.NewScanner(r)
 	var t Trace
@@ -151,15 +172,21 @@ func Decode(r io.Reader) (Trace, error) {
 			kind = nas.OpRead
 		case "W":
 			kind = nas.OpWrite
+		case "C":
+			kind = nas.OpCommit
 		default:
-			return nil, fmt.Errorf("trace: line %d: bad op kind %q", line, f[1])
+			return nil, fmt.Errorf("trace: line %d: %w %q", line, ErrUnknownKind, f[1])
 		}
 		off, err := strconv.ParseInt(f[3], 10, 64)
 		if err != nil || off < 0 {
 			return nil, fmt.Errorf("trace: line %d: bad offset %q", line, f[3])
 		}
+		minSize := int64(1)
+		if kind == nas.OpCommit {
+			minSize = 0
+		}
 		size, err := strconv.ParseInt(f[4], 10, 64)
-		if err != nil || size <= 0 {
+		if err != nil || size < minSize {
 			return nil, fmt.Errorf("trace: line %d: bad size %q", line, f[4])
 		}
 		t = append(t, Record{At: sim.Duration(at), Kind: kind, File: f[2], Off: off, Size: size})

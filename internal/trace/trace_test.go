@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -138,6 +139,81 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(tr, got) {
 		t.Fatal("decoded trace differs from encoded")
+	}
+}
+
+// TestCodecRoundTripCommits checks commit records — including the
+// whole-file form with size zero — survive the codec losslessly, both
+// hand-built and as emitted by the generator's CommitEvery knob.
+func TestCodecRoundTripCommits(t *testing.T) {
+	cfg := genCfg()
+	cfg.ReadFrac = 0.5
+	cfg.CommitEvery = 8
+	gen := Generate(cfg)
+	commits := 0
+	for _, r := range gen {
+		if r.Kind == nas.OpCommit {
+			commits++
+		}
+	}
+	if commits == 0 {
+		t.Fatal("CommitEvery=8 generated no commit records")
+	}
+	for name, tr := range map[string]Trace{
+		"generated": gen[:min(len(gen), 128)],
+		"hand-built": {
+			{At: 0, Kind: nas.OpWrite, File: "f", Off: 0, Size: 4096},
+			{At: 10, Kind: nas.OpCommit, File: "f", Off: 0, Size: 0},    // whole file
+			{At: 20, Kind: nas.OpCommit, File: "f", Off: 4096, Size: 8}, // range
+		},
+	} {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Fatalf("%s: decoded trace differs from encoded", name)
+		}
+	}
+}
+
+// TestCommitEveryPreservesRWStream checks adding periodic commits does
+// not perturb the R/W records: the same config with CommitEvery zero is
+// exactly the commit-bearing trace with its commit records removed.
+func TestCommitEveryPreservesRWStream(t *testing.T) {
+	cfg := genCfg()
+	cfg.ReadFrac = 0.5
+	plain := Generate(cfg)
+	cfg.CommitEvery = 4
+	var stripped Trace
+	for _, r := range Generate(cfg) {
+		if r.Kind != nas.OpCommit {
+			stripped = append(stripped, r)
+		}
+	}
+	if !reflect.DeepEqual(plain, stripped) {
+		t.Fatal("CommitEvery perturbed the read/write record stream")
+	}
+}
+
+// TestDecodeUnknownKindTyped is the typed-rejection contract: a record
+// kind outside the codec fails with an error wrapping ErrUnknownKind —
+// never a silent skip — so foreign traces cannot replay as a different
+// workload than they describe.
+func TestDecodeUnknownKindTyped(t *testing.T) {
+	_, err := Decode(strings.NewReader("12 R f00 0 4096\n13 Q f00 0 4096\n"))
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("Decode unknown kind: err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := Decode(strings.NewReader("12 R f00 0 4096\n")); err != nil {
+		t.Fatalf("known kinds must still decode: %v", err)
+	}
+	if err := (Trace{{At: 0, Kind: nas.OpKind(9), File: "f", Off: 0, Size: 1}}).Encode(&bytes.Buffer{}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("Encode unknown kind: err = %v, want ErrUnknownKind", err)
 	}
 }
 

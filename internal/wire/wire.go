@@ -28,11 +28,12 @@ const (
 	OpOpen
 	OpClose
 	OpMount
+	OpCommit
 )
 
 var opNames = [...]string{
 	"invalid", "lookup", "getattr", "read", "write",
-	"create", "remove", "open", "close", "mount",
+	"create", "remove", "open", "close", "mount", "commit",
 }
 
 func (o Op) String() string {
@@ -49,6 +50,14 @@ const (
 	StatusExist
 	StatusIO
 	StatusStale
+)
+
+// Flags bits. FlagStable on an OpWrite request asks the server to
+// destage the data to disk before replying (NFSv3 FILE_SYNC); its
+// absence is an unstable write the server may hold dirty in its buffer
+// cache until an OpCommit.
+const (
+	FlagStable uint8 = 1 << 0
 )
 
 // Header is the protocol header. A single flexible header covers all ops:
@@ -75,14 +84,32 @@ type Header struct {
 
 	// Name carries path components for lookup/create/remove/open.
 	Name string
+
+	// Flags carries per-op modifier bits (write stability); Verifier is
+	// the server's NFSv3-style write verifier, carried on write and
+	// commit replies from a write-behind server. It changes across a
+	// server crash/restart, so a client comparing verifiers detects that
+	// unstable writes it has not yet committed were lost. Both fields
+	// ride a trailing extension that is encoded only when either is
+	// nonzero, so messages of the pre-commit protocol are byte-identical
+	// on the wire.
+	Flags    uint8
+	Verifier uint64
 }
 
 // fixedSize is the encoded size of the fixed fields.
 const fixedSize = 1 + 8 + 8 + 8 + 8 + 4 + 8 + 8 + 8 + 2 + 2
 
+// extSize is the encoded size of the stability/verifier extension.
+const extSize = 1 + 8
+
 // WireSize returns the encoded size in bytes.
 func (h *Header) WireSize() int {
-	return fixedSize + len(h.RefCap) + len(h.Name)
+	n := fixedSize + len(h.RefCap) + len(h.Name)
+	if h.Flags != 0 || h.Verifier != 0 {
+		n += extSize
+	}
+	return n
 }
 
 // Encode serializes the header.
@@ -104,6 +131,10 @@ func (h *Header) Encode() []byte {
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.Name)))
 	b = append(b, h.RefCap...)
 	b = append(b, h.Name...)
+	if h.Flags != 0 || h.Verifier != 0 {
+		b = append(b, h.Flags)
+		b = binary.LittleEndian.AppendUint64(b, h.Verifier)
+	}
 	return b
 }
 
@@ -135,5 +166,12 @@ func Decode(b []byte) (*Header, error) {
 		h.RefCap = append([]byte(nil), rest[:capLen]...)
 	}
 	h.Name = string(rest[capLen : capLen+nameLen])
+	if ext := rest[capLen+nameLen:]; len(ext) > 0 {
+		if len(ext) < extSize {
+			return nil, ErrTruncated
+		}
+		h.Flags = ext[0]
+		h.Verifier = binary.LittleEndian.Uint64(ext[1:])
+	}
 	return h, nil
 }

@@ -49,17 +49,54 @@ func TestEmptyFieldsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStabilityExtensionRoundTrip pins the stability/verifier
+// extension: headers carrying a Flags bit or a Verifier round-trip
+// losslessly, pay exactly the extension's bytes on the wire, and —
+// critically for artifact stability — headers carrying neither encode
+// byte-identically to the pre-extension format.
+func TestStabilityExtensionRoundTrip(t *testing.T) {
+	for name, h := range map[string]*Header{
+		"stable write":   {Op: OpWrite, XID: 9, FH: 3, Offset: 4096, Length: 8192, Flags: FlagStable},
+		"commit reply":   {Op: OpCommit, XID: 10, FH: 3, Status: StatusOK, Verifier: 0xdead_beef},
+		"write reply":    {Op: OpWrite, XID: 11, Status: StatusOK, Length: 8192, Verifier: 7},
+		"both with name": {Op: OpWrite, XID: 12, Name: "f", Flags: FlagStable, Verifier: 1},
+	} {
+		b := h.Encode()
+		if len(b) != h.WireSize() {
+			t.Fatalf("%s: encoded %d bytes, WireSize %d", name, len(b), h.WireSize())
+		}
+		plain := *h
+		plain.Flags, plain.Verifier = 0, 0
+		if want := plain.WireSize() + extSize; len(b) != want {
+			t.Fatalf("%s: extension costs %d bytes, want %d", name, len(b)-plain.WireSize(), extSize)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(h, got) {
+			t.Fatalf("%s: round trip mismatch:\n have %+v\n want %+v", name, got, h)
+		}
+	}
+	// No flags, no verifier: zero extension bytes, so every message of
+	// the pre-commit protocol is unchanged on the wire.
+	h := &Header{Op: OpWrite, XID: 13, Offset: 4096, Length: 8192}
+	if got, want := h.WireSize(), fixedSize; got != want {
+		t.Fatalf("extension-free header costs %d bytes, want the pre-extension %d", got, want)
+	}
+}
+
 // Property: Decode(Encode(h)) == h for arbitrary headers.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(op uint8, xid, fh, bufVA, refVA uint64, off, length, refLen int64,
-		status uint32, capBytes []byte, name string) bool {
+	f := func(op uint8, xid, fh, bufVA, refVA, verifier uint64, off, length, refLen int64,
+		status uint32, flags uint8, capBytes []byte, name string) bool {
 		if len(capBytes) > 256 || len(name) > 256 {
 			return true
 		}
 		h := &Header{
 			Op: Op(op), XID: xid, FH: fh, Offset: off, Length: length,
 			Status: status, BufVA: bufVA, RefVA: refVA, RefLen: refLen,
-			Name: name,
+			Name: name, Flags: flags, Verifier: verifier,
 		}
 		if len(capBytes) > 0 {
 			h.RefCap = capBytes

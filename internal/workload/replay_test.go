@@ -39,6 +39,10 @@ func (c *slowClient) Close(p *sim.Proc, h *nas.Handle) error { return nil }
 func (c *slowClient) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {
 	return c.Write(p, h, off, int64(len(data)), 0)
 }
+func (c *slowClient) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
+	p.Sleep(c.opTime)
+	return nil
+}
 
 // uniformTrace builds n records arriving every gap, alternating a write
 // in every fourth slot.
