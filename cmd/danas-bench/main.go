@@ -5,6 +5,8 @@
 // Usage:
 //
 //	danas-bench [-scale f] [-parallel n] [-exper names] [experiment|all]...
+//	danas-bench [-scale f] [-parallel n] -scenario file-or-name[,...] [-scenario-validate]
+//	danas-bench [-scale f] [-parallel n] -scenario-seed n [-scenario-count m]
 //
 // The experiment names accepted positionally and by -exper come from the
 // registry in this file; run danas-bench -h for the generated list, which
@@ -15,6 +17,13 @@
 // -parallel runs each experiment's cells across n OS workers; every cell
 // owns an independent simulation, so output is byte-identical to the
 // serial run.
+//
+// -scenario runs declarative scenarios through the scenario engine
+// instead of experiments: each item is either a canned scenario name
+// (the list in -h comes from the registry) or a path to a scenario
+// file. -scenario-validate parses and validates without running.
+// -scenario-seed generates and runs a seeded random stress fleet. A
+// failed scenario assertion exits 1.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"strings"
 
 	"danas/internal/exper"
+	"danas/internal/scenario"
 )
 
 // known maps every runnable experiment name to its generator — the
@@ -76,6 +86,17 @@ func main() {
 	experFlag := flag.String("exper", "",
 		"comma-separated experiment names to run (combines with positional args; valid: "+
 			strings.Join(validNames(), " ")+")")
+	// The canned-scenario list is generated from the scenario registry,
+	// same no-drift rule as the experiment names.
+	scenarioFlag := flag.String("scenario", "",
+		"comma-separated scenario files or canned names to run (canned: "+
+			strings.Join(scenario.Names(), " ")+")")
+	scenarioValidate := flag.Bool("scenario-validate", false,
+		"parse and validate -scenario items without running them")
+	scenarioSeed := flag.Uint64("scenario-seed", 0,
+		"generate and run a seeded random stress-scenario fleet")
+	scenarioCount := flag.Int("scenario-count", 8,
+		"number of stress scenarios to generate with -scenario-seed")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: danas-bench [flags] [%s]...\n", strings.Join(validNames(), "|"))
@@ -90,6 +111,25 @@ func main() {
 	}
 	scale := exper.Scale(*scaleFlag)
 	exper.SetParallelism(*parallelFlag)
+
+	// Zero is a legitimate stress seed, so detect the flag's presence
+	// rather than its value.
+	stressMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scenario-seed" {
+			stressMode = true
+		}
+	})
+	if *scenarioFlag != "" || stressMode {
+		if len(flag.Args()) > 0 || *experFlag != "" {
+			usageErr("scenario flags do not combine with experiment arguments")
+		}
+		runScenarios(*scenarioFlag, *scenarioValidate, stressMode, *scenarioSeed, *scenarioCount, scale)
+		return
+	}
+	if *scenarioValidate {
+		usageErr("-scenario-validate requires -scenario")
+	}
 
 	args := flag.Args()
 	for _, name := range strings.Split(*experFlag, ",") {
@@ -212,9 +252,82 @@ func runScalingGrid(scale exper.Scale) {
 	fmt.Println()
 }
 
+// resolveScenarios turns each -scenario item into a validated spec:
+// canned names resolve through the registry first; anything with a path
+// separator or extension is read as a scenario file.
+func resolveScenarios(items []string) []*scenario.Spec {
+	specs := make([]*scenario.Spec, 0, len(items))
+	for _, item := range items {
+		if sp, ok := scenario.Lookup(item); ok {
+			specs = append(specs, sp)
+			continue
+		}
+		if !strings.ContainsAny(item, "/.") {
+			usageErr("unknown scenario %q (canned: %s; or pass a file path)",
+				item, strings.Join(scenario.Names(), " "))
+		}
+		src, err := os.ReadFile(item)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		sp, err := scenario.Parse(string(src))
+		if err != nil {
+			usageErr("%s: %v", item, err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs
+}
+
+// runScenarios is the -scenario/-scenario-seed entry point. A spec that
+// cannot parse or validate exits 2 (usage error); a scenario that runs
+// but fails an assertion exits 1.
+func runScenarios(list string, validateOnly, stress bool, seed uint64, count int, scale exper.Scale) {
+	var specs []*scenario.Spec
+	if stress {
+		if list != "" {
+			usageErr("-scenario-seed does not combine with -scenario")
+		}
+		if count < 1 {
+			usageErr("-scenario-count must be at least 1, got %d", count)
+		}
+		specs = scenario.Stress(seed, count)
+	} else {
+		var items []string
+		for _, it := range strings.Split(list, ",") {
+			if it = strings.TrimSpace(it); it != "" {
+				items = append(items, it)
+			}
+		}
+		if len(items) == 0 {
+			usageErr("-scenario needs at least one file or canned name")
+		}
+		specs = resolveScenarios(items)
+	}
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			usageErr("%v", err)
+		}
+	}
+	if validateOnly {
+		for _, sp := range specs {
+			fmt.Printf("scenario %s: valid\n", sp.Name)
+		}
+		return
+	}
+	reps, err := scenario.RunAll(specs, scale)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	fmt.Print(scenario.FormatAll(reps))
+	if !scenario.AllPass(reps) {
+		os.Exit(1)
+	}
+}
+
 func runFailure(scale exper.Scale) {
 	fmt.Println("== Failure injection: shard crash/restart and link degradation over the sharded fleet ==")
-	fmt.Print(exper.FormatFailure(exper.Failure(scale)))
+	fmt.Print(exper.FormatFailure(scenario.Failure(scale)))
 	fmt.Println()
 }
 
@@ -226,7 +339,7 @@ func runTrace(scale exper.Scale) {
 
 func runWriteMix(scale exper.Scale) {
 	fmt.Println("== Write mix: read/write sweep over write-behind shards (unstable writes + periodic commits) ==")
-	fmt.Print(exper.FormatWriteMix(exper.WriteMix(scale)))
+	fmt.Print(exper.FormatWriteMix(scenario.WriteMix(scale)))
 	fmt.Println()
 }
 

@@ -2,16 +2,11 @@ package exper
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
-	"danas/internal/core"
-	"danas/internal/fail"
 	"danas/internal/metrics"
-	"danas/internal/nas"
 	"danas/internal/sim"
 	"danas/internal/trace"
-	"danas/internal/workload"
 )
 
 // FailureShardCounts is the fleet-size axis of the failure experiment.
@@ -19,21 +14,21 @@ var FailureShardCounts = []int{1, 2, 4, 8}
 
 // FailureScheds names the injected fault patterns: "crash" takes shard 0
 // down for the fault window (cold cache and invalidated ORDMA exports on
-// restart); "degrade" clamps shard 0's link to 1/degradeFactor of its
+// restart); "degrade" clamps shard 0's link to 1/DegradeFactor of its
 // bandwidth over the same window.
 var FailureScheds = []string{"crash", "degrade"}
 
 const (
-	// failRTO and failRetries bound client-side recovery: both the RPC
+	// FailRTO and FailRetries bound client-side recovery: both the RPC
 	// stacks and the DAFS sessions retransmit with exponential backoff
-	// from failRTO and give up after failRetries, so an op against a
+	// from FailRTO and give up after FailRetries, so an op against a
 	// dead shard either recovers transparently once it restarts or
 	// fails with a typed timeout the replay counts — never a hang.
-	failRTO     = 2 * sim.Millisecond
-	failRetries = 7
-	// degradeFactor divides the victim link's bandwidth during the
+	FailRTO     = 2 * sim.Millisecond
+	FailRetries = 7
+	// DegradeFactor divides the victim link's bandwidth during the
 	// degradation window.
-	degradeFactor = 8
+	DegradeFactor = 8
 )
 
 // failureWindows places the fault inside the trace: it begins a quarter
@@ -72,177 +67,6 @@ type FailureRow struct {
 	// Stalls is the open-loop driver's count of submissions delayed by
 	// a full queue (back-pressure reached the workload generator).
 	Stalls int64
-}
-
-// Failure runs the failure-injection experiment: every protocol times
-// every fleet size times every fault schedule, each cell replaying the
-// same trace as the trace experiment while the schedule fires, and
-// reports how gracefully throughput sheds and recovers.
-func Failure(scale Scale) []FailureRow {
-	return FailureOver(scale, FailureShardCounts)
-}
-
-// FailureOver runs the failure experiment over an explicit shard axis
-// (tests use reduced axes; Failure uses the full one).
-func FailureOver(scale Scale, shardCounts []int) []FailureRow {
-	gen := TraceGen(scale)
-	ni := len(FailureScheds) * len(shardCounts)
-	g := RunGrid(ni, len(ScalingSystems),
-		func(i, j int) string {
-			return fmt.Sprintf("failure/%s/%dshards/%s",
-				FailureScheds[i/len(shardCounts)], shardCounts[i%len(shardCounts)], ScalingSystems[j])
-		},
-		func(i, j int) FailureRow {
-			return failureCell(FailureScheds[i/len(shardCounts)], ScalingSystems[j],
-				shardCounts[i%len(shardCounts)], gen)
-		})
-	return g.Flat()
-}
-
-// failureCell replays the trace once with the given fault schedule
-// armed: one client machine drives the sharded fleet, shard 0 is the
-// victim, and the clients' retransmission budgets are configured so a
-// dead shard surfaces as bounded retries or typed timeouts, never a
-// hang.
-func failureCell(sched, system string, shards int, gen trace.GenConfig) FailureRow {
-	tr := trace.Generate(gen)
-	t1, t2 := failureWindows(tr)
-	cl, fileBlocks, dataBlocks := replayCluster(tr, shards)
-	defer cl.Close()
-	var ac nas.AsyncClient
-	var retried func() uint64
-	switch system {
-	case "DAFS", "ODAFS":
-		cc := cl.StripedCachedClient(0, core.Config{
-			BlockSize:  scalingBlock,
-			DataBlocks: dataBlocks,
-			Headers:    fileBlocks + 64,
-			UseORDMA:   system == "ODAFS",
-		})
-		cc.SetRetry(failRTO, failRetries)
-		retried = func() uint64 { return cc.Retries() + cc.Stats().ORDMAFaults }
-		ac = cc.Async(traceDepth)
-	default:
-		ncs, base := cl.StripedNFSClients(0, nfsKindOf(system))
-		for _, nc := range ncs {
-			nc.SetRetry(failRTO, failRetries)
-		}
-		retried = func() uint64 {
-			var n uint64
-			for _, nc := range ncs {
-				n += nc.Retransmits()
-			}
-			return n
-		}
-		ac = nas.NewAsync(base, traceDepth)
-	}
-
-	var sc fail.Schedule
-	switch sched {
-	case "crash":
-		sc = fail.CrashRestart(0, t1, t2-t1)
-	case "degrade":
-		sc = fail.Degrade(0, t1, t2-t1, cl.P.LinkBandwidth/degradeFactor)
-	default:
-		panic("exper: unknown failure schedule " + sched)
-	}
-
-	var res *workload.ReplayResult
-	cl.Go("failure-replay", func(p *sim.Proc) {
-		cl.MarkServerEpochs()
-		// Op errors are the experiment's subject: counted below, never
-		// panicked on.
-		res, _ = workload.ReplayWith(p, ac, tr, func(sim.Time) {
-			if err := sc.Arm(cl.S, len(cl.Shards), cl); err != nil {
-				panic(fmt.Sprintf("failure %s/%s/%ds: %v", sched, system, shards, err))
-			}
-		})
-	})
-	cl.Run()
-	if res == nil {
-		panic(fmt.Sprintf("failure %s/%s/%ds: replay never completed", sched, system, shards))
-	}
-	return failureReduce(sched, system, shards, tr, res, t1, t2, retried())
-}
-
-// failureReduce slices the replay's per-op outcomes into the
-// before/during/after-fault windows and derives the row's metrics.
-func failureReduce(sched, system string, shards int, tr trace.Trace,
-	res *workload.ReplayResult, t1, t2 sim.Duration, retried uint64) FailureRow {
-	row := FailureRow{
-		Sched: sched, System: system, Shards: shards,
-		OpsRetried: retried, Stalls: res.Stalls,
-	}
-	start := res.Start
-	type done struct {
-		at    sim.Time
-		bytes int64
-	}
-	dones := make([]done, 0, len(tr))
-	var faultLat metrics.Hist
-	for i, rec := range tr {
-		arrival := start.Add(rec.At)
-		if res.OpErr[i] != nil {
-			row.OpsFailed++
-		} else {
-			row.OpsOK++
-			dones = append(dones, done{at: res.OpDone[i], bytes: res.OpBytes[i]})
-		}
-		if rec.At >= t1 && rec.At < t2 {
-			faultLat.Observe(res.OpDone[i].Sub(arrival))
-		}
-	}
-	sort.Slice(dones, func(i, j int) bool { return dones[i].at < dones[j].at })
-	prefix := make([]int64, len(dones)+1)
-	for i, d := range dones {
-		prefix[i+1] = prefix[i] + d.bytes
-	}
-	// bytesIn sums completed bytes with completion instants in [lo, hi).
-	bytesIn := func(lo, hi sim.Time) int64 {
-		a := sort.Search(len(dones), func(i int) bool { return dones[i].at >= lo })
-		b := sort.Search(len(dones), func(i int) bool { return dones[i].at >= hi })
-		return prefix[b] - prefix[a]
-	}
-	mbps := func(bytes int64, d sim.Duration) float64 {
-		if d <= 0 {
-			return 0
-		}
-		return float64(bytes) / 1e6 / d.Seconds()
-	}
-	faultStart := start.Add(t1)
-	faultEnd := start.Add(t2)
-	end := start.Add(res.Elapsed)
-	row.BaseMBps = mbps(bytesIn(start, faultStart), t1)
-	row.FaultMBps = mbps(bytesIn(faultStart, faultEnd), t2-t1)
-	row.AfterMBps = mbps(bytesIn(faultEnd, end+1), end.Sub(faultEnd))
-	row.P99FaultMicros = faultLat.Quantile(0.99).Micros()
-
-	// Recovery time: the earliest post-fault instant at which a sliding
-	// window of half the baseline span again carries >= 95% of baseline
-	// throughput. Candidates are the fault end and each later
-	// completion; -1 means the replay ended first.
-	w := t1 / 2
-	baseRate := float64(bytesIn(start, faultStart)) / t1.Seconds() // bytes/sec
-	need := 0.95 * baseRate * w.Seconds()
-	row.RecoveryMillis = -1
-	if need <= 0 || w <= 0 {
-		row.RecoveryMillis = 0
-	} else {
-		cands := make([]sim.Time, 0, len(dones)+1)
-		cands = append(cands, faultEnd)
-		for _, d := range dones {
-			if d.at > faultEnd {
-				cands = append(cands, d.at)
-			}
-		}
-		for _, T := range cands {
-			if float64(bytesIn(T, T.Add(w))) >= need {
-				row.RecoveryMillis = float64(T.Sub(faultEnd)) / 1e6
-				break
-			}
-		}
-	}
-	return row
 }
 
 // FailureTables renders the crash schedule's headline metrics as tables

@@ -8,32 +8,7 @@ import (
 	"danas/internal/nfs"
 	"danas/internal/sim"
 	"danas/internal/stripe"
-	"danas/internal/trace"
 )
-
-// failureTestShards keeps the failure-experiment tests fast: the full
-// 1..8 axis is exercised by danas-bench and the CI smoke job.
-var failureTestShards = []int{1, 2}
-
-func TestFailureRowsComplete(t *testing.T) {
-	rows := FailureOver(tiny, failureTestShards)
-	if want := len(FailureScheds) * len(failureTestShards) * len(ScalingSystems); len(rows) != want {
-		t.Fatalf("rows = %d, want %d", len(rows), want)
-	}
-	ops := int64(len(trace.Generate(TraceGen(tiny))))
-	for _, r := range rows {
-		if r.OpsOK+r.OpsFailed != ops {
-			t.Errorf("%s/%s/S=%d: ok+failed = %d, want every replayed op accounted (%d)",
-				r.Sched, r.System, r.Shards, r.OpsOK+r.OpsFailed, ops)
-		}
-		if r.BaseMBps <= 0 {
-			t.Errorf("%s/%s/S=%d: no baseline throughput", r.Sched, r.System, r.Shards)
-		}
-		if r.Sched == "degrade" && r.OpsFailed != 0 {
-			t.Errorf("degrade/%s/S=%d: %d ops failed under pure congestion", r.System, r.Shards, r.OpsFailed)
-		}
-	}
-}
 
 // TestORDMAFaultAfterCrashFallsBackToRPC is the §4.2 recovery contract
 // under real failure: a crash invalidates every export, so a client
@@ -166,24 +141,5 @@ func TestCrashWithoutRestartFailsTyped(t *testing.T) {
 	}
 	if err != nas.ErrTimeout {
 		t.Fatalf("err = %v, want nas.ErrTimeout", err)
-	}
-}
-
-// TestFailureDeterminism is the determinism regression for the failure
-// artifact: a fixed schedule must render byte-identically across reruns
-// and across the experiment worker pool.
-func TestFailureDeterminism(t *testing.T) {
-	old := Parallelism()
-	defer SetParallelism(old)
-
-	render := func() string { return FormatFailure(FailureOver(tiny, failureTestShards)) }
-	SetParallelism(1)
-	first := render()
-	if second := render(); second != first {
-		t.Fatal("two serial runs of the failure artifact differ")
-	}
-	SetParallelism(8)
-	if par := render(); par != first {
-		t.Fatal("parallel run of the failure artifact differs from serial")
 	}
 }

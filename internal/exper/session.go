@@ -1,0 +1,185 @@
+package exper
+
+import (
+	"fmt"
+
+	"danas/internal/core"
+	"danas/internal/fail"
+	"danas/internal/metrics"
+	"danas/internal/nas"
+	"danas/internal/sim"
+	"danas/internal/trace"
+	"danas/internal/wb"
+	"danas/internal/workload"
+)
+
+// ReplayConfig describes one replay-driven cell: the fleet a trace is
+// replayed against and the client that drives it. The trace, failure,
+// and write-mix experiments — and every scenario the scenario engine
+// runs — are all instances of this one shape.
+type ReplayConfig struct {
+	// System is the protocol legend name (see ScalingSystems).
+	System string
+	// Shards is the fleet size; the traced files stripe across it.
+	Shards int
+	// Depth is the async client's bounded queue depth (0 = the trace
+	// experiment's default).
+	Depth int
+	// RetryBudget, when positive, arms client-side recovery: RPC stacks
+	// and DAFS sessions retransmit with exponential backoff from
+	// RetryRTO and give up after RetryBudget attempts.
+	RetryRTO    sim.Duration
+	RetryBudget int
+	// WriteBehind arms the write-behind/commit subsystem on every
+	// shard. WBConfig tunes it; WBAutoMarks instead derives the water
+	// marks from the replayed footprint (the write-mix formula, see
+	// AutoWBConfig).
+	WriteBehind bool
+	WBConfig    wb.Config
+	WBAutoMarks bool
+}
+
+// AutoWBConfig sizes write-behind water marks to a replayed footprint:
+// each shard throttles incoming writes once a quarter of the block
+// population it owns is dirty, releases at a quarter of that, and
+// coalesces up to 16 contiguous blocks per destage I/O. Scaling the
+// marks with the footprint keeps backpressure reachable at every
+// -scale, so stall-time columns measure the same phenomenon in CI smoke
+// runs and full runs alike.
+func AutoWBConfig(fileBlocks, shards int) wb.Config {
+	hw := fileBlocks / (4 * shards)
+	if hw < 8 {
+		hw = 8
+	}
+	lw := hw / 4
+	if lw < 1 {
+		lw = 1
+	}
+	return wb.Config{HighWater: hw, LowWater: lw, MaxBatch: 16}
+}
+
+// ReplaySession is one assembled replay cell: the cluster, the async
+// client driving it, and the client-side retry accounting. Callers run
+// the replay via Replay and must Close the session.
+type ReplaySession struct {
+	Cluster *Cluster
+	AC      nas.AsyncClient
+	// FileBlocks and DataBlocks are the traced footprint in cache
+	// blocks and the client cache sizing derived from it.
+	FileBlocks, DataBlocks int
+
+	tr      trace.Trace
+	retried func() uint64
+}
+
+// NewReplaySession builds the cluster every replay cell drives — one
+// client machine, the traced files striped block-range across the
+// shards and warm in every shard's cache — and mounts the configured
+// protocol's async client over it.
+func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
+	if cfg.Depth <= 0 {
+		cfg.Depth = traceDepth
+	}
+	var mutate func(*ClusterConfig, int)
+	if cfg.WriteBehind {
+		mutate = func(ccfg *ClusterConfig, fileBlocks int) {
+			ccfg.WriteBehind = true
+			if cfg.WBAutoMarks {
+				ccfg.WBConfig = AutoWBConfig(fileBlocks, cfg.Shards)
+				if cfg.WBConfig.MaxBatch > 0 {
+					ccfg.WBConfig.MaxBatch = cfg.WBConfig.MaxBatch
+				}
+			} else {
+				ccfg.WBConfig = cfg.WBConfig
+			}
+		}
+	}
+	cl, fileBlocks, dataBlocks := replayClusterWith(tr, cfg.Shards, mutate)
+	s := &ReplaySession{
+		Cluster:    cl,
+		FileBlocks: fileBlocks,
+		DataBlocks: dataBlocks,
+		tr:         tr,
+	}
+	switch cfg.System {
+	case "DAFS", "ODAFS":
+		cc := cl.StripedCachedClient(0, core.Config{
+			BlockSize:  scalingBlock,
+			DataBlocks: dataBlocks,
+			Headers:    fileBlocks + 64,
+			UseORDMA:   cfg.System == "ODAFS",
+		})
+		if cfg.RetryBudget > 0 {
+			cc.SetRetry(cfg.RetryRTO, cfg.RetryBudget)
+		}
+		s.retried = func() uint64 { return cc.Retries() + cc.Stats().ORDMAFaults }
+		s.AC = cc.Async(cfg.Depth)
+	default:
+		ncs, base := cl.StripedNFSClients(0, nfsKindOf(cfg.System))
+		if cfg.RetryBudget > 0 {
+			for _, nc := range ncs {
+				nc.SetRetry(cfg.RetryRTO, cfg.RetryBudget)
+			}
+		}
+		s.retried = func() uint64 {
+			var n uint64
+			for _, nc := range ncs {
+				n += nc.Retransmits()
+			}
+			return n
+		}
+		s.AC = nas.NewAsync(base, cfg.Depth)
+	}
+	return s
+}
+
+// Retried counts the faults the clients absorbed transparently:
+// client-layer retransmissions plus ORDMA faults.
+func (s *ReplaySession) Retried() uint64 { return s.retried() }
+
+// Close tears down the session's simulation.
+func (s *ReplaySession) Close() { s.Cluster.Close() }
+
+// Replay runs the open-loop replay of the session's trace with the
+// fault schedule armed at the replay clock's origin (a nil or empty
+// schedule replays fault-free), driving the simulation to completion.
+// The schedule must have been validated; an arm failure panics. The
+// returned error is the replay's first per-operation error — counted,
+// not fatal, for callers measuring failure (fault cells) and fatal for
+// callers expecting a clean run (healthy cells).
+func (s *ReplaySession) Replay(name string, sched fail.Schedule) (*workload.ReplayResult, error) {
+	var res *workload.ReplayResult
+	var rerr error
+	s.Cluster.Go(name, func(p *sim.Proc) {
+		s.Cluster.MarkServerEpochs()
+		var onStart func(sim.Time)
+		if len(sched) > 0 {
+			onStart = func(sim.Time) {
+				if err := sched.Arm(s.Cluster.S, len(s.Cluster.Shards), s.Cluster); err != nil {
+					panic(fmt.Sprintf("exper: %s: arming unvalidated schedule: %v", name, err))
+				}
+			}
+		}
+		res, rerr = workload.ReplayWith(p, s.AC, s.tr, onStart)
+	})
+	s.Cluster.Run()
+	if res == nil {
+		panic(fmt.Sprintf("exper: %s: replay never completed", name))
+	}
+	return res, rerr
+}
+
+// Outcomes converts a replay result over tr into the per-operation
+// outcome records the metrics evaluation layer consumes.
+func Outcomes(tr trace.Trace, res *workload.ReplayResult) []metrics.OpOutcome {
+	ops := make([]metrics.OpOutcome, len(tr))
+	for i, rec := range tr {
+		ops[i] = metrics.OpOutcome{
+			Arrival: rec.At,
+			Done:    res.OpDone[i],
+			Bytes:   res.OpBytes[i],
+			Failed:  res.OpErr[i] != nil,
+		}
+	}
+	return ops
+}

@@ -4,12 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"danas/internal/core"
 	"danas/internal/metrics"
-	"danas/internal/nas"
-	"danas/internal/sim"
 	"danas/internal/trace"
-	"danas/internal/workload"
 )
 
 // TraceShardCounts is the server axis of the trace-replay experiment.
@@ -21,15 +17,17 @@ var TraceShardCounts = []int{1, 2, 4, 8}
 // (counted as stalls) instead of unbounded queue growth.
 const traceDepth = 64
 
-// TraceGen returns the deterministic synthetic trace configuration the
-// experiment replays: a Zipf-skewed (files and offsets) 70/30 read/write
-// mix arriving as a Poisson stream whose offered load is sized to press
-// a single shard, so adding shards visibly drains the tail.
-func TraceGen(scale Scale) trace.GenConfig {
+// BaseTraceGen returns the unscaled synthetic workload every replay
+// experiment derives from: a Zipf-skewed (files and offsets) 70/30
+// read/write mix arriving as a Poisson stream whose offered load is
+// sized to press a single shard, so adding shards visibly drains the
+// tail. Scenario specs embed this shape directly; experiments apply
+// their -scale through ScaleGen.
+func BaseTraceGen() trace.GenConfig {
 	return trace.GenConfig{
-		Ops:      scale.count(4000),
+		Ops:      4000,
 		Files:    8,
-		FileSize: scale.bytes(4 << 20),
+		FileSize: 4 << 20,
 		IOSize:   scalingBlock,
 		ReadFrac: 0.7,
 		FileZipf: 0.9,
@@ -37,6 +35,21 @@ func TraceGen(scale Scale) trace.GenConfig {
 		Rate:     6000,
 		Seed:     42,
 	}
+}
+
+// ScaleGen applies the experiment scale to a workload configuration the
+// way every replay experiment does: the operation count and file size
+// shrink with the scale, the distribution shape stays fixed.
+func ScaleGen(scale Scale, gen trace.GenConfig) trace.GenConfig {
+	gen.Ops = scale.count(gen.Ops)
+	gen.FileSize = scale.bytes(gen.FileSize)
+	return gen
+}
+
+// TraceGen returns the deterministic synthetic trace configuration the
+// trace experiment replays at the given scale.
+func TraceGen(scale Scale) trace.GenConfig {
+	return ScaleGen(scale, BaseTraceGen())
 }
 
 // TraceRow is one (system, shards) cell of the trace replay.
@@ -135,28 +148,9 @@ func replayClusterWith(tr trace.Trace, shards int, mutate func(cfg *ClusterConfi
 // shards and warm in every shard's cache.
 func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
 	tr := trace.Generate(gen)
-	cl, fileBlocks, dataBlocks := replayCluster(tr, shards)
-	defer cl.Close()
-	var ac nas.AsyncClient
-	switch system {
-	case "DAFS", "ODAFS":
-		ac = cl.StripedCachedClient(0, core.Config{
-			BlockSize:  scalingBlock,
-			DataBlocks: dataBlocks,
-			Headers:    fileBlocks + 64,
-			UseORDMA:   system == "ODAFS",
-		}).Async(traceDepth)
-	default:
-		ac = nas.NewAsync(cl.StripedNFSClient(0, nfsKindOf(system)), traceDepth)
-	}
-
-	var res *workload.ReplayResult
-	var rerr error
-	cl.Go("trace-replay", func(p *sim.Proc) {
-		cl.MarkServerEpochs()
-		res, rerr = workload.Replay(p, ac, tr)
-	})
-	cl.Run()
+	sess := NewReplaySession(tr, ReplayConfig{System: system, Shards: shards})
+	defer sess.Close()
+	res, rerr := sess.Replay("trace-replay", nil)
 	if rerr != nil {
 		panic(fmt.Sprintf("trace %s/%ds: %v", system, shards, rerr))
 	}
@@ -170,7 +164,7 @@ func traceCell(system string, shards int, gen trace.GenConfig) TraceRow {
 		Stalls:         res.Stalls,
 		MaxOutstanding: res.MaxOutstanding,
 	}
-	for _, sh := range cl.Shards {
+	for _, sh := range sess.Cluster.Shards {
 		row.ShardCPUPct = append(row.ShardCPUPct, sh.Host.CPU.Utilization()*100)
 		row.ShardLinkPct = append(row.ShardLinkPct, sh.NIC.Port().TxUtilization()*100)
 	}

@@ -4,13 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"danas/internal/core"
 	"danas/internal/metrics"
-	"danas/internal/nas"
-	"danas/internal/sim"
 	"danas/internal/trace"
-	"danas/internal/wb"
-	"danas/internal/workload"
 )
 
 // WriteMixReadFracs is the mix axis: from the paper's read-only regime
@@ -22,28 +17,9 @@ var WriteMixReadFracs = []float64{1.0, 0.9, 0.7, 0.5, 0.3, 0.0}
 // WriteMixShardCounts is the fleet-size axis.
 var WriteMixShardCounts = []int{1, 2, 4, 8}
 
-// writeMixCommitEvery is how many writes ride between the trace's
+// WriteMixCommitEvery is how many writes ride between the trace's
 // periodic whole-file commits.
-const writeMixCommitEvery = 32
-
-// writeMixWB sizes the water marks to the replayed footprint: each
-// shard throttles incoming writes once a quarter of the block
-// population it owns is dirty, releases at a quarter of that, and
-// coalesces up to 16 contiguous blocks per destage I/O. Scaling the
-// marks with the footprint keeps backpressure reachable at every
-// -scale, so the stall-time column measures the same phenomenon in CI
-// smoke runs and full runs alike.
-func writeMixWB(fileBlocks, shards int) wb.Config {
-	hw := fileBlocks / (4 * shards)
-	if hw < 8 {
-		hw = 8
-	}
-	lw := hw / 4
-	if lw < 1 {
-		lw = 1
-	}
-	return wb.Config{HighWater: hw, LowWater: lw, MaxBatch: 16}
-}
+const WriteMixCommitEvery = 32
 
 // WriteMixGen is the trace the (frac) column replays: the trace
 // experiment's Zipf-skewed Poisson stream with the read fraction swept
@@ -51,7 +27,7 @@ func writeMixWB(fileBlocks, shards int) wb.Config {
 func WriteMixGen(scale Scale, readFrac float64) trace.GenConfig {
 	gen := TraceGen(scale)
 	gen.ReadFrac = readFrac
-	gen.CommitEvery = writeMixCommitEvery
+	gen.CommitEvery = WriteMixCommitEvery
 	return gen
 }
 
@@ -83,92 +59,6 @@ type WriteMixRow struct {
 	// DiskPct is per-shard disk utilization over the replay — the
 	// flusher's destage traffic (reads stay warm in the server caches).
 	DiskPct []float64
-}
-
-// WriteMix sweeps the read/write mix over every protocol and fleet size
-// with the write-behind subsystem armed on every shard: the open-loop
-// replay of the trace experiment, its read fraction swept from 1.0 to
-// 0.0 and periodic commits added, locating the knee where the write
-// path — destage bandwidth and dirty-data backpressure, not the link or
-// CPU — caps the fleet.
-func WriteMix(scale Scale) []WriteMixRow {
-	return WriteMixOver(scale, WriteMixShardCounts, WriteMixReadFracs)
-}
-
-// WriteMixOver runs the sweep over explicit shard and read-fraction axes
-// (tests use reduced axes; WriteMix uses the full ones).
-func WriteMixOver(scale Scale, shardCounts []int, readFracs []float64) []WriteMixRow {
-	ni := len(shardCounts) * len(readFracs)
-	g := RunGrid(ni, len(ScalingSystems),
-		func(i, j int) string {
-			return fmt.Sprintf("writemix/%dshards/read%.0f%%/%s",
-				shardCounts[i/len(readFracs)], readFracs[i%len(readFracs)]*100, ScalingSystems[j])
-		},
-		func(i, j int) WriteMixRow {
-			return writeMixCell(ScalingSystems[j], shardCounts[i/len(readFracs)],
-				readFracs[i%len(readFracs)], scale)
-		})
-	return g.Flat()
-}
-
-// writeMixCell replays the mix once: one client machine drives the
-// sharded fleet through the async API at the trace experiment's queue
-// depth, every shard destaging dirty writes through its own disk.
-func writeMixCell(system string, shards int, readFrac float64, scale Scale) WriteMixRow {
-	tr := trace.Generate(WriteMixGen(scale, readFrac))
-	cl, fileBlocks, dataBlocks := replayClusterWith(tr, shards, func(cfg *ClusterConfig, fileBlocks int) {
-		cfg.WriteBehind = true
-		cfg.WBConfig = writeMixWB(fileBlocks, shards)
-	})
-	defer cl.Close()
-	var ac nas.AsyncClient
-	switch system {
-	case "DAFS", "ODAFS":
-		ac = cl.StripedCachedClient(0, core.Config{
-			BlockSize:  scalingBlock,
-			DataBlocks: dataBlocks,
-			Headers:    fileBlocks + 64,
-			UseORDMA:   system == "ODAFS",
-		}).Async(traceDepth)
-	default:
-		ac = nas.NewAsync(cl.StripedNFSClient(0, nfsKindOf(system)), traceDepth)
-	}
-
-	var res *workload.ReplayResult
-	var rerr error
-	cl.Go("writemix-replay", func(p *sim.Proc) {
-		cl.MarkServerEpochs()
-		res, rerr = workload.Replay(p, ac, tr)
-	})
-	cl.Run()
-	if rerr != nil {
-		panic(fmt.Sprintf("writemix %s/%ds/%.0f%%: %v", system, shards, readFrac*100, rerr))
-	}
-	row := WriteMixRow{
-		System:         system,
-		Shards:         shards,
-		ReadFrac:       readFrac,
-		MBps:           res.MBps(),
-		P50Micros:      res.Lat.Quantile(0.50).Micros(),
-		P99Micros:      res.Lat.Quantile(0.99).Micros(),
-		Stalls:         res.Stalls,
-		MaxOutstanding: res.MaxOutstanding,
-	}
-	var flushes, blocks uint64
-	for _, sh := range cl.Shards {
-		st := sh.WB.Stats()
-		row.StallMillis += float64(st.StallTime) / 1e6
-		row.Throttled += st.Throttled
-		row.FlushedMB += float64(st.BytesFlushed) / 1e6
-		row.Commits += st.Commits
-		flushes += st.Flushes
-		blocks += st.BlocksFlushed
-		row.DiskPct = append(row.DiskPct, sh.Disk.Utilization()*100)
-	}
-	if flushes > 0 {
-		row.BlocksPerFlush = float64(blocks) / float64(flushes)
-	}
-	return row
 }
 
 // WriteMixTables renders, per fleet size, throughput against the read

@@ -174,7 +174,7 @@ func TestMidReplayCrashLosesUnstableWritesAndRecovers(t *testing.T) {
 	defer cl.Close()
 	ncs, base := cl.StripedNFSClients(0, nfs.Standard)
 	for _, nc := range ncs {
-		nc.SetRetry(failRTO, failRetries)
+		nc.SetRetry(FailRTO, FailRetries)
 	}
 	ac := nas.NewAsync(base, traceDepth)
 	sched := fail.CrashRestart(0, t1, t2-t1)
@@ -204,64 +204,5 @@ func TestMidReplayCrashLosesUnstableWritesAndRecovers(t *testing.T) {
 	}
 	if got := ncs[0].RewrittenRanges(); got == 0 {
 		t.Error("no lost unstable write was re-issued")
-	}
-}
-
-// TestWriteMixKnee is the experiment's acceptance shape at test scale:
-// against one shard, a pure write stream must complete fewer MB/s than
-// the pure read stream (destage-limited, not link-limited), with
-// backpressure stall time and destage disk traffic to show for it.
-func TestWriteMixKnee(t *testing.T) {
-	rows := WriteMixOver(tiny, []int{1}, []float64{1.0, 0.0})
-	byFrac := make(map[float64]map[string]WriteMixRow)
-	for _, r := range rows {
-		if byFrac[r.ReadFrac] == nil {
-			byFrac[r.ReadFrac] = make(map[string]WriteMixRow)
-		}
-		byFrac[r.ReadFrac][r.System] = r
-	}
-	for _, sys := range ScalingSystems {
-		reads, writes := byFrac[1.0][sys], byFrac[0.0][sys]
-		if writes.MBps >= reads.MBps {
-			t.Errorf("%s: pure writes %.1f MB/s >= pure reads %.1f MB/s — write path never capped",
-				sys, writes.MBps, reads.MBps)
-		}
-		if writes.FlushedMB == 0 {
-			t.Errorf("%s: pure write cell destaged nothing", sys)
-		}
-		if writes.StallMillis == 0 {
-			t.Errorf("%s: pure write cell recorded no dirty-high-water stall time", sys)
-		}
-		if len(writes.DiskPct) != 1 || writes.DiskPct[0] <= reads.DiskPct[0] {
-			t.Errorf("%s: destage disk utilization %.1f%% not above read cell's %.1f%%",
-				sys, writes.DiskPct[0], reads.DiskPct[0])
-		}
-		if reads.Commits != 0 {
-			t.Errorf("%s: pure read cell executed %d commits", sys, reads.Commits)
-		}
-		if writes.Commits == 0 {
-			t.Errorf("%s: pure write cell executed no commits", sys)
-		}
-	}
-}
-
-// TestWriteMixDeterminism is the determinism regression for the new
-// artifact: the write-mix sweep rendered twice from scratch must be
-// byte-identical, serially and across a worker pool — the contract
-// behind danas-bench -parallel and rerun-stable CI output.
-func TestWriteMixDeterminism(t *testing.T) {
-	old := Parallelism()
-	defer SetParallelism(old)
-	render := func() string {
-		return FormatWriteMix(WriteMixOver(tiny, []int{1, 2}, []float64{1.0, 0.3}))
-	}
-	SetParallelism(1)
-	first := render()
-	if second := render(); second != first {
-		t.Fatal("two serial write-mix runs differ")
-	}
-	SetParallelism(8)
-	if par := render(); par != first {
-		t.Fatal("parallel write-mix run differs from serial")
 	}
 }

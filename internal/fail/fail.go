@@ -9,6 +9,7 @@
 package fail
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -93,49 +94,87 @@ func Merge(scheds ...Schedule) Schedule {
 	return out.Sorted()
 }
 
+// Typed validation failure reasons. Validate wraps each in an
+// *EventError carrying the offending event, so callers can both test
+// the class with errors.Is and report the exact event.
+var (
+	ErrNegativeTime = errors.New("negative time")
+	ErrOutOfOrder   = errors.New("out of order (schedule must be sorted by At)")
+	ErrShardRange   = errors.New("shard out of range")
+	ErrAlreadyDown  = errors.New("crash of an already-down shard")
+	ErrNotDown      = errors.New("restart of a live shard")
+	ErrBadRate      = errors.New("non-positive degrade rate")
+	ErrNotDegraded  = errors.New("restore of an undegraded link")
+	ErrShardDark    = errors.New("link event on a crashed shard")
+	ErrBadKind      = errors.New("unknown event kind")
+)
+
+// EventError is a validation failure pinned to one event of a schedule.
+type EventError struct {
+	Index  int
+	Event  Event
+	Reason error
+}
+
+func (e *EventError) Error() string {
+	return fmt.Sprintf("fail: event %d (%v): %v", e.Index, e.Event, e.Reason)
+}
+
+func (e *EventError) Unwrap() error { return e.Reason }
+
 // Validate checks the schedule against a fleet of the given shard count:
 // events must be time-ordered with non-negative offsets, shards in
 // range, degraded rates positive, and per-shard state transitions legal
 // (no crash of a down shard, no restart of an up shard, no restore of an
-// undegraded link).
+// undegraded link, no link event against a crashed shard). Failures are
+// *EventError values wrapping the typed reasons above.
 func (s Schedule) Validate(shards int) error {
 	down := make([]bool, shards)
 	degraded := make([]bool, shards)
 	last := sim.Duration(0)
+	fail := func(i int, reason error) error {
+		return &EventError{Index: i, Event: s[i], Reason: reason}
+	}
 	for i, e := range s {
 		if e.At < 0 {
-			return fmt.Errorf("fail: event %d (%v): negative time", i, e)
+			return fail(i, ErrNegativeTime)
 		}
 		if e.At < last {
-			return fmt.Errorf("fail: event %d (%v): out of order (schedule must be sorted by At)", i, e)
+			return fail(i, ErrOutOfOrder)
 		}
 		last = e.At
 		if e.Shard < 0 || e.Shard >= shards {
-			return fmt.Errorf("fail: event %d (%v): shard out of range [0,%d)", i, e, shards)
+			return fail(i, ErrShardRange)
 		}
 		switch e.Kind {
 		case Crash:
 			if down[e.Shard] {
-				return fmt.Errorf("fail: event %d (%v): shard already down", i, e)
+				return fail(i, ErrAlreadyDown)
 			}
 			down[e.Shard] = true
 		case Restart:
 			if !down[e.Shard] {
-				return fmt.Errorf("fail: event %d (%v): shard not down", i, e)
+				return fail(i, ErrNotDown)
 			}
 			down[e.Shard] = false
 		case DegradeLink:
 			if e.Rate <= 0 {
-				return fmt.Errorf("fail: event %d (%v): non-positive rate", i, e)
+				return fail(i, ErrBadRate)
+			}
+			if down[e.Shard] {
+				return fail(i, ErrShardDark)
 			}
 			degraded[e.Shard] = true
 		case RestoreLink:
+			if down[e.Shard] {
+				return fail(i, ErrShardDark)
+			}
 			if !degraded[e.Shard] {
-				return fmt.Errorf("fail: event %d (%v): link not degraded", i, e)
+				return fail(i, ErrNotDegraded)
 			}
 			degraded[e.Shard] = false
 		default:
-			return fmt.Errorf("fail: event %d (%v): unknown kind", i, e)
+			return fail(i, ErrBadKind)
 		}
 	}
 	return nil
@@ -184,11 +223,66 @@ func Degrade(shard int, at, dur sim.Duration, bytesPerSec float64) Schedule {
 	}
 }
 
+// SimultaneousCrash builds the correlated-loss schedule: every listed
+// shard crashes at the same instant (a rack or power-domain failure) and
+// all restart together down later. Shards must be distinct.
+func SimultaneousCrash(shards []int, at, down sim.Duration) Schedule {
+	out := make(Schedule, 0, 2*len(shards))
+	for _, sh := range shards {
+		out = append(out, Event{At: at, Kind: Crash, Shard: sh})
+	}
+	for _, sh := range shards {
+		out = append(out, Event{At: at + down, Kind: Restart, Shard: sh})
+	}
+	return out.Sorted()
+}
+
+// RollingRestart rolls an outage across the listed shards: shards[i]
+// crashes at at+i*stagger and restarts down later. A stagger shorter
+// than the downtime overlaps consecutive outages (stagger == 0 is a
+// simultaneous crash); a stagger of at least the downtime keeps at most
+// one shard dark at a time — the planned-maintenance pattern.
+func RollingRestart(shards []int, at, down, stagger sim.Duration) Schedule {
+	out := make(Schedule, 0, 2*len(shards))
+	for i, sh := range shards {
+		out = append(out, CrashRestart(sh, at+sim.Duration(i)*stagger, down)...)
+	}
+	return out.Sorted()
+}
+
+// Pattern selects the correlated shape of generated faults.
+type Pattern int
+
+const (
+	// Independent draws each crash against one uniformly chosen shard —
+	// the uncorrelated baseline.
+	Independent Pattern = iota
+	// Simultaneous crashes K distinct shards at the same instant per
+	// draw (rack or power-domain loss).
+	Simultaneous
+	// Rolling rolls each draw's outage across K distinct shards with a
+	// configurable overlap between consecutive downtimes.
+	Rolling
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Independent:
+		return "independent"
+	case Simultaneous:
+		return "simultaneous"
+	case Rolling:
+		return "rolling"
+	default:
+		return fmt.Sprintf("fail-pattern(%d)", int(p))
+	}
+}
+
 // GenConfig seeds the random schedule generator.
 type GenConfig struct {
 	// Shards is the fleet size faults are drawn over.
 	Shards int
-	// Crashes is how many crash/restart pairs to attempt; attempts that
+	// Crashes is how many crash/restart draws to attempt; draws that
 	// would crash an already-down shard are skipped, so the result may
 	// hold fewer.
 	Crashes int
@@ -196,34 +290,67 @@ type GenConfig struct {
 	Window sim.Duration
 	// MeanDown is the mean of the exponentially distributed downtime.
 	MeanDown sim.Duration
+	// Pattern is the correlated shape of each draw; the zero value
+	// (Independent) preserves the original single-shard behavior and
+	// random stream exactly.
+	Pattern Pattern
+	// K is the correlated group size for Simultaneous and Rolling draws
+	// (clamped to [2, Shards]; ignored for Independent).
+	K int
+	// Overlap, for Rolling draws, is the fraction of each downtime the
+	// next shard's outage overlaps: 0 rolls strictly one-at-a-time, 1
+	// degenerates to a simultaneous crash. Clamped to [0, 1].
+	Overlap float64
 	// Seed makes the draw deterministic.
 	Seed uint64
 }
 
-// Generate draws a crash/restart schedule deterministically from the
-// seed: crash instants uniform over the window, downtimes exponential
-// around MeanDown (at least one millisecond), victims uniform over the
-// shards, overlapping crashes of the same shard skipped. The result
+// Generate draws a fault schedule deterministically from the seed:
+// crash instants uniform over the window, downtimes exponential around
+// MeanDown (at least one millisecond), victims uniform over the shards.
+// Independent draws crash one shard each; Simultaneous draws crash a
+// random K-shard group at one instant; Rolling draws roll a K-shard
+// group with the configured overlap. Draws that would crash a shard
+// still down from an earlier draw are skipped whole, so the result
 // always validates against cfg.Shards.
 func Generate(cfg GenConfig) Schedule {
 	if cfg.Shards <= 0 || cfg.Crashes <= 0 || cfg.Window <= 0 {
 		return nil
 	}
+	k := cfg.K
+	if k < 2 {
+		k = 2
+	}
+	if k > cfg.Shards {
+		k = cfg.Shards
+	}
+	overlap := cfg.Overlap
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
 	r := sim.NewRand(cfg.Seed)
 	type draw struct {
-		at    sim.Duration
-		down  sim.Duration
-		shard int
+		at     sim.Duration
+		down   sim.Duration
+		shards []int
 	}
 	draws := make([]draw, 0, cfg.Crashes)
 	for i := 0; i < cfg.Crashes; i++ {
 		d := draw{
-			at:    sim.Duration(r.Int63n(int64(cfg.Window))),
-			down:  sim.Duration(float64(cfg.MeanDown) * r.Exp()),
-			shard: r.Intn(cfg.Shards),
+			at:   sim.Duration(r.Int63n(int64(cfg.Window))),
+			down: sim.Duration(float64(cfg.MeanDown) * r.Exp()),
 		}
 		if d.down < sim.Millisecond {
 			d.down = sim.Millisecond
+		}
+		switch cfg.Pattern {
+		case Independent:
+			d.shards = []int{r.Intn(cfg.Shards)}
+		default:
+			d.shards = r.Perm(cfg.Shards)[:k]
 		}
 		draws = append(draws, d)
 	}
@@ -231,11 +358,25 @@ func Generate(cfg GenConfig) Schedule {
 	upAt := make([]sim.Duration, cfg.Shards)
 	var out Schedule
 	for _, d := range draws {
-		if d.at < upAt[d.shard] {
-			continue // shard still down: skip the overlapping crash
+		stagger := sim.Duration(0)
+		if cfg.Pattern == Rolling {
+			stagger = sim.Duration(float64(d.down) * (1 - overlap))
 		}
-		out = append(out, CrashRestart(d.shard, d.at, d.down)...)
-		upAt[d.shard] = d.at + d.down
+		collides := false
+		for i, sh := range d.shards {
+			if d.at+sim.Duration(i)*stagger < upAt[sh] {
+				collides = true // shard still down: skip the whole draw
+				break
+			}
+		}
+		if collides {
+			continue
+		}
+		for i, sh := range d.shards {
+			at := d.at + sim.Duration(i)*stagger
+			out = append(out, CrashRestart(sh, at, d.down)...)
+			upAt[sh] = at + d.down
+		}
 	}
 	return out.Sorted()
 }

@@ -1,6 +1,7 @@
 package fail
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -105,5 +106,166 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 	cfg.Seed = 8
 	if reflect.DeepEqual(a, Generate(cfg)) {
 		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestValidateTypedErrors pins the typed reason each illegal sequence
+// is rejected with — the contract the scenario engine's error reporting
+// is built on.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		want error
+	}{
+		{"negative time", Schedule{{At: -1, Kind: Crash}}, ErrNegativeTime},
+		{"out of order", Schedule{{At: 10, Kind: Crash}, {At: 5, Kind: Restart}}, ErrOutOfOrder},
+		{"shard out of range", Schedule{{At: 0, Kind: Crash, Shard: 2}}, ErrShardRange},
+		{"double crash", Schedule{{At: 0, Kind: Crash}, {At: 1, Kind: Crash}}, ErrAlreadyDown},
+		{"restart of live shard", Schedule{{At: 0, Kind: Restart}}, ErrNotDown},
+		{"restore of healthy link", Schedule{{At: 0, Kind: RestoreLink}}, ErrNotDegraded},
+		{"zero-rate degrade", Schedule{{At: 0, Kind: DegradeLink}}, ErrBadRate},
+		{"degrade of crashed shard", Schedule{
+			{At: 0, Kind: Crash},
+			{At: 1, Kind: DegradeLink, Rate: 1e6},
+		}, ErrShardDark},
+		{"restore against crashed shard", Schedule{
+			{At: 0, Kind: DegradeLink, Rate: 1e6},
+			{At: 1, Kind: Crash},
+			{At: 2, Kind: RestoreLink},
+		}, ErrShardDark},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate(2)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		var ev *EventError
+		if !errors.As(err, &ev) {
+			t.Errorf("%s: err %v is not an *EventError", tc.name, err)
+		}
+	}
+}
+
+// TestSimultaneousCrash checks the correlated-loss helper takes every
+// listed shard down at one instant and brings them all back together.
+func TestSimultaneousCrash(t *testing.T) {
+	s := SimultaneousCrash([]int{0, 2}, 10, 5)
+	want := Schedule{
+		{At: 10, Kind: Crash, Shard: 0},
+		{At: 10, Kind: Crash, Shard: 2},
+		{At: 15, Kind: Restart, Shard: 0},
+		{At: 15, Kind: Restart, Shard: 2},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("schedule = %v, want %v", s, want)
+	}
+	if err := s.Validate(3); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestRollingRestart checks the stagger controls how many shards a roll
+// keeps dark at once: stagger >= down is sequential (valid), a shorter
+// stagger overlaps consecutive outages, and stagger 0 degenerates to a
+// simultaneous crash.
+func TestRollingRestart(t *testing.T) {
+	seq := RollingRestart([]int{0, 1, 2}, 0, 5, 5)
+	if err := seq.Validate(3); err != nil {
+		t.Fatalf("sequential roll invalid: %v", err)
+	}
+	// With stagger 2 < down 5, shard 1 crashes while shard 0 is still
+	// down: the overlap is real.
+	over := RollingRestart([]int{0, 1}, 0, 5, 2)
+	want := Schedule{
+		{At: 0, Kind: Crash, Shard: 0},
+		{At: 2, Kind: Crash, Shard: 1},
+		{At: 5, Kind: Restart, Shard: 0},
+		{At: 7, Kind: Restart, Shard: 1},
+	}
+	if !reflect.DeepEqual(over, want) {
+		t.Fatalf("overlapping roll = %v, want %v", over, want)
+	}
+	if err := over.Validate(2); err != nil {
+		t.Fatalf("overlapping roll invalid: %v", err)
+	}
+	if !reflect.DeepEqual(RollingRestart([]int{0, 1}, 3, 4, 0), SimultaneousCrash([]int{0, 1}, 3, 4)) {
+		t.Fatal("zero-stagger roll is not a simultaneous crash")
+	}
+}
+
+// TestGenerateCorrelatedPatterns checks the correlated generator modes
+// stay deterministic, valid, and actually correlated: simultaneous
+// draws crash K shards at one instant; rolling draws overlap outages.
+func TestGenerateCorrelatedPatterns(t *testing.T) {
+	base := GenConfig{
+		Shards:   8,
+		Crashes:  10,
+		Window:   sim.Second,
+		MeanDown: 50 * sim.Millisecond,
+		Seed:     7,
+	}
+
+	sim3 := base
+	sim3.Pattern = Simultaneous
+	sim3.K = 3
+	a := Generate(sim3)
+	if !reflect.DeepEqual(a, Generate(sim3)) {
+		t.Fatal("simultaneous: same seed produced different schedules")
+	}
+	if err := a.Validate(sim3.Shards); err != nil {
+		t.Fatalf("simultaneous: %v", err)
+	}
+	// Every crash instant must take down exactly K shards.
+	crashesAt := make(map[sim.Duration]int)
+	for _, e := range a {
+		if e.Kind == Crash {
+			crashesAt[e.At]++
+		}
+	}
+	if len(crashesAt) == 0 {
+		t.Fatal("simultaneous: no crashes generated")
+	}
+	for at, n := range crashesAt {
+		if n != 3 {
+			t.Errorf("simultaneous: crash at %v took down %d shards, want 3", at, n)
+		}
+	}
+
+	roll := base
+	roll.Pattern = Rolling
+	roll.K = 4
+	roll.Overlap = 0.5
+	b := Generate(roll)
+	if !reflect.DeepEqual(b, Generate(roll)) {
+		t.Fatal("rolling: same seed produced different schedules")
+	}
+	if err := b.Validate(roll.Shards); err != nil {
+		t.Fatalf("rolling: %v", err)
+	}
+	// With 50% overlap some instant must have >= 2 shards down at once.
+	maxDark, dark := 0, 0
+	for _, e := range b {
+		switch e.Kind {
+		case Crash:
+			if dark++; dark > maxDark {
+				maxDark = dark
+			}
+		case Restart:
+			dark--
+		}
+	}
+	if maxDark < 2 {
+		t.Fatalf("rolling with overlap never had two shards dark (max %d)", maxDark)
+	}
+
+	// The Independent zero value must reproduce the original stream:
+	// the pattern knobs may not disturb existing seeds.
+	if !reflect.DeepEqual(Generate(base), Generate(GenConfig{
+		Shards: 8, Crashes: 10, Window: sim.Second,
+		MeanDown: 50 * sim.Millisecond, Seed: 7,
+		K: 5, Overlap: 0.9, // ignored for Independent
+	})) {
+		t.Fatal("pattern knobs disturbed the Independent draw stream")
 	}
 }

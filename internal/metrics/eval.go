@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sort"
+
+	"danas/internal/sim"
+)
+
+// OpOutcome is one replayed operation's outcome, as the open-loop
+// replayer records it: the recorded arrival (an offset from the replay
+// start), the completion instant, the bytes moved, and whether the
+// operation ultimately failed.
+type OpOutcome struct {
+	Arrival sim.Duration
+	Done    sim.Time
+	Bytes   int64
+	Failed  bool
+}
+
+// MBps converts a byte count over a span to the paper's throughput unit
+// (10^6 bytes per second); non-positive spans yield zero.
+func MBps(bytes int64, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// Eval indexes a replay's per-operation outcomes for windowed queries:
+// completed-byte throughput over arbitrary instant ranges, latency of
+// the operations arriving in a window, and the recovery instant after a
+// fault. It is the evaluation layer behind both the failure experiment's
+// before/during/after columns and the scenario engine's assertions.
+type Eval struct {
+	start sim.Time
+	end   sim.Time
+	ops   []OpOutcome
+	// dones holds the successful completions ordered by instant, with
+	// prefix[i] the bytes completed by the first i of them, so BytesIn
+	// is two binary searches and a subtraction.
+	dones  []OpOutcome
+	prefix []int64
+}
+
+// NewEval indexes outcomes for a replay that started at start and spanned
+// elapsed (start to last completion).
+func NewEval(start sim.Time, elapsed sim.Duration, ops []OpOutcome) *Eval {
+	e := &Eval{start: start, end: start.Add(elapsed), ops: ops}
+	e.dones = make([]OpOutcome, 0, len(ops))
+	for _, op := range ops {
+		if !op.Failed {
+			e.dones = append(e.dones, op)
+		}
+	}
+	sort.Slice(e.dones, func(i, j int) bool { return e.dones[i].Done < e.dones[j].Done })
+	e.prefix = make([]int64, len(e.dones)+1)
+	for i, d := range e.dones {
+		e.prefix[i+1] = e.prefix[i] + d.Bytes
+	}
+	return e
+}
+
+// Start and End return the replay's origin and last completion instant.
+func (e *Eval) Start() sim.Time { return e.start }
+func (e *Eval) End() sim.Time   { return e.end }
+
+// OK and Failed count the outcomes by disposition.
+func (e *Eval) OK() int64     { return int64(len(e.dones)) }
+func (e *Eval) Failed() int64 { return int64(len(e.ops) - len(e.dones)) }
+
+// BytesIn sums successfully completed bytes with completion instants in
+// [lo, hi).
+func (e *Eval) BytesIn(lo, hi sim.Time) int64 {
+	a := sort.Search(len(e.dones), func(i int) bool { return e.dones[i].Done >= lo })
+	b := sort.Search(len(e.dones), func(i int) bool { return e.dones[i].Done >= hi })
+	return e.prefix[b] - e.prefix[a]
+}
+
+// ArrivalHist observes, into a fresh histogram, the response time of
+// every operation (failures included) whose recorded arrival falls in
+// [lo, hi) — the "ops arriving during the fault window" convention.
+func (e *Eval) ArrivalHist(lo, hi sim.Duration) Hist {
+	var h Hist
+	for _, op := range e.ops {
+		if op.Arrival >= lo && op.Arrival < hi {
+			h.Observe(op.Done.Sub(e.start.Add(op.Arrival)))
+		}
+	}
+	return h
+}
+
+// FaultMetrics is the before/during/after view of one fault window.
+type FaultMetrics struct {
+	// BaseMBps, FaultMBps and AfterMBps are completed-byte throughput
+	// over the pre-fault window, the fault window, and everything after
+	// the fault (including the completion tail).
+	BaseMBps  float64
+	FaultMBps float64
+	AfterMBps float64
+	// RecoveryMillis is the delay from fault end until a sliding window
+	// of half the baseline span first sustains >= 95% of baseline
+	// throughput; 0 when the fleet never fell below it, -1 when it
+	// never got back within the replay.
+	RecoveryMillis float64
+	// P99FaultMicros is the p99 response time (from recorded arrival)
+	// of the operations arriving during the fault window, failures
+	// included.
+	P99FaultMicros float64
+}
+
+// Fault evaluates the fault window [t1, t2) (offsets from the replay
+// start, like the fault schedule's event times): windowed throughput,
+// fault-window tail latency, and the recovery delay.
+func (e *Eval) Fault(t1, t2 sim.Duration) FaultMetrics {
+	faultStart := e.start.Add(t1)
+	faultEnd := e.start.Add(t2)
+	var m FaultMetrics
+	m.BaseMBps = MBps(e.BytesIn(e.start, faultStart), t1)
+	m.FaultMBps = MBps(e.BytesIn(faultStart, faultEnd), t2-t1)
+	m.AfterMBps = MBps(e.BytesIn(faultEnd, e.end+1), e.end.Sub(faultEnd))
+	faultLat := e.ArrivalHist(t1, t2)
+	m.P99FaultMicros = faultLat.Quantile(0.99).Micros()
+
+	// Recovery time: the earliest post-fault instant at which a sliding
+	// window of half the baseline span again carries >= 95% of baseline
+	// throughput. Candidates are the fault end and each later
+	// completion; -1 means the replay ended first.
+	w := t1 / 2
+	baseRate := float64(e.BytesIn(e.start, faultStart)) / t1.Seconds() // bytes/sec
+	need := 0.95 * baseRate * w.Seconds()
+	m.RecoveryMillis = -1
+	if need <= 0 || w <= 0 {
+		m.RecoveryMillis = 0
+	} else {
+		cands := make([]sim.Time, 0, len(e.dones)+1)
+		cands = append(cands, faultEnd)
+		for _, d := range e.dones {
+			if d.Done > faultEnd {
+				cands = append(cands, d.Done)
+			}
+		}
+		for _, T := range cands {
+			if float64(e.BytesIn(T, T.Add(w))) >= need {
+				m.RecoveryMillis = float64(T.Sub(faultEnd)) / 1e6
+				break
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"sort"
+
+	"danas/internal/exper"
+	"danas/internal/sim"
+)
+
+// canned is the registry of named, checked-in scenarios. Each entry is
+// a builder so callers always get a fresh Spec they may mutate. The
+// files under examples/scenarios/ are the text form of these specs;
+// TestExamplesMatchCanned pins the two representations together.
+var canned = map[string]func() *Spec{
+	"crash-recovery":     CrashRecovery,
+	"degrade-under-skew": DegradeUnderSkew,
+	"commit-loss":        CommitLoss,
+	"rolling-restart":    RollingRestartScenario,
+	"tight-sla":          TightSLA,
+}
+
+// Names lists the canned scenario names, sorted — the set danas-bench
+// -scenario accepts by name and prints in its usage text.
+func Names() []string {
+	ns := make([]string, 0, len(canned))
+	for n := range canned {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Lookup returns a fresh copy of the named canned scenario.
+func Lookup(name string) (*Spec, bool) {
+	b, ok := canned[name]
+	if !ok {
+		return nil, false
+	}
+	return b(), true
+}
+
+// CrashRecovery is the headline crash scenario: shard 0 of a 4-shard
+// ODAFS fleet dies over the middle of the trace and restarts cold; the
+// retransmission budgets must ride the outage out, and throughput must
+// regain 95% of baseline within the replay.
+func CrashRecovery() *Spec {
+	return &Spec{
+		Name:     "crash-recovery",
+		Describe: "shard-0 crash/restart over a 4-shard ODAFS fleet; clients ride it out on retries",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 4, System: "odafs"},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 7},
+		Faults: []Fault{
+			{Kind: FaultCrashRestart, Shards: []int{0}, At: Pct(25), Down: Pct(30)},
+		},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 1},
+			{Kind: AssertMaxRecoveryMs, Value: 5000},
+			{Kind: AssertMaxStalls, Value: 0},
+		},
+	}
+}
+
+// DegradeUnderSkew clamps the hottest shard's link while a heavily
+// Zipf-skewed workload concentrates load on it: pure congestion, so no
+// operation may fail — the fleet degrades gracefully or not at all.
+func DegradeUnderSkew() *Spec {
+	spec := &Spec{
+		Name:     "degrade-under-skew",
+		Describe: "shard-0 link clamped to 1/8 bandwidth under a hot-spot workload; congestion, not loss",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 4, System: "nfs-hybrid"},
+		Faults: []Fault{
+			{Kind: FaultDegrade, Shards: []int{0}, At: Pct(25), Down: Pct(30), Factor: 8},
+		},
+		Asserts: []Assert{
+			{Kind: AssertZeroFailedOps},
+			{Kind: AssertMinMBps, Value: 1},
+		},
+	}
+	spec.Workload.FileZipf = 1.1
+	spec.Workload.OffZipf = 1.1
+	return spec
+}
+
+// CommitLoss crashes a write-behind shard mid-replay on a write-heavy
+// commit-carrying stream: uncommitted unstable writes die with the
+// shard, the rolled verifier makes later commits detect and re-issue
+// them, and the replay must complete with bounded failures.
+func CommitLoss() *Spec {
+	spec := &Spec{
+		Name:     "commit-loss",
+		Describe: "write-behind shard crash discards unstable writes; commits detect and rewrite the loss",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 2, System: "nfs"},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 7},
+		WB:       WriteBehind{Enabled: true, Auto: true},
+		Faults: []Fault{
+			{Kind: FaultCrashRestart, Shards: []int{1}, At: Pct(40), Down: Pct(20)},
+		},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 0.5},
+			{Kind: AssertMaxFailedOps, Value: 200},
+		},
+	}
+	spec.Workload.ReadFrac = 0.3
+	spec.Workload.CommitEvery = 16
+	return spec
+}
+
+// RollingRestartScenario rolls a staggered restart across half an
+// 8-shard fleet — the planned-maintenance pattern, with each outage
+// overlapping the next.
+func RollingRestartScenario() *Spec {
+	return &Spec{
+		Name:     "rolling-restart",
+		Describe: "staggered restart rolled across shards 0-3 of an 8-shard DAFS fleet",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 8, System: "dafs"},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 7},
+		Faults: []Fault{
+			{Kind: FaultRollingRestart, Shards: []int{0, 1, 2, 3}, At: Pct(20), Down: Pct(10), Stagger: Pct(8)},
+		},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 1},
+			{Kind: AssertMaxFailedOps, Value: 400},
+		},
+	}
+}
+
+// TightSLA is the deliberately failing scenario: a single-shard NFS
+// fleet cannot serve the trace's tail under one microsecond, so the
+// max-p99-ms assertion fails on every run — it exists to prove the
+// harness actually rejects, and to pin the FAIL report shape.
+func TightSLA() *Spec {
+	return &Spec{
+		Name:     "tight-sla",
+		Describe: "intentionally failing: a 1us p99 bound no protocol can meet",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 1, System: "nfs"},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 1},
+			{Kind: AssertMaxP99Ms, Value: 0.001},
+		},
+	}
+}

@@ -1,0 +1,485 @@
+// Scenario text codec: a line-oriented format with no dependencies.
+// Each non-blank, non-comment line is a directive followed by
+// positional or key=value fields:
+//
+//	# comment
+//	scenario crash-recovery
+//	describe shard-0 crash mid-replay; the fleet must recover
+//	fleet shards=4 system=odafs depth=64
+//	retry rto=2ms budget=7
+//	writebehind marks=auto
+//	workload ops=4000 files=8 filesize=4194304 iosize=16384 readfrac=0.7
+//	fault crash-restart shard=0 at=25% down=30%
+//	assert min-mbps 1.5
+//
+// Times are either percentages of the trace's arrival span ("25%") or
+// absolute durations with an integer value and ns/us/ms/s unit
+// ("10ms"); one spec uses one style throughout. The workload directive
+// starts from the replay experiments' base shape (exper.BaseTraceGen),
+// so a spec only states what it changes.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"danas/internal/exper"
+	"danas/internal/sim"
+)
+
+// ParseError is a syntactic rejection pinned to one line of the input.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("scenario: line %d: %s", e.Line, e.Msg)
+}
+
+// directives lists the accepted line directives, sorted.
+var directives = []string{"assert", "describe", "fault", "fleet", "retry", "scenario", "workload", "writebehind"}
+
+// Parse decodes one scenario spec from its text form. Errors are
+// *ParseError values naming the offending line. Parse checks syntax
+// only; call Validate for the semantic pass.
+func Parse(src string) (*Spec, error) {
+	spec := &Spec{Workload: exper.BaseTraceGen()}
+	seen := make(map[string]int)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n := ln + 1
+		fields := strings.Fields(line)
+		dir, rest := fields[0], fields[1:]
+		if spec.Name == "" && dir != "scenario" {
+			return nil, &ParseError{n, fmt.Sprintf("first directive must be \"scenario <name>\", got %q", dir)}
+		}
+		if prev, dup := seen[dir]; dup && dir != "fault" && dir != "assert" {
+			return nil, &ParseError{n, fmt.Sprintf("duplicate %s directive (first on line %d)", dir, prev)}
+		}
+		seen[dir] = n
+		var err error
+		switch dir {
+		case "scenario":
+			if len(rest) != 1 {
+				return nil, &ParseError{n, "scenario takes exactly one name token"}
+			}
+			spec.Name = rest[0]
+		case "describe":
+			spec.Describe = strings.Join(rest, " ")
+		case "fleet":
+			err = parseFleet(spec, rest)
+		case "retry":
+			err = parseRetry(spec, rest)
+		case "writebehind":
+			err = parseWriteBehind(spec, rest)
+		case "workload":
+			err = parseWorkload(spec, rest)
+		case "fault":
+			err = parseFault(spec, rest)
+		case "assert":
+			err = parseAssert(spec, rest)
+		default:
+			return nil, &ParseError{n, fmt.Sprintf("unknown directive %q (valid: %s)",
+				dir, strings.Join(directives, " "))}
+		}
+		if err != nil {
+			return nil, &ParseError{n, err.Error()}
+		}
+	}
+	if spec.Name == "" {
+		return nil, &ParseError{1, "empty input: need \"scenario <name>\""}
+	}
+	return spec, nil
+}
+
+// splitKV splits a "key=value" token.
+func splitKV(tok string) (key, val string, err error) {
+	i := strings.IndexByte(tok, '=')
+	if i <= 0 || i == len(tok)-1 {
+		return "", "", fmt.Errorf("expected key=value, got %q", tok)
+	}
+	return tok[:i], tok[i+1:], nil
+}
+
+func parseInt(dir, key, val string) (int, error) {
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad %s %q (need an integer)", dir, key, val)
+	}
+	return v, nil
+}
+
+func parseFloat(dir, key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad %s %q (need a number)", dir, key, val)
+	}
+	return v, nil
+}
+
+// parseTime decodes a TimeSpec: "25%" or an integer with a ns/us/ms/s
+// suffix.
+func parseTime(dir, key, val string) (TimeSpec, error) {
+	bad := func() (TimeSpec, error) {
+		return TimeSpec{}, fmt.Errorf("%s: bad time %s=%q (use \"25%%\" or an integer with ns/us/ms/s)", dir, key, val)
+	}
+	if p, ok := strings.CutSuffix(val, "%"); ok {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return bad()
+		}
+		return Pct(v), nil
+	}
+	units := []struct {
+		suffix string
+		unit   sim.Duration
+	}{{"ns", sim.Nanosecond}, {"us", sim.Microsecond}, {"ms", sim.Millisecond}, {"s", sim.Second}}
+	for _, u := range units {
+		p, ok := strings.CutSuffix(val, u.suffix)
+		if !ok {
+			continue
+		}
+		// "ms" also ends in "s"; require the remainder be numeric.
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			continue
+		}
+		return Dur(sim.Duration(v) * u.unit), nil
+	}
+	return bad()
+}
+
+// formatDur renders a duration in the largest unit that divides it
+// exactly, so Encode o Parse is the identity.
+func formatDur(d sim.Duration) string {
+	switch {
+	case d%sim.Second == 0:
+		return fmt.Sprintf("%ds", d/sim.Second)
+	case d%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", d)
+	}
+}
+
+func parseFleet(spec *Spec, toks []string) error {
+	for _, tok := range toks {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("fleet: %v", err)
+		}
+		switch k {
+		case "shards":
+			if spec.Fleet.Shards, err = parseInt("fleet", k, v); err != nil {
+				return err
+			}
+		case "system":
+			if _, ok := systemNames[v]; !ok {
+				return fmt.Errorf("fleet: unknown system %q (valid: %s)", v, strings.Join(SystemTokens(), " "))
+			}
+			spec.Fleet.System = v
+		case "depth":
+			if spec.Fleet.Depth, err = parseInt("fleet", k, v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fleet: unknown key %q (valid: depth shards system)", k)
+		}
+	}
+	if spec.Fleet.Shards == 0 || spec.Fleet.System == "" {
+		return fmt.Errorf("fleet: needs shards= and system=")
+	}
+	return nil
+}
+
+func parseRetry(spec *Spec, toks []string) error {
+	for _, tok := range toks {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("retry: %v", err)
+		}
+		switch k {
+		case "rto":
+			t, err := parseTime("retry", k, v)
+			if err != nil {
+				return err
+			}
+			if t.Mode != TimeDur {
+				return fmt.Errorf("retry: rto must be an absolute duration, got %q", v)
+			}
+			spec.Retry.RTO = t.Dur
+		case "budget":
+			if spec.Retry.Budget, err = parseInt("retry", k, v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("retry: unknown key %q (valid: budget rto)", k)
+		}
+	}
+	return nil
+}
+
+func parseWriteBehind(spec *Spec, toks []string) error {
+	spec.WB.Enabled = true
+	for _, tok := range toks {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("writebehind: %v", err)
+		}
+		switch k {
+		case "marks":
+			if v != "auto" {
+				return fmt.Errorf("writebehind: marks=%q (only \"auto\"; otherwise give high=/low=)", v)
+			}
+			spec.WB.Auto = true
+		case "high":
+			if spec.WB.High, err = parseInt("writebehind", k, v); err != nil {
+				return err
+			}
+		case "low":
+			if spec.WB.Low, err = parseInt("writebehind", k, v); err != nil {
+				return err
+			}
+		case "batch":
+			if spec.WB.Batch, err = parseInt("writebehind", k, v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("writebehind: unknown key %q (valid: batch high low marks)", k)
+		}
+	}
+	if spec.WB.Auto && (spec.WB.High != 0 || spec.WB.Low != 0) {
+		return fmt.Errorf("writebehind: marks=auto excludes high=/low=")
+	}
+	return nil
+}
+
+func parseWorkload(spec *Spec, toks []string) error {
+	for _, tok := range toks {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("workload: %v", err)
+		}
+		w := &spec.Workload
+		switch k {
+		case "ops":
+			w.Ops, err = parseInt("workload", k, v)
+		case "files":
+			w.Files, err = parseInt("workload", k, v)
+		case "filesize":
+			var n int
+			n, err = parseInt("workload", k, v)
+			w.FileSize = int64(n)
+		case "iosize":
+			var n int
+			n, err = parseInt("workload", k, v)
+			w.IOSize = int64(n)
+		case "readfrac":
+			w.ReadFrac, err = parseFloat("workload", k, v)
+		case "filezipf":
+			w.FileZipf, err = parseFloat("workload", k, v)
+		case "offzipf":
+			w.OffZipf, err = parseFloat("workload", k, v)
+		case "rate":
+			w.Rate, err = parseFloat("workload", k, v)
+		case "commitevery":
+			w.CommitEvery, err = parseInt("workload", k, v)
+		case "seed":
+			var n int
+			n, err = parseInt("workload", k, v)
+			w.Seed = uint64(n)
+		default:
+			return fmt.Errorf("workload: unknown key %q (valid: commitevery files filesize filezipf iosize offzipf ops rate readfrac seed)", k)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseFault(spec *Spec, toks []string) error {
+	if len(toks) == 0 {
+		return fmt.Errorf("fault: missing kind (valid: %s)", strings.Join(FaultKinds(), " "))
+	}
+	f := Fault{Kind: toks[0]}
+	if _, ok := faultKinds[f.Kind]; !ok {
+		return fmt.Errorf("fault: unknown kind %q (valid: %s)", f.Kind, strings.Join(FaultKinds(), " "))
+	}
+	for _, tok := range toks[1:] {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("fault %s: %v", f.Kind, err)
+		}
+		switch k {
+		case "shard":
+			sh, err := parseInt("fault "+f.Kind, k, v)
+			if err != nil {
+				return err
+			}
+			f.Shards = append(f.Shards, sh)
+		case "shards":
+			for _, part := range strings.Split(v, ",") {
+				sh, err := parseInt("fault "+f.Kind, k, part)
+				if err != nil {
+					return err
+				}
+				f.Shards = append(f.Shards, sh)
+			}
+		case "at":
+			if f.At, err = parseTime("fault "+f.Kind, k, v); err != nil {
+				return err
+			}
+		case "down", "for":
+			if k != downKey(f.Kind) {
+				return fmt.Errorf("fault %s: use %s= for the duration", f.Kind, downKey(f.Kind))
+			}
+			if f.Down, err = parseTime("fault "+f.Kind, k, v); err != nil {
+				return err
+			}
+		case "stagger":
+			if f.Stagger, err = parseTime("fault "+f.Kind, k, v); err != nil {
+				return err
+			}
+		case "factor":
+			if f.Factor, err = parseInt("fault "+f.Kind, k, v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fault %s: unknown key %q (valid: at down factor for shard shards stagger)", f.Kind, k)
+		}
+	}
+	spec.Faults = append(spec.Faults, f)
+	return nil
+}
+
+func parseAssert(spec *Spec, toks []string) error {
+	if len(toks) == 0 {
+		return fmt.Errorf("assert: missing kind (valid: %s)", strings.Join(AssertKinds(), " "))
+	}
+	a := Assert{Kind: toks[0]}
+	valued, ok := assertKinds[a.Kind]
+	if !ok {
+		return fmt.Errorf("assert: unknown kind %q (valid: %s)", a.Kind, strings.Join(AssertKinds(), " "))
+	}
+	switch {
+	case valued && len(toks) == 2:
+		v, err := strconv.ParseFloat(toks[1], 64)
+		if err != nil {
+			return fmt.Errorf("assert %s: bad threshold %q", a.Kind, toks[1])
+		}
+		a.Value = v
+	case valued:
+		return fmt.Errorf("assert %s: takes exactly one threshold value", a.Kind)
+	case len(toks) != 1:
+		return fmt.Errorf("assert %s: takes no value", a.Kind)
+	}
+	spec.Asserts = append(spec.Asserts, a)
+	return nil
+}
+
+// Encode renders the spec in canonical text form; Parse(Encode(s))
+// reproduces s exactly. Workload keys are emitted only where they
+// differ from the base shape, mirroring how specs are written.
+func Encode(s *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	if s.Describe != "" {
+		fmt.Fprintf(&b, "describe %s\n", s.Describe)
+	}
+	fmt.Fprintf(&b, "fleet shards=%d system=%s", s.Fleet.Shards, s.Fleet.System)
+	if s.Fleet.Depth != 0 {
+		fmt.Fprintf(&b, " depth=%d", s.Fleet.Depth)
+	}
+	b.WriteString("\n")
+	if s.Retry != (Retry{}) {
+		fmt.Fprintf(&b, "retry rto=%s budget=%d\n", formatDur(s.Retry.RTO), s.Retry.Budget)
+	}
+	if s.WB.Enabled {
+		if s.WB.Auto {
+			b.WriteString("writebehind marks=auto")
+		} else {
+			fmt.Fprintf(&b, "writebehind high=%d low=%d batch=%d", s.WB.High, s.WB.Low, s.WB.Batch)
+		}
+		b.WriteString("\n")
+	}
+	if kvs := workloadDiff(s); len(kvs) > 0 {
+		fmt.Fprintf(&b, "workload %s\n", strings.Join(kvs, " "))
+	}
+	for _, f := range s.Faults {
+		fmt.Fprintf(&b, "fault %s", f.Kind)
+		if faultKinds[f.Kind].multi {
+			strs := make([]string, len(f.Shards))
+			for i, sh := range f.Shards {
+				strs[i] = strconv.Itoa(sh)
+			}
+			fmt.Fprintf(&b, " shards=%s", strings.Join(strs, ","))
+		} else {
+			fmt.Fprintf(&b, " shard=%d", f.Shards[0])
+		}
+		fmt.Fprintf(&b, " at=%s", f.At)
+		if f.Down.Mode != TimeUnset {
+			fmt.Fprintf(&b, " %s=%s", downKey(f.Kind), f.Down)
+		}
+		if f.Stagger.Mode != TimeUnset {
+			fmt.Fprintf(&b, " stagger=%s", f.Stagger)
+		}
+		if f.Factor != 0 {
+			fmt.Fprintf(&b, " factor=%d", f.Factor)
+		}
+		b.WriteString("\n")
+	}
+	for _, a := range s.Asserts {
+		fmt.Fprintf(&b, "assert %s\n", a)
+	}
+	return b.String()
+}
+
+// workloadDiff lists the workload keys differing from the base shape,
+// in a fixed order.
+func workloadDiff(s *Spec) []string {
+	base := exper.BaseTraceGen()
+	var kvs []string
+	add := func(k, v string) { kvs = append(kvs, k+"="+v) }
+	w := s.Workload
+	if w.Ops != base.Ops {
+		add("ops", strconv.Itoa(w.Ops))
+	}
+	if w.Files != base.Files {
+		add("files", strconv.Itoa(w.Files))
+	}
+	if w.FileSize != base.FileSize {
+		add("filesize", strconv.FormatInt(w.FileSize, 10))
+	}
+	if w.IOSize != base.IOSize {
+		add("iosize", strconv.FormatInt(w.IOSize, 10))
+	}
+	if w.ReadFrac != base.ReadFrac {
+		add("readfrac", strconv.FormatFloat(w.ReadFrac, 'g', -1, 64))
+	}
+	if w.FileZipf != base.FileZipf {
+		add("filezipf", strconv.FormatFloat(w.FileZipf, 'g', -1, 64))
+	}
+	if w.OffZipf != base.OffZipf {
+		add("offzipf", strconv.FormatFloat(w.OffZipf, 'g', -1, 64))
+	}
+	if w.Rate != base.Rate {
+		add("rate", strconv.FormatFloat(w.Rate, 'g', -1, 64))
+	}
+	if w.CommitEvery != base.CommitEvery {
+		add("commitevery", strconv.Itoa(w.CommitEvery))
+	}
+	if w.Seed != base.Seed {
+		add("seed", strconv.FormatUint(w.Seed, 10))
+	}
+	sort.Strings(kvs)
+	return kvs
+}

@@ -1,0 +1,144 @@
+// The failure-injection and write-mix experiments, re-expressed as
+// canned scenario specs run through the scenario runner. The axes, row
+// types and formatters stay in exper; only the per-cell drive moved
+// here, so danas-bench output is byte-identical to the pre-scenario
+// drivers.
+package scenario
+
+import (
+	"fmt"
+
+	"danas/internal/exper"
+)
+
+// mustRun runs a canned spec and panics on a spec error — canned specs
+// are ours, so a failure to run is a bug, not an input problem.
+func mustRun(spec *Spec, scale exper.Scale) *Report {
+	rep, err := Run(spec, scale)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: canned spec %s: %v", spec.Name, err))
+	}
+	return rep
+}
+
+// FailureSpec is one failure-experiment cell as a scenario: the trace
+// experiment's workload, the retransmission budgets that bound
+// client-side recovery, and shard 0 faulted over the middle 30% of the
+// trace starting a quarter in — the windows exper.Failure always used,
+// now written as percentages.
+func FailureSpec(sched, system string, shards int) *Spec {
+	token := systemToken(system)
+	spec := &Spec{
+		Name:     fmt.Sprintf("failure-%s-%ds-%s", sched, shards, token),
+		Describe: fmt.Sprintf("failure experiment cell: %s of shard 0, %d-shard %s fleet", sched, shards, token),
+		Fleet:    Fleet{Shards: shards, System: token},
+		Retry:    Retry{RTO: exper.FailRTO, Budget: exper.FailRetries},
+		Workload: exper.BaseTraceGen(),
+	}
+	switch sched {
+	case "crash":
+		spec.Faults = []Fault{{Kind: FaultCrashRestart, Shards: []int{0}, At: Pct(25), Down: Pct(30)}}
+	case "degrade":
+		spec.Faults = []Fault{{Kind: FaultDegrade, Shards: []int{0}, At: Pct(25), Down: Pct(30), Factor: exper.DegradeFactor}}
+	default:
+		panic("scenario: unknown failure schedule " + sched)
+	}
+	return spec
+}
+
+// Failure runs the failure-injection experiment: every protocol times
+// every fleet size times every fault schedule, each cell a canned
+// scenario replaying the same trace as the trace experiment while the
+// fault fires.
+func Failure(scale exper.Scale) []exper.FailureRow {
+	return FailureOver(scale, exper.FailureShardCounts)
+}
+
+// FailureOver runs the failure experiment over an explicit shard axis
+// (tests use reduced axes; Failure uses the full one).
+func FailureOver(scale exper.Scale, shardCounts []int) []exper.FailureRow {
+	ni := len(exper.FailureScheds) * len(shardCounts)
+	g := exper.RunGrid(ni, len(exper.ScalingSystems),
+		func(i, j int) string {
+			return fmt.Sprintf("failure/%s/%dshards/%s",
+				exper.FailureScheds[i/len(shardCounts)], shardCounts[i%len(shardCounts)], exper.ScalingSystems[j])
+		},
+		func(i, j int) exper.FailureRow {
+			return failureCell(exper.FailureScheds[i/len(shardCounts)], exper.ScalingSystems[j],
+				shardCounts[i%len(shardCounts)], scale)
+		})
+	return g.Flat()
+}
+
+// failureCell runs one cell's canned spec and reshapes the measured
+// outcome as the experiment row.
+func failureCell(sched, system string, shards int, scale exper.Scale) exper.FailureRow {
+	m := mustRun(FailureSpec(sched, system, shards), scale).M
+	return exper.FailureRow{
+		Sched: sched, System: system, Shards: shards,
+		OpsRetried: m.Retried, Stalls: m.Stalls,
+		OpsOK: m.OpsOK, OpsFailed: m.OpsFailed,
+		BaseMBps: m.Fault.BaseMBps, FaultMBps: m.Fault.FaultMBps, AfterMBps: m.Fault.AfterMBps,
+		RecoveryMillis: m.Fault.RecoveryMillis, P99FaultMicros: m.Fault.P99FaultMicros,
+	}
+}
+
+// WriteMixSpec is one write-mix cell as a scenario: the trace
+// experiment's workload with the read fraction swept and periodic
+// commits added, the write-behind subsystem armed with footprint-scaled
+// water marks on every shard.
+func WriteMixSpec(system string, shards int, readFrac float64) *Spec {
+	token := systemToken(system)
+	w := exper.BaseTraceGen()
+	w.ReadFrac = readFrac
+	w.CommitEvery = exper.WriteMixCommitEvery
+	return &Spec{
+		Name:     fmt.Sprintf("writemix-%ds-read%.0f-%s", shards, readFrac*100, token),
+		Describe: fmt.Sprintf("write-mix cell: %.0f%% reads over a %d-shard write-behind %s fleet", readFrac*100, shards, token),
+		Fleet:    Fleet{Shards: shards, System: token},
+		WB:       WriteBehind{Enabled: true, Auto: true},
+		Workload: w,
+	}
+}
+
+// WriteMix sweeps the read/write mix over every protocol and fleet
+// size with write-behind armed, locating the knee where the write path
+// caps the fleet.
+func WriteMix(scale exper.Scale) []exper.WriteMixRow {
+	return WriteMixOver(scale, exper.WriteMixShardCounts, exper.WriteMixReadFracs)
+}
+
+// WriteMixOver runs the sweep over explicit shard and read-fraction
+// axes (tests use reduced axes; WriteMix uses the full ones).
+func WriteMixOver(scale exper.Scale, shardCounts []int, readFracs []float64) []exper.WriteMixRow {
+	ni := len(shardCounts) * len(readFracs)
+	g := exper.RunGrid(ni, len(exper.ScalingSystems),
+		func(i, j int) string {
+			return fmt.Sprintf("writemix/%dshards/read%.0f%%/%s",
+				shardCounts[i/len(readFracs)], readFracs[i%len(readFracs)]*100, exper.ScalingSystems[j])
+		},
+		func(i, j int) exper.WriteMixRow {
+			return writeMixCell(exper.ScalingSystems[j], shardCounts[i/len(readFracs)],
+				readFracs[i%len(readFracs)], scale)
+		})
+	return g.Flat()
+}
+
+// writeMixCell runs one cell's canned spec and reshapes the measured
+// outcome as the experiment row.
+func writeMixCell(system string, shards int, readFrac float64, scale exper.Scale) exper.WriteMixRow {
+	rep := mustRun(WriteMixSpec(system, shards, readFrac), scale)
+	if rep.M.OpsFailed > 0 {
+		panic(fmt.Sprintf("writemix %s/%ds/%.0f%%: %d ops failed in a fault-free replay",
+			system, shards, readFrac*100, rep.M.OpsFailed))
+	}
+	m := rep.M
+	return exper.WriteMixRow{
+		System: system, Shards: shards, ReadFrac: readFrac,
+		MBps: m.MBps, P50Micros: m.P50Micros, P99Micros: m.P99Micros,
+		Stalls: m.Stalls, MaxOutstanding: m.MaxOutstanding,
+		StallMillis: m.WB.StallMillis, Throttled: m.WB.Throttled,
+		FlushedMB: m.WB.FlushedMB, BlocksPerFlush: m.WB.BlocksPerFlush,
+		Commits: m.WB.Commits, DiskPct: m.ShardDiskPct,
+	}
+}

@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"danas/internal/exper"
+	"danas/internal/metrics"
+	"danas/internal/trace"
+)
+
+// Measured is everything one scenario run measures, reduced through
+// the metrics evaluation layer. Every assertion reads from here, and
+// the experiment drivers rebuild their rows from here.
+type Measured struct {
+	// OpsOK and OpsFailed split the replayed ops by outcome; Retried
+	// counts faults the clients absorbed transparently (client-layer
+	// retransmissions plus ORDMA faults).
+	OpsOK, OpsFailed int64
+	Retried          uint64
+	// Stalls and MaxOutstanding describe the open-loop driver's queue.
+	Stalls         int64
+	MaxOutstanding int
+	// MBps is completed-byte throughput over the replay; the
+	// percentiles are response times from recorded arrival.
+	MBps      float64
+	P50Micros float64
+	P95Micros float64
+	P99Micros float64
+	// HasFault marks Fault as meaningful: the before/during/after view
+	// of the window from the first to the last injected event.
+	HasFault bool
+	Fault    metrics.FaultMetrics
+	// WB aggregates the write-behind subsystem across shards (zero
+	// value when the spec leaves it off).
+	WB WBMeasured
+	// Per-shard utilization over the replay, indexed by shard.
+	ShardCPUPct  []float64
+	ShardLinkPct []float64
+	ShardDiskPct []float64
+}
+
+// WBMeasured aggregates the shards' write-behind counters.
+type WBMeasured struct {
+	// StallMillis is handler time blocked at the dirty high-water mark,
+	// summed across shards; Throttled counts the writes that blocked.
+	StallMillis float64
+	Throttled   uint64
+	// FlushedMB is destaged data; BlocksPerFlush the mean coalescing
+	// per destage I/O; Commits the OpCommit executions across shards.
+	FlushedMB      float64
+	BlocksPerFlush float64
+	Commits        uint64
+}
+
+// AssertResult is one assertion's verdict: the measured value it was
+// checked against and whether it held.
+type AssertResult struct {
+	Assert Assert
+	Got    float64
+	Ok     bool
+}
+
+// Report is one scenario run's deterministic outcome.
+type Report struct {
+	Spec    *Spec
+	Scale   exper.Scale
+	M       Measured
+	Results []AssertResult
+	// Pass is true when every assertion held (vacuously true with no
+	// assertions).
+	Pass bool
+}
+
+// Run validates the spec, compiles it onto the replay machinery, runs
+// it at the given experiment scale, and evaluates the assertions.
+// Operation failures are a measured outcome, not an error; an error
+// means the spec itself could not run.
+func Run(spec *Spec, scale exper.Scale) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := trace.Generate(exper.ScaleGen(scale, spec.Workload))
+	sess := exper.NewReplaySession(tr, spec.replayConfig())
+	defer sess.Close()
+	sched := spec.schedule(tr.Duration(), sess.Cluster.P.LinkBandwidth)
+	if err := sched.Validate(spec.Fleet.Shards); err != nil {
+		// Unreachable for a spec that passed Validate (one time mode
+		// keeps event order span-invariant), but the contract is that
+		// nothing arms unvalidated.
+		return nil, &ValidateError{Spec: spec.Name, Msg: fmt.Sprintf("fault schedule at scale %g: %v", float64(scale), err), Err: err}
+	}
+	res, _ := sess.Replay("scenario-"+spec.Name, sched)
+
+	eval := metrics.NewEval(res.Start, res.Elapsed, exper.Outcomes(tr, res))
+	m := Measured{
+		OpsOK:          eval.OK(),
+		OpsFailed:      eval.Failed(),
+		Retried:        sess.Retried(),
+		Stalls:         res.Stalls,
+		MaxOutstanding: res.MaxOutstanding,
+		MBps:           res.MBps(),
+		P50Micros:      res.Lat.Quantile(0.50).Micros(),
+		P95Micros:      res.Lat.Quantile(0.95).Micros(),
+		P99Micros:      res.Lat.Quantile(0.99).Micros(),
+	}
+	if len(sched) > 0 {
+		m.HasFault = true
+		m.Fault = eval.Fault(sched[0].At, sched[len(sched)-1].At)
+	}
+	var flushes, blocks uint64
+	for _, sh := range sess.Cluster.Shards {
+		m.ShardCPUPct = append(m.ShardCPUPct, sh.Host.CPU.Utilization()*100)
+		m.ShardLinkPct = append(m.ShardLinkPct, sh.NIC.Port().TxUtilization()*100)
+		m.ShardDiskPct = append(m.ShardDiskPct, sh.Disk.Utilization()*100)
+		if spec.WB.Enabled {
+			st := sh.WB.Stats()
+			m.WB.StallMillis += float64(st.StallTime) / 1e6
+			m.WB.Throttled += st.Throttled
+			m.WB.FlushedMB += float64(st.BytesFlushed) / 1e6
+			m.WB.Commits += st.Commits
+			flushes += st.Flushes
+			blocks += st.BlocksFlushed
+		}
+	}
+	if flushes > 0 {
+		m.WB.BlocksPerFlush = float64(blocks) / float64(flushes)
+	}
+
+	rep := &Report{Spec: spec, Scale: scale, M: m, Pass: true}
+	for _, a := range spec.Asserts {
+		r := evalAssert(a, m)
+		rep.Results = append(rep.Results, r)
+		if !r.Ok {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// evalAssert checks one assertion against the measurements.
+func evalAssert(a Assert, m Measured) AssertResult {
+	r := AssertResult{Assert: a}
+	switch a.Kind {
+	case AssertMinMBps:
+		r.Got = m.MBps
+		r.Ok = r.Got >= a.Value
+	case AssertMaxP99Ms:
+		r.Got = m.P99Micros / 1000
+		r.Ok = r.Got <= a.Value
+	case AssertMaxRecoveryMs:
+		// RecoveryMillis is -1 when throughput never regained baseline
+		// within the replay — that always fails the bound; 0 means it
+		// never dipped, which always passes.
+		r.Got = m.Fault.RecoveryMillis
+		r.Ok = m.HasFault && r.Got >= 0 && r.Got <= a.Value
+	case AssertZeroFailedOps:
+		r.Got = float64(m.OpsFailed)
+		r.Ok = m.OpsFailed == 0
+	case AssertMaxFailedOps:
+		r.Got = float64(m.OpsFailed)
+		r.Ok = r.Got <= a.Value
+	case AssertMaxStalls:
+		r.Got = float64(m.Stalls)
+		r.Ok = r.Got <= a.Value
+	default:
+		panic("scenario: unvalidated assert kind " + a.Kind)
+	}
+	return r
+}
+
+// verdict renders a pass/fail token.
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// Format renders the report deterministically: the measured summary,
+// then one line per assertion, then the verdict.
+func (r *Report) Format() string {
+	var b strings.Builder
+	s := r.Spec
+	m := r.M
+	fmt.Fprintf(&b, "scenario %s [%dx %s]: %s\n", s.Name, s.Fleet.Shards, s.Fleet.System, verdict(r.Pass))
+	if s.Describe != "" {
+		fmt.Fprintf(&b, "  # %s\n", s.Describe)
+	}
+	fmt.Fprintf(&b, "  ops ok=%d failed=%d retried=%d stalls=%d depth<=%d\n",
+		m.OpsOK, m.OpsFailed, m.Retried, m.Stalls, m.MaxOutstanding)
+	fmt.Fprintf(&b, "  agg=%.1f MB/s  p50=%.1f p95=%.1f p99=%.1f us\n",
+		m.MBps, m.P50Micros, m.P95Micros, m.P99Micros)
+	if m.HasFault {
+		fmt.Fprintf(&b, "  fault base=%.1f during=%.1f after=%.1f MB/s  recov=%.1fms p99f=%.1fus\n",
+			m.Fault.BaseMBps, m.Fault.FaultMBps, m.Fault.AfterMBps,
+			m.Fault.RecoveryMillis, m.Fault.P99FaultMicros)
+	}
+	if s.WB.Enabled {
+		fmt.Fprintf(&b, "  writebehind wstall=%.1fms throttled=%d flush=%.1fMB@%.1f commits=%d\n",
+			m.WB.StallMillis, m.WB.Throttled, m.WB.FlushedMB, m.WB.BlocksPerFlush, m.WB.Commits)
+	}
+	fmt.Fprintf(&b, "  util cpu%%=%s link%%=%s disk%%=%s\n",
+		pctList(m.ShardCPUPct), pctList(m.ShardLinkPct), pctList(m.ShardDiskPct))
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "  assert %s: %s (got %.3f)\n", res.Assert, verdict(res.Ok), res.Got)
+	}
+	return b.String()
+}
+
+// pctList renders per-shard percentages compactly.
+func pctList(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.1f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// FormatAll renders a batch of reports followed by a one-line summary,
+// the form danas-bench prints.
+func FormatAll(reps []*Report) string {
+	var b strings.Builder
+	passed := 0
+	for _, r := range reps {
+		b.WriteString(r.Format())
+		b.WriteString("\n")
+		if r.Pass {
+			passed++
+		}
+	}
+	fmt.Fprintf(&b, "scenarios: %d/%d passed\n", passed, len(reps))
+	return b.String()
+}
+
+// RunAll validates every spec upfront (so a bad spec aborts before any
+// simulation runs), then runs them all at the given scale across the
+// experiment worker pool, reports in input order at any pool width.
+func RunAll(specs []*Spec, scale exper.Scale) ([]*Report, error) {
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return exper.RunCells(len(specs),
+		func(i int) string { return "scenario/" + specs[i].Name },
+		func(i int) *Report { return mustRun(specs[i], scale) }), nil
+}
+
+// AllPass reports whether every report passed.
+func AllPass(reps []*Report) bool {
+	for _, r := range reps {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,500 @@
+// Package scenario is the declarative harness unifying the replay
+// experiments' moving parts — fleet topology, write-behind
+// configuration, workload shape, fault schedule, and metric assertions
+// — under one spec format. A Spec parses from a small line-oriented
+// text format (codec.go), validates statically with typed errors,
+// compiles onto the exper replay machinery (run.go), and yields a
+// deterministic pass/fail Report. The failure and write-mix
+// experiments are canned specs run through this same path
+// (experiments.go), and a seeded generator fuzzes the space of fleet
+// shapes and correlated fault schedules (stress.go).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"danas/internal/exper"
+	"danas/internal/fail"
+	"danas/internal/sim"
+	"danas/internal/trace"
+)
+
+// Spec is one declarative scenario: what fleet to build, what workload
+// to replay over it, what faults to inject while it runs, and what the
+// resulting metrics must satisfy.
+type Spec struct {
+	// Name identifies the scenario in reports and job labels; a single
+	// token (no whitespace).
+	Name string
+	// Describe is a one-line human description.
+	Describe string
+	Fleet    Fleet
+	Retry    Retry
+	WB       WriteBehind
+	// Workload is the synthetic trace to replay; the runner applies the
+	// experiment -scale to it like every replay experiment
+	// (exper.ScaleGen), so one spec exercises every scale.
+	Workload trace.GenConfig
+	Faults   []Fault
+	Asserts  []Assert
+}
+
+// Fleet is the topology under test.
+type Fleet struct {
+	// Shards is the server fleet size; traced files stripe across it.
+	Shards int
+	// System is the protocol token: one of SystemTokens.
+	System string
+	// Depth is the async client's queue depth (0 = the trace
+	// experiment's default).
+	Depth int
+}
+
+// Retry arms client-side recovery: retransmission with exponential
+// backoff from RTO, giving up after Budget attempts. A zero Budget
+// leaves retries off (an op against a dead shard fails fast).
+type Retry struct {
+	RTO    sim.Duration
+	Budget int
+}
+
+// WriteBehind arms the write-behind/commit subsystem on every shard.
+type WriteBehind struct {
+	Enabled bool
+	// Auto derives the water marks from the replayed footprint (the
+	// write-mix experiment's sizing, exper.AutoWBConfig); otherwise
+	// High/Low/Batch are used as given.
+	Auto             bool
+	High, Low, Batch int
+}
+
+// systemNames maps spec protocol tokens to exper legend names.
+var systemNames = map[string]string{
+	"nfs":        "NFS",
+	"nfs-pre":    "NFS pre-posting",
+	"nfs-hybrid": "NFS hybrid",
+	"dafs":       "DAFS",
+	"odafs":      "ODAFS",
+}
+
+// SystemTokens lists the accepted fleet system tokens, sorted.
+func SystemTokens() []string {
+	toks := make([]string, 0, len(systemNames))
+	for t := range systemNames {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	return toks
+}
+
+// SystemName resolves a spec token to the exper legend name.
+func SystemName(token string) (string, bool) {
+	n, ok := systemNames[token]
+	return n, ok
+}
+
+// systemToken is the inverse of SystemName (legend name -> token).
+func systemToken(legend string) string {
+	for t, n := range systemNames {
+		if n == legend {
+			return t
+		}
+	}
+	panic("scenario: not a legend name: " + legend)
+}
+
+// TimeMode says how a TimeSpec resolves against the trace duration.
+type TimeMode int
+
+const (
+	// TimeUnset is the zero value: the field was not given.
+	TimeUnset TimeMode = iota
+	// TimePct resolves as a percentage of the trace's arrival span, so
+	// the schedule scales with the workload (the experiments' style).
+	TimePct
+	// TimeDur is an absolute simulated duration.
+	TimeDur
+)
+
+// TimeSpec is a fault instant or span: either a percentage of the
+// trace duration ("25%") or an absolute duration ("10ms").
+type TimeSpec struct {
+	Mode TimeMode
+	Pct  int64
+	Dur  sim.Duration
+}
+
+// Pct builds a percent-of-trace TimeSpec.
+func Pct(p int64) TimeSpec { return TimeSpec{Mode: TimePct, Pct: p} }
+
+// Dur builds an absolute-duration TimeSpec.
+func Dur(d sim.Duration) TimeSpec { return TimeSpec{Mode: TimeDur, Dur: d} }
+
+// Resolve converts the spec to a duration against trace span d. The
+// percent arithmetic is d*p/100 in int64, matching the experiments'
+// window math exactly (25% of d is d/4 for every d).
+func (t TimeSpec) Resolve(d sim.Duration) sim.Duration {
+	switch t.Mode {
+	case TimePct:
+		return d * sim.Duration(t.Pct) / 100
+	case TimeDur:
+		return t.Dur
+	default:
+		return 0
+	}
+}
+
+func (t TimeSpec) String() string {
+	switch t.Mode {
+	case TimePct:
+		return fmt.Sprintf("%d%%", t.Pct)
+	case TimeDur:
+		return formatDur(t.Dur)
+	default:
+		return "unset"
+	}
+}
+
+// Fault kinds.
+const (
+	FaultCrash          = "crash"
+	FaultRestart        = "restart"
+	FaultCrashRestart   = "crash-restart"
+	FaultMultiCrash     = "multi-crash"
+	FaultRollingRestart = "rolling-restart"
+	FaultDegrade        = "degrade"
+	FaultRestore        = "restore"
+)
+
+// faultKinds lists every fault kind with the fields it takes.
+var faultKinds = map[string]struct{ down, stagger, factor, multi bool }{
+	FaultCrash:          {},
+	FaultRestart:        {},
+	FaultCrashRestart:   {down: true},
+	FaultMultiCrash:     {down: true, multi: true},
+	FaultRollingRestart: {down: true, stagger: true, multi: true},
+	FaultDegrade:        {down: true, factor: true},
+	FaultRestore:        {},
+}
+
+// FaultKinds lists the accepted fault kinds, sorted.
+func FaultKinds() []string {
+	ks := make([]string, 0, len(faultKinds))
+	for k := range faultKinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Fault is one declarative fault: a kind plus the shard set and timing
+// it applies to. Down doubles as the degradation span for "degrade".
+type Fault struct {
+	Kind string
+	// Shards is the victim set: one entry for single-shard kinds, two
+	// or more for multi-crash and rolling-restart.
+	Shards  []int
+	At      TimeSpec
+	Down    TimeSpec
+	Stagger TimeSpec
+	// Factor divides the victim link's bandwidth (degrade only).
+	Factor int
+}
+
+// resolve compiles the fault to events against trace span d; linkBW is
+// the fleet's full link bandwidth (degrade rates derive from it).
+func (f Fault) resolve(d sim.Duration, linkBW float64) fail.Schedule {
+	at := f.At.Resolve(d)
+	down := f.Down.Resolve(d)
+	switch f.Kind {
+	case FaultCrash:
+		return fail.Schedule{{At: at, Kind: fail.Crash, Shard: f.Shards[0]}}
+	case FaultRestart:
+		return fail.Schedule{{At: at, Kind: fail.Restart, Shard: f.Shards[0]}}
+	case FaultCrashRestart:
+		return fail.CrashRestart(f.Shards[0], at, down)
+	case FaultMultiCrash:
+		return fail.SimultaneousCrash(f.Shards, at, down)
+	case FaultRollingRestart:
+		return fail.RollingRestart(f.Shards, at, down, f.Stagger.Resolve(d))
+	case FaultDegrade:
+		return fail.Degrade(f.Shards[0], at, down, linkBW/float64(f.Factor))
+	case FaultRestore:
+		return fail.Schedule{{At: at, Kind: fail.RestoreLink, Shard: f.Shards[0]}}
+	default:
+		panic("scenario: unknown fault kind " + f.Kind)
+	}
+}
+
+// Assert kinds.
+const (
+	AssertMinMBps       = "min-mbps"
+	AssertMaxP99Ms      = "max-p99-ms"
+	AssertMaxRecoveryMs = "max-recovery-ms"
+	AssertZeroFailedOps = "zero-failed-ops"
+	AssertMaxFailedOps  = "max-failed-ops"
+	AssertMaxStalls     = "max-stalls"
+)
+
+// assertKinds maps each assertion kind to whether it takes a value.
+var assertKinds = map[string]bool{
+	AssertMinMBps:       true,
+	AssertMaxP99Ms:      true,
+	AssertMaxRecoveryMs: true,
+	AssertZeroFailedOps: false,
+	AssertMaxFailedOps:  true,
+	AssertMaxStalls:     true,
+}
+
+// AssertKinds lists the accepted assertion kinds, sorted.
+func AssertKinds() []string {
+	ks := make([]string, 0, len(assertKinds))
+	for k := range assertKinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Assert is one metric threshold the run must satisfy.
+type Assert struct {
+	Kind  string
+	Value float64
+}
+
+func (a Assert) String() string {
+	if assertKinds[a.Kind] {
+		return fmt.Sprintf("%s %g", a.Kind, a.Value)
+	}
+	return a.Kind
+}
+
+// ValidateError is a semantic rejection of a parsed spec.
+type ValidateError struct {
+	Spec string
+	Msg  string
+	// Err is the underlying typed cause when the rejection came from
+	// schedule validation (a *fail.EventError).
+	Err error
+}
+
+func (e *ValidateError) Error() string {
+	return fmt.Sprintf("scenario %q: %s", e.Spec, e.Msg)
+}
+
+func (e *ValidateError) Unwrap() error { return e.Err }
+
+// vErr builds a ValidateError against this spec.
+func (s *Spec) vErr(format string, args ...any) error {
+	return &ValidateError{Spec: s.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// timeMode returns the single time mode the spec's fault times use, or
+// an error if modes are mixed — mixing percentages with absolute
+// durations would make event ordering depend on the trace duration,
+// so a spec that validates at one scale could mis-order at another.
+func (s *Spec) timeMode() (TimeMode, error) {
+	mode := TimeUnset
+	for _, f := range s.Faults {
+		for _, t := range []TimeSpec{f.At, f.Down, f.Stagger} {
+			if t.Mode == TimeUnset {
+				continue
+			}
+			if mode == TimeUnset {
+				mode = t.Mode
+			} else if mode != t.Mode {
+				return TimeUnset, s.vErr("fault times mix percentages and durations; use one style throughout")
+			}
+		}
+	}
+	return mode, nil
+}
+
+// Validate checks the spec semantically: topology and workload sanity,
+// fault fields per kind, shard indices in range, assertion kinds known
+// — and compiles the fault schedule to reject impossible sequences
+// (restart of a live shard, link event on a crashed shard) with the
+// fail package's typed errors before anything is built.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return s.vErr("missing name")
+	}
+	if strings.ContainsAny(s.Name, " \t") {
+		return s.vErr("name contains whitespace")
+	}
+	if s.Fleet.Shards < 1 {
+		return s.vErr("fleet: shards must be at least 1, got %d", s.Fleet.Shards)
+	}
+	if _, ok := systemNames[s.Fleet.System]; !ok {
+		return s.vErr("fleet: unknown system %q (valid: %s)",
+			s.Fleet.System, strings.Join(SystemTokens(), " "))
+	}
+	if s.Fleet.Depth < 0 {
+		return s.vErr("fleet: negative depth %d", s.Fleet.Depth)
+	}
+	if s.Retry.Budget < 0 {
+		return s.vErr("retry: negative budget %d", s.Retry.Budget)
+	}
+	if s.Retry.Budget > 0 && s.Retry.RTO <= 0 {
+		return s.vErr("retry: budget without a positive rto")
+	}
+	if s.WB.Enabled && !s.WB.Auto {
+		if s.WB.High < 1 || s.WB.Low < 1 || s.WB.Low > s.WB.High || s.WB.Batch < 1 {
+			return s.vErr("writebehind: need 1 <= low <= high and batch >= 1, got high=%d low=%d batch=%d",
+				s.WB.High, s.WB.Low, s.WB.Batch)
+		}
+	}
+	if s.Workload.Ops < 1 {
+		return s.vErr("workload: ops must be positive, got %d", s.Workload.Ops)
+	}
+	if s.Workload.Files < 1 {
+		return s.vErr("workload: files must be positive, got %d", s.Workload.Files)
+	}
+	if s.Workload.FileSize < 1 || s.Workload.IOSize < 1 {
+		return s.vErr("workload: filesize and iosize must be positive")
+	}
+	if s.Workload.IOSize > s.Workload.FileSize {
+		return s.vErr("workload: iosize %d exceeds filesize %d", s.Workload.IOSize, s.Workload.FileSize)
+	}
+	if s.Workload.ReadFrac < 0 || s.Workload.ReadFrac > 1 {
+		return s.vErr("workload: readfrac %g outside [0, 1]", s.Workload.ReadFrac)
+	}
+	if s.Workload.FileZipf < 0 || s.Workload.OffZipf < 0 {
+		return s.vErr("workload: negative zipf exponent")
+	}
+	if s.Workload.Rate < 0 {
+		return s.vErr("workload: negative rate %g", s.Workload.Rate)
+	}
+	if s.Workload.CommitEvery < 0 {
+		return s.vErr("workload: negative commitevery %d", s.Workload.CommitEvery)
+	}
+	for i, f := range s.Faults {
+		shape, ok := faultKinds[f.Kind]
+		if !ok {
+			return s.vErr("fault %d: unknown kind %q (valid: %s)",
+				i, f.Kind, strings.Join(FaultKinds(), " "))
+		}
+		if f.At.Mode == TimeUnset {
+			return s.vErr("fault %d (%s): missing at=", i, f.Kind)
+		}
+		if shape.down && f.Down.Mode == TimeUnset {
+			return s.vErr("fault %d (%s): missing %s=", i, f.Kind, downKey(f.Kind))
+		}
+		if !shape.down && f.Down.Mode != TimeUnset {
+			return s.vErr("fault %d (%s): %s takes no duration", i, f.Kind, f.Kind)
+		}
+		if shape.stagger && f.Stagger.Mode == TimeUnset {
+			return s.vErr("fault %d (%s): missing stagger=", i, f.Kind)
+		}
+		if shape.factor && f.Factor < 2 {
+			return s.vErr("fault %d (%s): factor must be at least 2, got %d", i, f.Kind, f.Factor)
+		}
+		if !shape.factor && f.Factor != 0 {
+			return s.vErr("fault %d (%s): %s takes no factor", i, f.Kind, f.Kind)
+		}
+		if shape.multi {
+			if len(f.Shards) < 2 {
+				return s.vErr("fault %d (%s): need at least 2 shards", i, f.Kind)
+			}
+		} else if len(f.Shards) != 1 {
+			return s.vErr("fault %d (%s): need exactly one shard", i, f.Kind)
+		}
+		seen := make(map[int]bool)
+		for _, sh := range f.Shards {
+			if sh < 0 || sh >= s.Fleet.Shards {
+				return s.vErr("fault %d (%s): shard %d outside fleet of %d", i, f.Kind, sh, s.Fleet.Shards)
+			}
+			if seen[sh] {
+				return s.vErr("fault %d (%s): duplicate shard %d", i, f.Kind, sh)
+			}
+			seen[sh] = true
+		}
+		for _, t := range []TimeSpec{f.At, f.Down, f.Stagger} {
+			if t.Mode == TimePct && (t.Pct < 0 || t.Pct > 100) {
+				return s.vErr("fault %d (%s): percentage %d%% outside [0, 100]", i, f.Kind, t.Pct)
+			}
+			if t.Mode == TimeDur && t.Dur < 0 {
+				return s.vErr("fault %d (%s): negative duration", i, f.Kind)
+			}
+		}
+	}
+	mode, err := s.timeMode()
+	if err != nil {
+		return err
+	}
+	if len(s.Faults) > 0 {
+		// Compile the schedule against a nominal span and reject
+		// impossible sequences now. With a single time mode the event
+		// ordering is span-invariant (percent offsets order like their
+		// percentages), so a spec that validates here validates at run
+		// time; the runner re-validates against the real span anyway.
+		d := 100 * 100 * sim.Millisecond // every integer percent distinct
+		if mode == TimeDur {
+			d = 0 // absolute times resolve as themselves
+		}
+		if err := s.schedule(d, 1e9).Validate(s.Fleet.Shards); err != nil {
+			return &ValidateError{Spec: s.Name, Msg: fmt.Sprintf("fault schedule: %v", err), Err: err}
+		}
+	}
+	for i, a := range s.Asserts {
+		valued, ok := assertKinds[a.Kind]
+		if !ok {
+			return s.vErr("assert %d: unknown kind %q (valid: %s)",
+				i, a.Kind, strings.Join(AssertKinds(), " "))
+		}
+		if valued && a.Value < 0 {
+			return s.vErr("assert %d (%s): negative threshold %g", i, a.Kind, a.Value)
+		}
+		if !valued && a.Value != 0 {
+			return s.vErr("assert %d (%s): takes no value", i, a.Kind)
+		}
+	}
+	return nil
+}
+
+// downKey is the spelling of the duration key per fault kind ("for"
+// reads better for degrade).
+func downKey(kind string) string {
+	if kind == FaultDegrade {
+		return "for"
+	}
+	return "down"
+}
+
+// schedule compiles every fault to one merged, time-ordered schedule.
+func (s *Spec) schedule(d sim.Duration, linkBW float64) fail.Schedule {
+	var parts []fail.Schedule
+	for _, f := range s.Faults {
+		parts = append(parts, f.resolve(d, linkBW))
+	}
+	return fail.Merge(parts...)
+}
+
+// HasFaults reports whether the spec injects anything.
+func (s *Spec) HasFaults() bool { return len(s.Faults) > 0 }
+
+// replayConfig compiles the spec's fleet, retry, and write-behind
+// sections onto the exper session configuration.
+func (s *Spec) replayConfig() exper.ReplayConfig {
+	legend, ok := systemNames[s.Fleet.System]
+	if !ok {
+		panic("scenario: unvalidated system token " + s.Fleet.System)
+	}
+	cfg := exper.ReplayConfig{
+		System:      legend,
+		Shards:      s.Fleet.Shards,
+		Depth:       s.Fleet.Depth,
+		RetryRTO:    s.Retry.RTO,
+		RetryBudget: s.Retry.Budget,
+		WriteBehind: s.WB.Enabled,
+		WBAutoMarks: s.WB.Auto,
+	}
+	if s.WB.Enabled && !s.WB.Auto {
+		cfg.WBConfig.HighWater = s.WB.High
+		cfg.WBConfig.LowWater = s.WB.Low
+		cfg.WBConfig.MaxBatch = s.WB.Batch
+	}
+	return cfg
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"danas/internal/fail"
+	"danas/internal/sim"
+)
+
+// valid returns a minimal spec that passes Validate, for the rejection
+// tests to break one field at a time.
+func valid() *Spec {
+	sp, _ := Lookup("crash-recovery")
+	return sp
+}
+
+// TestValidateRejections walks the semantic checks: each mutation must
+// be rejected with a *ValidateError naming the spec.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"missing name", func(s *Spec) { s.Name = "" }},
+		{"whitespace name", func(s *Spec) { s.Name = "a b" }},
+		{"zero shards", func(s *Spec) { s.Fleet.Shards = 0 }},
+		{"unknown system", func(s *Spec) { s.Fleet.System = "NFS" }}, // legend name, not token
+		{"budget without rto", func(s *Spec) { s.Retry = Retry{Budget: 3} }},
+		{"manual marks inverted", func(s *Spec) { s.WB = WriteBehind{Enabled: true, High: 4, Low: 8, Batch: 1} }},
+		{"zero ops", func(s *Spec) { s.Workload.Ops = 0 }},
+		{"iosize over filesize", func(s *Spec) { s.Workload.IOSize = s.Workload.FileSize + 1 }},
+		{"readfrac out of range", func(s *Spec) { s.Workload.ReadFrac = 1.5 }},
+		{"fault without at", func(s *Spec) { s.Faults[0].At = TimeSpec{} }},
+		{"fault shard out of range", func(s *Spec) { s.Faults[0].Shards = []int{9} }},
+		{"crash takes no duration", func(s *Spec) { s.Faults[0].Kind = FaultCrash }},
+		{"degrade needs factor", func(s *Spec) { s.Faults[0].Kind = FaultDegrade }},
+		{"percentage out of range", func(s *Spec) { s.Faults[0].At = Pct(130) }},
+		{"mixed time modes", func(s *Spec) { s.Faults[0].Down = Dur(10 * sim.Millisecond) }},
+		{"multi-crash needs two shards", func(s *Spec) {
+			s.Faults[0] = Fault{Kind: FaultMultiCrash, Shards: []int{0}, At: Pct(25), Down: Pct(10)}
+		}},
+		{"duplicate shard", func(s *Spec) {
+			s.Faults[0] = Fault{Kind: FaultMultiCrash, Shards: []int{1, 1}, At: Pct(25), Down: Pct(10)}
+		}},
+		{"unknown assert", func(s *Spec) { s.Asserts[0].Kind = "min-iops" }},
+		{"valueless assert with value", func(s *Spec) { s.Asserts = []Assert{{Kind: AssertZeroFailedOps, Value: 1}} }},
+	}
+	for _, c := range cases {
+		sp := valid()
+		c.mut(sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		var ve *ValidateError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error is %T, want *ValidateError", c.name, err)
+		}
+	}
+}
+
+// TestValidateRejectsImpossibleSchedules checks the static pass
+// compiles the fault schedule and surfaces the fail package's typed
+// reasons through the ValidateError chain: a restart of a shard that
+// never crashed, a double crash, and a link event against a dark shard
+// are all caught before anything is built.
+func TestValidateRejectsImpossibleSchedules(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults []Fault
+		reason error
+	}{
+		{"restart of a live shard",
+			[]Fault{{Kind: FaultRestart, Shards: []int{0}, At: Pct(25)}},
+			fail.ErrNotDown},
+		{"double crash",
+			[]Fault{
+				{Kind: FaultCrash, Shards: []int{0}, At: Pct(20)},
+				{Kind: FaultCrash, Shards: []int{0}, At: Pct(40)},
+			},
+			fail.ErrAlreadyDown},
+		{"degrade of a crashed shard",
+			[]Fault{
+				{Kind: FaultCrash, Shards: []int{0}, At: Pct(20)},
+				{Kind: FaultDegrade, Shards: []int{0}, At: Pct(40), Down: Pct(10), Factor: 8},
+			},
+			fail.ErrShardDark},
+		{"restore without degrade",
+			[]Fault{{Kind: FaultRestore, Shards: []int{0}, At: Pct(25)}},
+			fail.ErrNotDegraded},
+	}
+	for _, c := range cases {
+		sp := valid()
+		sp.Faults = c.faults
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", c.name)
+			continue
+		}
+		if !errors.Is(err, c.reason) {
+			t.Errorf("%s: err = %v, not the typed reason %v", c.name, err, c.reason)
+		}
+		var ee *fail.EventError
+		if !errors.As(err, &ee) {
+			t.Errorf("%s: no *fail.EventError in the chain of %v", c.name, err)
+		}
+	}
+}
+
+// TestTimeSpecResolve pins the percent arithmetic to the experiments'
+// window math: 25% of d is exactly d/4 and 30% exactly 3*d/10, for the
+// integer spans the trace generator produces.
+func TestTimeSpecResolve(t *testing.T) {
+	for _, d := range []sim.Duration{1, 1000, 333333333, 2 * sim.Second} {
+		if got, want := Pct(25).Resolve(d), d/4; got != want {
+			t.Errorf("25%% of %d = %d, want %d", d, got, want)
+		}
+		if got, want := Pct(30).Resolve(d), 3*d/10; got != want {
+			t.Errorf("30%% of %d = %d, want %d", d, got, want)
+		}
+	}
+	if got := Dur(5 * sim.Millisecond).Resolve(sim.Second); got != 5*sim.Millisecond {
+		t.Errorf("absolute time resolved to %d", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Seeded stress generation: random fleet shapes under random
+// correlated fault schedules, every draw a pure function of the seed.
+// Fault times are percentages of the trace span, so a generated
+// scenario is duration-bounded by construction — the whole schedule
+// lands inside the replay at every -scale — and the same seed yields a
+// byte-identical scenario set and byte-identical run reports across
+// reruns and worker-pool widths.
+package scenario
+
+import (
+	"fmt"
+
+	"danas/internal/exper"
+	"danas/internal/sim"
+)
+
+// stressSystems is the protocol draw order (legend order, as tokens).
+var stressSystems = []string{"nfs", "nfs-pre", "nfs-hybrid", "dafs", "odafs"}
+
+// stressReadFracs is the read-fraction draw set.
+var stressReadFracs = []float64{1.0, 0.9, 0.7, 0.5, 0.3}
+
+// Stress generates count scenarios deterministically from the seed.
+// Every generated spec passes Validate — the generator only composes
+// legal schedules (correlated groups draw distinct shards; staggers
+// and windows stay inside the trace span).
+func Stress(seed uint64, count int) []*Spec {
+	r := sim.NewRand(seed)
+	specs := make([]*Spec, count)
+	for i := range specs {
+		specs[i] = stressSpec(r, i)
+	}
+	return specs
+}
+
+// stressSpec draws one scenario. All draws come from the shared
+// stream, so the k-th spec depends on the seed and every draw before
+// it — reordering or resizing the draw set is a generator version
+// change, caught by the determinism test.
+func stressSpec(r *sim.Rand, i int) *Spec {
+	shards := 1 << r.Intn(4) // 1, 2, 4, 8
+	spec := &Spec{
+		Name:     fmt.Sprintf("stress-%04d", i),
+		Fleet:    Fleet{Shards: shards, System: stressSystems[r.Intn(len(stressSystems))]},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 7},
+		Workload: exper.BaseTraceGen(),
+	}
+	spec.Workload.Ops = 1000 + 500*r.Intn(3)
+	spec.Workload.Files = 4 + r.Intn(5)
+	spec.Workload.ReadFrac = stressReadFracs[r.Intn(len(stressReadFracs))]
+	spec.Workload.Rate = 4000 + 1000*float64(r.Intn(3))
+	spec.Workload.Seed = r.Uint64()
+	if r.Intn(2) == 1 {
+		spec.WB = WriteBehind{Enabled: true, Auto: true}
+		spec.Workload.CommitEvery = 16 + 16*r.Intn(2)
+	}
+
+	// One fault per spec, correlated when the fleet is big enough. All
+	// times are percentages: at in [10, 40], downtime in [5, 15], and a
+	// rolling stagger of at most half the downtime, so even an 8-shard
+	// roll ends by at + 7*8% + 15% <= 100% of the span.
+	at := Pct(int64(10 + r.Intn(31)))
+	down := 5 + r.Intn(11)
+	kind := r.Intn(4)
+	if shards == 1 && kind < 2 {
+		kind = 0 // correlated patterns need at least 2 shards
+	}
+	var f Fault
+	switch kind {
+	case 0:
+		f = Fault{Kind: FaultCrashRestart, Shards: []int{r.Intn(shards)}, At: at, Down: Pct(int64(down))}
+	case 1:
+		k := 2 + r.Intn(shards-1)
+		f = Fault{Kind: FaultMultiCrash, Shards: r.Perm(shards)[:k], At: at, Down: Pct(int64(down))}
+	case 2:
+		if shards == 1 {
+			f = Fault{Kind: FaultDegrade, Shards: []int{0}, At: at, Down: Pct(int64(down)), Factor: 2 << r.Intn(3)}
+			break
+		}
+		k := 2 + r.Intn(shards-1)
+		// Cap the stagger so the longest roll (7 steps) plus the final
+		// downtime still ends inside the span: 40 + 7*6 + 15 <= 100.
+		stagger := 1 + r.Intn(min(max(down/2, 1), 6))
+		f = Fault{Kind: FaultRollingRestart, Shards: r.Perm(shards)[:k], At: at,
+			Down: Pct(int64(down)), Stagger: Pct(int64(stagger))}
+	default:
+		f = Fault{Kind: FaultDegrade, Shards: []int{r.Intn(shards)}, At: at, Down: Pct(int64(down)), Factor: 2 << r.Intn(3)}
+	}
+	spec.Faults = []Fault{f}
+	spec.Describe = fmt.Sprintf("seeded stress draw: %s over a %d-shard %s fleet",
+		f.Kind, shards, spec.Fleet.System)
+
+	// Loose guardrails: the fleet must do useful work and most
+	// operations must survive the fault — dead fleets and hangs fail,
+	// ordinary degradation passes.
+	spec.Asserts = []Assert{
+		{Kind: AssertMinMBps, Value: 0.01},
+		{Kind: AssertMaxFailedOps, Value: float64(spec.Workload.Ops) / 2},
+	}
+	return spec
+}
+
+// StressRun generates count scenarios from the seed and runs them all
+// at the given scale across the experiment worker pool. Reports come
+// back in generation order regardless of pool width.
+func StressRun(seed uint64, count int, scale exper.Scale) []*Report {
+	specs := Stress(seed, count)
+	return exper.RunCells(len(specs),
+		func(i int) string { return "scenario/" + specs[i].Name },
+		func(i int) *Report { return mustRun(specs[i], scale) })
+}

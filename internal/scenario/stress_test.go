@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"danas/internal/exper"
+)
+
+// TestStressDeterministicAndValid is the generator contract: the same
+// seed yields the same scenario set (deep-equal and byte-identical in
+// encoded form), a different seed a different set, and every generated
+// spec passes Validate.
+func TestStressDeterministicAndValid(t *testing.T) {
+	a := Stress(99, 40)
+	b := Stress(99, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different scenario sets")
+	}
+	for i := range a {
+		if Encode(a[i]) != Encode(b[i]) {
+			t.Fatalf("spec %d encodes differently across reruns", i)
+		}
+	}
+	for i, sp := range a {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("generated spec %d invalid: %v\n%s", i, err, Encode(sp))
+		}
+	}
+	c := Stress(100, 40)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds generated identical scenario sets")
+	}
+}
+
+// TestStressRunDeterministic pins the whole stress path: the rendered
+// reports must be byte-identical across reruns and across the
+// experiment worker pool — the contract behind danas-bench
+// -scenario-seed under -parallel.
+func TestStressRunDeterministic(t *testing.T) {
+	old := exper.Parallelism()
+	defer exper.SetParallelism(old)
+
+	render := func() string { return FormatAll(StressRun(7, 4, tiny)) }
+	exper.SetParallelism(1)
+	first := render()
+	if second := render(); second != first {
+		t.Fatal("two serial stress runs differ")
+	}
+	exper.SetParallelism(8)
+	if par := render(); par != first {
+		t.Fatal("parallel stress run differs from serial")
+	}
+}
