@@ -55,12 +55,13 @@ var known = map[string]func(exper.Scale){
 	"trace":        runTrace,
 	"failure":      runFailure,
 	"writemix":     runWriteMix,
+	"replication":  runReplication,
 }
 
 // order is what "all" runs; it uses the combined fig34 so the Figure 3/4
 // sweep runs once. New experiments append so earlier sections stay
 // byte-identical.
-var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure", "writemix"}
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure", "writemix", "replication"}
 
 // validNames returns every accepted experiment argument, sorted.
 func validNames() []string {
@@ -334,6 +335,12 @@ func runFailure(scale exper.Scale) {
 func runTrace(scale exper.Scale) {
 	fmt.Println("== Trace replay: open-loop Zipf read/write mix over the sharded fleet ==")
 	fmt.Print(exper.FormatTraceReplay(exper.TraceReplay(scale)))
+	fmt.Println()
+}
+
+func runReplication(scale exper.Scale) {
+	fmt.Println("== Replication: ack policies x replica counts under a shard-0 primary crash ==")
+	fmt.Print(exper.FormatReplication(scenario.Replication(scale)))
 	fmt.Println()
 }
 

@@ -355,3 +355,11 @@ func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
 // RewrittenRanges reports the unstable ranges re-issued because of them.
 func (c *Client) VerifierMismatches() uint64 { return c.commits.Mismatches }
 func (c *Client) RewrittenRanges() uint64    { return c.commits.Rewrites }
+
+// TakeUncommitted, HasUncommitted and Requeue expose the session's
+// commit tracker to replica failover (nas.FailoverSession).
+func (c *Client) TakeUncommitted() []nas.PendingRange { return c.commits.TakeUncommitted() }
+func (c *Client) HasUncommitted(fh uint64, r nas.WriteRange) bool {
+	return c.commits.HasUncommitted(fh, r)
+}
+func (c *Client) Requeue(fh uint64, r nas.WriteRange) { c.commits.Requeue(fh, r) }

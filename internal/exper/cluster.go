@@ -73,6 +73,14 @@ type ClusterConfig struct {
 	// WBConfig tunes the flusher when WriteBehind is set (the zero value
 	// selects wb.DefaultConfig).
 	WBConfig wb.Config
+	// Replicas gives every shard that many replica server machines
+	// beyond the primary — complete NAS boxes, built exactly like the
+	// primaries. 0 (the default) builds the pre-replication fleet.
+	Replicas int
+	// Racks is the failure-domain count replica placement rotates over
+	// (stripe.Layout.Rack); 0 with Replicas > 0 defaults to Replicas+1
+	// so no two copies of a shard share a rack.
+	Racks int
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: four PCs, 2 Gb/s
@@ -122,8 +130,14 @@ type Cluster struct {
 	P   *host.Params
 	Fab *netsim.Fabric
 
-	// Shards holds every server machine; Shards[0] is the legacy server.
+	// Shards holds every primary server machine; Shards[0] is the legacy
+	// server.
 	Shards []*ServerShard
+
+	// ReplicaSets holds every copy of every shard:
+	// ReplicaSets[s][0] == Shards[s], and ReplicaSets[s][1..] are the
+	// shard's replica machines (empty beyond copy 0 when unreplicated).
+	ReplicaSets [][]*ServerShard
 
 	// Legacy single-server aliases (shard 0).
 	ServerHost  *host.Host
@@ -140,6 +154,8 @@ type Cluster struct {
 
 	stripeUnit  int64
 	nextNFSPort int
+	replicas    int
+	racks       int
 }
 
 // NewCluster builds the testbed.
@@ -158,12 +174,15 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	fab := netsim.NewFabric(s, p.SwitchLatency)
 	line := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
 
-	c := &Cluster{S: s, P: p, Fab: fab, stripeUnit: cfg.StripeUnit, nextNFSPort: 900}
-	for i := 0; i < cfg.Shards; i++ {
-		name := "server"
-		if i > 0 {
-			name = fmt.Sprintf("server%d", i+1)
-		}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
+	if cfg.Racks == 0 && cfg.Replicas > 0 {
+		cfg.Racks = cfg.Replicas + 1
+	}
+	c := &Cluster{S: s, P: p, Fab: fab, stripeUnit: cfg.StripeUnit, nextNFSPort: 900,
+		replicas: cfg.Replicas, racks: cfg.Racks}
+	buildServer := func(name string) *ServerShard {
 		sh := &ServerShard{}
 		sh.Host = host.New(s, name, p)
 		sh.NIC = nic.New(sh.Host, fab.AddPort(name, line))
@@ -182,7 +201,23 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				sh.NFS.WB = sh.WB
 			}
 		}
+		return sh
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		name := "server"
+		if i > 0 {
+			name = fmt.Sprintf("server%d", i+1)
+		}
+		sh := buildServer(name)
 		c.Shards = append(c.Shards, sh)
+		// Replica machines are built right after their primary, so an
+		// unreplicated cluster's construction order — and with it every
+		// downstream identifier — is untouched.
+		set := []*ServerShard{sh}
+		for r := 1; r <= cfg.Replicas; r++ {
+			set = append(set, buildServer(fmt.Sprintf("%s-r%d", name, r)))
+		}
+		c.ReplicaSets = append(c.ReplicaSets, set)
 	}
 	sh0 := c.Shards[0]
 	c.ServerHost, c.ServerNIC, c.ServerStack = sh0.Host, sh0.NIC, sh0.Stack
@@ -195,13 +230,21 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 }
 
 // Layout returns the cluster's striping scheme: one span per file when a
-// single shard, block-range striping across all shards otherwise.
+// single shard, block-range striping across all shards otherwise, with
+// the replica/rack shape carried alongside (zero when unreplicated).
 func (c *Cluster) Layout() stripe.Layout {
+	var l stripe.Layout
 	if len(c.Shards) == 1 {
-		return stripe.Single()
+		l = stripe.Single()
+	} else {
+		l = stripe.Layout{Shards: len(c.Shards), Unit: c.stripeUnit}
 	}
-	return stripe.Layout{Shards: len(c.Shards), Unit: c.stripeUnit}
+	l.Replicas, l.Racks = c.replicas, c.racks
+	return l
 }
+
+// Copy returns one copy of a shard's replica set (copy 0 = the primary).
+func (c *Cluster) Copy(shard, copy int) *ServerShard { return c.ReplicaSets[shard][copy] }
 
 // AddClientNode attaches another client machine to the fabric.
 func (c *Cluster) AddClientNode() *ClientNode {
@@ -293,6 +336,77 @@ func (c *Cluster) StripedDAFSClient(i int, mode nic.NotifyMode, tm dafs.Transfer
 	return stripe.NewClient(c.Layout(), subs)
 }
 
+// NFSClientForCopy mounts an NFS client on node i against one copy of a
+// shard's replica set (copy 0 = the primary, identical to
+// NFSClientForShard).
+func (c *Cluster) NFSClientForCopy(i, shard, copy int, kind nfs.Kind) *nfs.Client {
+	c.nextNFSPort++
+	return nfs.NewClient(c.S, c.Nodes[i].Stack, c.nextNFSPort, c.ReplicaSets[shard][copy].Stack, kind)
+}
+
+// ReplicatedNFSClients mounts an NFS client of the given kind on node i
+// over the replicated fleet: each shard becomes a stripe.Group of one
+// session per copy (shard-major, copy-minor mount order, so port
+// allocation is deterministic), and the groups stripe under one facade.
+// The concrete sessions are returned alongside for retry configuration
+// and counter collection, the groups for failover/reissue counters.
+func (c *Cluster) ReplicatedNFSClients(i int, kind nfs.Kind, policy stripe.AckPolicy) ([]*nfs.Client, []*stripe.Group, nas.Client) {
+	var ncs []*nfs.Client
+	groups := make([]*stripe.Group, len(c.Shards))
+	subs := make([]nas.Client, len(c.Shards))
+	for s := range c.Shards {
+		copies := make([]nas.Client, len(c.ReplicaSets[s]))
+		for cp := range c.ReplicaSets[s] {
+			nc := c.NFSClientForCopy(i, s, cp, kind)
+			ncs = append(ncs, nc)
+			copies[cp] = nc
+		}
+		groups[s] = stripe.NewGroup(policy, copies)
+		subs[s] = groups[s]
+	}
+	if len(c.Shards) == 1 {
+		return ncs, groups, groups[0]
+	}
+	return ncs, groups, stripe.NewClient(c.Layout(), subs)
+}
+
+// ReplicatedDAFSClient mounts a raw DAFS client on node i over the
+// replicated fleet, one stripe.Group of per-copy sessions per shard.
+func (c *Cluster) ReplicatedDAFSClient(i int, mode nic.NotifyMode, tm dafs.TransferMode, policy stripe.AckPolicy) ([]*dafs.Client, []*stripe.Group, nas.Client) {
+	var dcs []*dafs.Client
+	groups := make([]*stripe.Group, len(c.Shards))
+	subs := make([]nas.Client, len(c.Shards))
+	for s := range c.Shards {
+		copies := make([]nas.Client, len(c.ReplicaSets[s]))
+		for cp := range c.ReplicaSets[s] {
+			dc := dafs.NewClient(c.S, c.Nodes[i].NIC, c.ReplicaSets[s][cp].DAFS, mode, tm)
+			dcs = append(dcs, dc)
+			copies[cp] = dc
+		}
+		groups[s] = stripe.NewGroup(policy, copies)
+		subs[s] = groups[s]
+	}
+	if len(c.Shards) == 1 {
+		return dcs, groups, groups[0]
+	}
+	return dcs, groups, stripe.NewClient(c.Layout(), subs)
+}
+
+// ReplicatedCachedClient mounts a cached DAFS/ODAFS client on node i
+// over the replicated fleet: the client itself owns the per-shard
+// replica routing (core.NewReplicatedClient) so one block cache and one
+// reference directory front every copy.
+func (c *Cluster) ReplicatedCachedClient(i int, cfg core.Config, policy stripe.AckPolicy) *core.Client {
+	srvs := make([][]*dafs.Server, len(c.Shards))
+	for s := range c.Shards {
+		srvs[s] = make([]*dafs.Server, len(c.ReplicaSets[s]))
+		for cp, sh := range c.ReplicaSets[s] {
+			srvs[s][cp] = sh.DAFS
+		}
+	}
+	return core.NewReplicatedClient(c.S, c.Nodes[i].NIC, srvs, nic.Poll, cfg, c.Layout(), policy)
+}
+
 // CreateWarmFile creates a synthetic file and warms the server cache with
 // it — the experiments' "file warm in the server cache" precondition —
 // then pre-warms the NIC TLB when the server is optimistic (§5.2). On a
@@ -300,15 +414,19 @@ func (c *Cluster) StripedDAFSClient(i int, mode nic.NotifyMode, tm dafs.Transfer
 // serves only the block ranges it owns) and every shard is warmed.
 func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
 	var first *fsim.File
-	for _, sh := range c.Shards {
-		f, err := sh.FS.Create(name, size)
-		if err != nil {
-			panic(err)
-		}
-		sh.Cache.Warm(f)
-		sh.NIC.TPT.WarmTLB()
-		if first == nil {
-			first = f
+	for _, set := range c.ReplicaSets {
+		// Shard-major, copy-minor: replica copies warm right after their
+		// primary, in the same deterministic order they were built.
+		for _, sh := range set {
+			f, err := sh.FS.Create(name, size)
+			if err != nil {
+				panic(err)
+			}
+			sh.Cache.Warm(f)
+			sh.NIC.TPT.WarmTLB()
+			if first == nil {
+				first = f
+			}
 		}
 	}
 	return first
@@ -324,8 +442,13 @@ func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
 // shard's NIC stays powered, so ORDMA gets fault back to their
 // initiators through the NIC-to-NIC exception path instead of hanging
 // them; RPC clients recover through their own retransmission.
-func (c *Cluster) Crash(shard int) {
-	sh := c.Shards[shard]
+func (c *Cluster) Crash(shard int) { c.crashServer(c.Shards[shard]) }
+
+// CrashCopy kills one copy of a shard's replica set (fail.CopyTarget);
+// copy 0 is the primary, making CrashCopy(s, 0) identical to Crash(s).
+func (c *Cluster) CrashCopy(shard, copy int) { c.crashServer(c.ReplicaSets[shard][copy]) }
+
+func (c *Cluster) crashServer(sh *ServerShard) {
 	sh.Stack.SetDown(true)
 	sh.DAFS.SetDown(true)
 	if sh.NFS != nil {
@@ -346,8 +469,13 @@ func (c *Cluster) Crash(shard int) {
 // Restart brings a crashed shard back up with the cold caches the crash
 // left behind; the file system itself (the disk) survives, so post-
 // restart misses repopulate the cache through disk reads.
-func (c *Cluster) Restart(shard int) {
-	sh := c.Shards[shard]
+func (c *Cluster) Restart(shard int) { c.restartServer(c.Shards[shard]) }
+
+// RestartCopy brings one copy of a shard's replica set back up
+// (fail.CopyTarget).
+func (c *Cluster) RestartCopy(shard, copy int) { c.restartServer(c.ReplicaSets[shard][copy]) }
+
+func (c *Cluster) restartServer(sh *ServerShard) {
 	// Guarantee the cold-restart contract: a handler whose disk read
 	// was already in flight at the crash instant slips past the
 	// servers' down guards and inserts its block after the crash-time
@@ -368,19 +496,32 @@ func (c *Cluster) DegradeLink(shard int, bytesPerSec float64) {
 	c.Shards[shard].NIC.Port().SetBandwidth(bytesPerSec)
 }
 
+// DegradeCopyLink clamps one replica copy's link (fail.CopyTarget).
+func (c *Cluster) DegradeCopyLink(shard, copy int, bytesPerSec float64) {
+	c.ReplicaSets[shard][copy].NIC.Port().SetBandwidth(bytesPerSec)
+}
+
 // RestoreLink returns shard i's link to the configured full bandwidth.
 func (c *Cluster) RestoreLink(shard int) {
 	c.Shards[shard].NIC.Port().SetBandwidth(c.P.LinkBandwidth)
 }
 
+// RestoreCopyLink restores one replica copy's link (fail.CopyTarget).
+func (c *Cluster) RestoreCopyLink(shard, copy int) {
+	c.ReplicaSets[shard][copy].NIC.Port().SetBandwidth(c.P.LinkBandwidth)
+}
+
 // MarkServerEpochs restarts CPU, link and disk utilization accounting on
-// every shard (the sharded experiments' barrier action).
+// every shard — every copy of every shard when replicated (the sharded
+// experiments' barrier action).
 func (c *Cluster) MarkServerEpochs() {
-	for _, sh := range c.Shards {
-		sh.NIC.TPT.WarmTLB()
-		sh.Host.CPU.MarkEpoch()
-		sh.NIC.Port().MarkEpoch()
-		sh.Disk.MarkEpoch()
+	for _, set := range c.ReplicaSets {
+		for _, sh := range set {
+			sh.NIC.TPT.WarmTLB()
+			sh.Host.CPU.MarkEpoch()
+			sh.NIC.Port().MarkEpoch()
+			sh.Disk.MarkEpoch()
+		}
 	}
 }
 

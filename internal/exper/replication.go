@@ -1,0 +1,105 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"danas/internal/metrics"
+)
+
+// ReplicationAcks is the write acknowledgement policy axis of the
+// replication experiment.
+var ReplicationAcks = []string{"sync", "quorum", "async"}
+
+// ReplicationCounts is the replicas-per-shard axis (the unreplicated
+// baseline rows run alongside at zero).
+var ReplicationCounts = []int{1, 2}
+
+const (
+	// ReplicationShards fixes the fleet size: replication multiplies the
+	// machine count per shard, so the sweep holds the shard axis at two
+	// and spends its cells on the ack × replica-count grid.
+	ReplicationShards = 2
+	// ReplRetries is the shallow retransmission budget replicated cells
+	// run with. The failure experiment's deep budget rides a whole outage
+	// out on backoff, so failover would never fire; three attempts
+	// exhaust in a few RTOs and hand the op to the failover path while
+	// the primary is still dark.
+	ReplRetries = 3
+)
+
+// ReplicationRow is one (replicas, ack, system) cell: the failure
+// experiment's crash of shard 0 replayed against a replicated fleet.
+// The crash hits the shard's primary; replicated clients fail over to a
+// surviving copy, unreplicated baseline rows ride on retries alone.
+type ReplicationRow struct {
+	// Replicas is copies per shard beyond the primary; 0 is the
+	// unreplicated baseline and Ack is "-" there.
+	Replicas int
+	Ack      string
+	System   string
+	// BaseMBps, FaultMBps and AfterMBps are completed-byte throughput
+	// before, during, and after the fault window.
+	BaseMBps  float64
+	FaultMBps float64
+	AfterMBps float64
+	// RecoveryMillis is the delay from fault end until a sliding window
+	// first sustains >= 95% of baseline throughput; 0 when the fleet
+	// never fell below it, -1 when it never got back within the replay.
+	RecoveryMillis float64
+	// P99FaultMicros is the p99 response time of ops arriving during the
+	// fault window, failures included.
+	P99FaultMicros float64
+	// OpsOK and OpsFailed split the replayed ops by outcome; OpsRetried
+	// counts the faults the clients absorbed on retransmission.
+	OpsOK      int64
+	OpsFailed  int64
+	OpsRetried uint64
+	// Failovers counts serving-copy switches; Reissued the uncommitted
+	// ranges failover re-wrote onto surviving copies.
+	Failovers uint64
+	Reissued  uint64
+	// Stalls counts submissions the open-loop driver delayed on a full
+	// queue.
+	Stalls int64
+}
+
+// ReplicationTables renders the sync-policy headline metrics as tables
+// (x = replicas per shard, one column per system): how the recovery
+// window and the failed-op count move as copies are added.
+func ReplicationTables(rows []ReplicationRow) (recov, failed *metrics.Table) {
+	recov = metrics.NewTable("Replication: recovery time after shard-0 primary crash, ack=sync (ms; -1 = not within replay)",
+		"replicas", "ms", ScalingSystems...)
+	failed = metrics.NewTable("Replication: failed operations after shard-0 primary crash, ack=sync",
+		"replicas", "ops", ScalingSystems...)
+	for _, r := range rows {
+		if r.Replicas != 0 && r.Ack != "sync" {
+			continue
+		}
+		recov.Set(float64(r.Replicas), r.System, r.RecoveryMillis)
+		failed.Set(float64(r.Replicas), r.System, float64(r.OpsFailed))
+	}
+	return recov, failed
+}
+
+// FormatReplication renders the replication experiment
+// deterministically: the sync-policy summary tables followed by one
+// detail line per cell carrying the full throughput timeline, outcome
+// counts, and the failover accounting.
+func FormatReplication(rows []ReplicationRow) string {
+	var b strings.Builder
+	recov, failed := ReplicationTables(rows)
+	b.WriteString(recov.String())
+	b.WriteString("\n")
+	b.WriteString(failed.String())
+	b.WriteString("\n")
+	b.WriteString("per-cell detail (shard-0 primary crashed over the middle of the trace; R = replicas per shard;\n")
+	b.WriteString("failovers = serving-copy switches; reissued = uncommitted ranges rewritten onto survivors):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "R=%d ack=%-7s %-16s base=%7.1f during=%7.1f after=%7.1f MB/s  recov=%8.1fms p99f=%9.1fus  ok=%-5d failed=%-4d retried=%-6d failovers=%-3d reissued=%-4d stalls=%d\n",
+			r.Replicas, r.Ack, r.System, r.BaseMBps, r.FaultMBps, r.AfterMBps,
+			r.RecoveryMillis, r.P99FaultMicros, r.OpsOK, r.OpsFailed, r.OpsRetried,
+			r.Failovers, r.Reissued, r.Stalls)
+	}
+	return b.String()
+}

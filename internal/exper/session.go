@@ -7,7 +7,9 @@ import (
 	"danas/internal/fail"
 	"danas/internal/metrics"
 	"danas/internal/nas"
+	"danas/internal/nfs"
 	"danas/internal/sim"
+	"danas/internal/stripe"
 	"danas/internal/trace"
 	"danas/internal/wb"
 	"danas/internal/workload"
@@ -37,6 +39,12 @@ type ReplayConfig struct {
 	WriteBehind bool
 	WBConfig    wb.Config
 	WBAutoMarks bool
+	// Replicas, when positive, gives every shard that many replica
+	// machines and mounts the replicated clients over them; Ack is the
+	// write acknowledgement policy. Zero replays exactly the
+	// pre-replication fleet.
+	Replicas int
+	Ack      stripe.AckPolicy
 }
 
 // AutoWBConfig sizes write-behind water marks to a replayed footprint:
@@ -68,8 +76,10 @@ type ReplaySession struct {
 	// blocks and the client cache sizing derived from it.
 	FileBlocks, DataBlocks int
 
-	tr      trace.Trace
-	retried func() uint64
+	tr        trace.Trace
+	retried   func() uint64
+	failovers func() uint64
+	reissued  func() uint64
 }
 
 // NewReplaySession builds the cluster every replay cell drives — one
@@ -81,8 +91,12 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		cfg.Depth = traceDepth
 	}
 	var mutate func(*ClusterConfig, int)
-	if cfg.WriteBehind {
+	if cfg.WriteBehind || cfg.Replicas > 0 {
 		mutate = func(ccfg *ClusterConfig, fileBlocks int) {
+			ccfg.Replicas = cfg.Replicas
+			if !cfg.WriteBehind {
+				return
+			}
 			ccfg.WriteBehind = true
 			if cfg.WBAutoMarks {
 				ccfg.WBConfig = AutoWBConfig(fileBlocks, cfg.Shards)
@@ -101,21 +115,52 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		DataBlocks: dataBlocks,
 		tr:         tr,
 	}
+	none := func() uint64 { return 0 }
+	s.failovers, s.reissued = none, none
 	switch cfg.System {
 	case "DAFS", "ODAFS":
-		cc := cl.StripedCachedClient(0, core.Config{
+		ccfg := core.Config{
 			BlockSize:  scalingBlock,
 			DataBlocks: dataBlocks,
 			Headers:    fileBlocks + 64,
 			UseORDMA:   cfg.System == "ODAFS",
-		})
+		}
+		var cc *core.Client
+		if cfg.Replicas > 0 {
+			cc = cl.ReplicatedCachedClient(0, ccfg, cfg.Ack)
+			s.failovers = cc.Failovers
+			s.reissued = cc.Reissued
+		} else {
+			cc = cl.StripedCachedClient(0, ccfg)
+		}
 		if cfg.RetryBudget > 0 {
 			cc.SetRetry(cfg.RetryRTO, cfg.RetryBudget)
 		}
 		s.retried = func() uint64 { return cc.Retries() + cc.Stats().ORDMAFaults }
 		s.AC = cc.Async(cfg.Depth)
 	default:
-		ncs, base := cl.StripedNFSClients(0, nfsKindOf(cfg.System))
+		var ncs []*nfs.Client
+		var base nas.Client
+		if cfg.Replicas > 0 {
+			var groups []*stripe.Group
+			ncs, groups, base = cl.ReplicatedNFSClients(0, nfsKindOf(cfg.System), cfg.Ack)
+			s.failovers = func() uint64 {
+				var n uint64
+				for _, g := range groups {
+					n += g.Failovers
+				}
+				return n
+			}
+			s.reissued = func() uint64 {
+				var n uint64
+				for _, g := range groups {
+					n += g.Reissued
+				}
+				return n
+			}
+		} else {
+			ncs, base = cl.StripedNFSClients(0, nfsKindOf(cfg.System))
+		}
 		if cfg.RetryBudget > 0 {
 			for _, nc := range ncs {
 				nc.SetRetry(cfg.RetryRTO, cfg.RetryBudget)
@@ -136,6 +181,12 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 // Retried counts the faults the clients absorbed transparently:
 // client-layer retransmissions plus ORDMA faults.
 func (s *ReplaySession) Retried() uint64 { return s.retried() }
+
+// Failovers counts serving-copy switches across the fleet; Reissued
+// counts the uncommitted ranges failover re-wrote onto surviving
+// copies. Both are zero on unreplicated sessions.
+func (s *ReplaySession) Failovers() uint64 { return s.failovers() }
+func (s *ReplaySession) Reissued() uint64  { return s.reissued() }
 
 // Close tears down the session's simulation.
 func (s *ReplaySession) Close() { s.Cluster.Close() }

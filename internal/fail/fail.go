@@ -52,16 +52,24 @@ type Event struct {
 	At    sim.Duration
 	Kind  Kind
 	Shard int
+	// Copy selects which copy of the shard's replica set the event hits:
+	// 0 (the primary) preserves the pre-replication meaning, nonzero
+	// requires the target to implement CopyTarget.
+	Copy int
 	// Rate is the degraded link bandwidth in bytes/second (DegradeLink
 	// only).
 	Rate float64
 }
 
 func (e Event) String() string {
-	if e.Kind == DegradeLink {
-		return fmt.Sprintf("%v shard%d %s to %.0f B/s", e.At, e.Shard, e.Kind, e.Rate)
+	who := fmt.Sprintf("shard%d", e.Shard)
+	if e.Copy > 0 {
+		who = fmt.Sprintf("shard%d.copy%d", e.Shard, e.Copy)
 	}
-	return fmt.Sprintf("%v shard%d %s", e.At, e.Shard, e.Kind)
+	if e.Kind == DegradeLink {
+		return fmt.Sprintf("%v %s %s to %.0f B/s", e.At, who, e.Kind, e.Rate)
+	}
+	return fmt.Sprintf("%v %s %s", e.At, who, e.Kind)
 }
 
 // Target is what a schedule acts on. exper.Cluster implements it; tests
@@ -71,6 +79,17 @@ type Target interface {
 	Restart(shard int)
 	DegradeLink(shard int, bytesPerSec float64)
 	RestoreLink(shard int)
+}
+
+// CopyTarget extends Target to replicated fleets: events with Copy > 0
+// act on one copy of a shard's replica set. exper.Cluster implements it
+// when built with replicas.
+type CopyTarget interface {
+	Target
+	CrashCopy(shard, copy int)
+	RestartCopy(shard, copy int)
+	DegradeCopyLink(shard, copy int, bytesPerSec float64)
+	RestoreCopyLink(shard, copy int)
 }
 
 // Schedule is a list of events ordered by At.
@@ -107,6 +126,8 @@ var (
 	ErrNotDegraded  = errors.New("restore of an undegraded link")
 	ErrShardDark    = errors.New("link event on a crashed shard")
 	ErrBadKind      = errors.New("unknown event kind")
+	ErrCopyRange    = errors.New("copy out of range")
+	ErrNoCopyTarget = errors.New("copy event against a target without replica copies")
 )
 
 // EventError is a validation failure pinned to one event of a schedule.
@@ -129,8 +150,11 @@ func (e *EventError) Unwrap() error { return e.Reason }
 // undegraded link, no link event against a crashed shard). Failures are
 // *EventError values wrapping the typed reasons above.
 func (s Schedule) Validate(shards int) error {
-	down := make([]bool, shards)
-	degraded := make([]bool, shards)
+	// State is tracked per (shard, copy): copy events and primary events
+	// on the same shard are independent machines.
+	type machine struct{ shard, copy int }
+	down := make(map[machine]bool)
+	degraded := make(map[machine]bool)
 	last := sim.Duration(0)
 	fail := func(i int, reason error) error {
 		return &EventError{Index: i, Event: s[i], Reason: reason}
@@ -146,33 +170,37 @@ func (s Schedule) Validate(shards int) error {
 		if e.Shard < 0 || e.Shard >= shards {
 			return fail(i, ErrShardRange)
 		}
+		if e.Copy < 0 {
+			return fail(i, ErrCopyRange)
+		}
+		m := machine{e.Shard, e.Copy}
 		switch e.Kind {
 		case Crash:
-			if down[e.Shard] {
+			if down[m] {
 				return fail(i, ErrAlreadyDown)
 			}
-			down[e.Shard] = true
+			down[m] = true
 		case Restart:
-			if !down[e.Shard] {
+			if !down[m] {
 				return fail(i, ErrNotDown)
 			}
-			down[e.Shard] = false
+			down[m] = false
 		case DegradeLink:
 			if e.Rate <= 0 {
 				return fail(i, ErrBadRate)
 			}
-			if down[e.Shard] {
+			if down[m] {
 				return fail(i, ErrShardDark)
 			}
-			degraded[e.Shard] = true
+			degraded[m] = true
 		case RestoreLink:
-			if down[e.Shard] {
+			if down[m] {
 				return fail(i, ErrShardDark)
 			}
-			if !degraded[e.Shard] {
+			if !degraded[m] {
 				return fail(i, ErrNotDegraded)
 			}
-			degraded[e.Shard] = false
+			degraded[m] = false
 		default:
 			return fail(i, ErrBadKind)
 		}
@@ -187,9 +215,28 @@ func (s Schedule) Arm(sch *sim.Scheduler, shards int, tgt Target) error {
 	if err := s.Validate(shards); err != nil {
 		return err
 	}
+	ct, _ := tgt.(CopyTarget)
+	for i, e := range s {
+		if e.Copy > 0 && ct == nil {
+			return &EventError{Index: i, Event: e, Reason: ErrNoCopyTarget}
+		}
+	}
 	for _, e := range s {
 		e := e
 		sch.After(e.At, func() {
+			if e.Copy > 0 {
+				switch e.Kind {
+				case Crash:
+					ct.CrashCopy(e.Shard, e.Copy)
+				case Restart:
+					ct.RestartCopy(e.Shard, e.Copy)
+				case DegradeLink:
+					ct.DegradeCopyLink(e.Shard, e.Copy, e.Rate)
+				case RestoreLink:
+					ct.RestoreCopyLink(e.Shard, e.Copy)
+				}
+				return
+			}
 			switch e.Kind {
 			case Crash:
 				tgt.Crash(e.Shard)
@@ -211,6 +258,16 @@ func CrashRestart(shard int, at, down sim.Duration) Schedule {
 	return Schedule{
 		{At: at, Kind: Crash, Shard: shard},
 		{At: at + down, Kind: Restart, Shard: shard},
+	}
+}
+
+// CrashRestartCopy builds a schedule crashing one copy of a shard's
+// replica set and restarting it down later (copy 0 is the primary —
+// identical to CrashRestart).
+func CrashRestartCopy(shard, copy int, at, down sim.Duration) Schedule {
+	return Schedule{
+		{At: at, Kind: Crash, Shard: shard, Copy: copy},
+		{At: at + down, Kind: Restart, Shard: shard, Copy: copy},
 	}
 }
 

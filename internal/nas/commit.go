@@ -1,5 +1,11 @@
 package nas
 
+import (
+	"sort"
+
+	"danas/internal/sim"
+)
+
 // WriteRange is one uncommitted unstable write: the byte range a client
 // must re-issue if the server's write verifier changes before the range
 // is committed.
@@ -105,6 +111,75 @@ func (t *CommitTracker) NoteCommit(fh uint64, off, n int64, verifier, upTo uint6
 // Pending returns the number of uncommitted unstable ranges recorded for
 // the handle.
 func (t *CommitTracker) Pending(fh uint64) int { return len(t.pending[fh]) }
+
+// PendingRange is one uncommitted unstable range together with the file
+// handle it belongs to — the unit of work client failover re-issues on
+// a surviving replica.
+type PendingRange struct {
+	FH uint64
+	WriteRange
+}
+
+// TakeUncommitted removes and returns every pending unstable range in
+// the order the writes were recorded (the tracker's sequence numbers
+// give a deterministic total order — never the map's iteration order,
+// which would perturb simulation determinism). Failover uses it to drain
+// a dead session's obligations and re-issue them elsewhere.
+func (t *CommitTracker) TakeUncommitted() []PendingRange {
+	type seqRange struct {
+		pr  PendingRange
+		seq uint64
+	}
+	var all []seqRange
+	for fh, ranges := range t.pending {
+		for _, r := range ranges {
+			all = append(all, seqRange{
+				pr:  PendingRange{FH: fh, WriteRange: WriteRange{Off: r.off, N: r.n}},
+				seq: r.seq,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	t.pending = nil
+	out := make([]PendingRange, len(all))
+	for i, sr := range all {
+		out[i] = sr.pr
+	}
+	return out
+}
+
+// HasUncommitted reports whether the tracker holds a pending unstable
+// range exactly covering r for the handle — meaning this session's copy
+// acknowledged the same write, so a failover onto it need not re-issue
+// the range.
+func (t *CommitTracker) HasUncommitted(fh uint64, r WriteRange) bool {
+	for _, pr := range t.pending[fh] {
+		if pr.off == r.Off && pr.n == r.N {
+			return true
+		}
+	}
+	return false
+}
+
+// Requeue re-tracks a range under the never-matching verifier zero (see
+// requeue): failover uses it when a re-issue onto the new serving copy
+// fails, so the obligation survives into the next commit instead of
+// being silently dropped.
+func (t *CommitTracker) Requeue(fh uint64, r WriteRange) { t.requeue(fh, r) }
+
+// FailoverSession is the contract a protocol session offers client
+// failover: enough of the commit tracker to drain a dead session's
+// uncommitted obligations (TakeUncommitted), check whether a surviving
+// copy already acknowledged the same range (HasUncommitted), re-issue a
+// range stably (WriteStable), and re-track a range whose re-issue
+// failed (Requeue). The NFS and DAFS client stacks both satisfy it by
+// delegating to their embedded CommitTracker.
+type FailoverSession interface {
+	TakeUncommitted() []PendingRange
+	HasUncommitted(fh uint64, r WriteRange) bool
+	Requeue(fh uint64, r WriteRange)
+	WriteStable(p *sim.Proc, h *Handle, off, n int64, bufID uint64) (int64, error)
+}
 
 // CommitBufID identifies the scratch buffer lost-write re-issues use,
 // shared by the protocol stacks: its own identity, so a re-issue never

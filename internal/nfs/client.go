@@ -335,6 +335,14 @@ func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
 func (c *Client) VerifierMismatches() uint64 { return c.commits.Mismatches }
 func (c *Client) RewrittenRanges() uint64    { return c.commits.Rewrites }
 
+// TakeUncommitted, HasUncommitted and Requeue expose the session's
+// commit tracker to replica failover (nas.FailoverSession).
+func (c *Client) TakeUncommitted() []nas.PendingRange { return c.commits.TakeUncommitted() }
+func (c *Client) HasUncommitted(fh uint64, r nas.WriteRange) bool {
+	return c.commits.HasUncommitted(fh, r)
+}
+func (c *Client) Requeue(fh uint64, r nas.WriteRange) { c.commits.Requeue(fh, r) }
+
 // WriteData sends a write carrying real bytes (used by workloads that
 // verify content round-trips through the server file system).
 func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (int64, error) {

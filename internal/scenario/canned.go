@@ -13,6 +13,7 @@ import (
 // TestExamplesMatchCanned pins the two representations together.
 var canned = map[string]func() *Spec{
 	"crash-recovery":     CrashRecovery,
+	"replica-failover":   ReplicaFailover,
 	"degrade-under-skew": DegradeUnderSkew,
 	"commit-loss":        CommitLoss,
 	"rolling-restart":    RollingRestartScenario,
@@ -57,6 +58,30 @@ func CrashRecovery() *Spec {
 			{Kind: AssertMinMBps, Value: 1},
 			{Kind: AssertMaxRecoveryMs, Value: 5000},
 			{Kind: AssertMaxStalls, Value: 0},
+		},
+	}
+}
+
+// ReplicaFailover is CrashRecovery's fleet and fault replayed with one
+// replica per shard: the primary crash is now survivable, so instead of
+// riding the outage out on a deep retry budget, a shallow budget
+// exhausts fast and the client fails over to the replica. No operation
+// may fail, and the recovery window must be strictly tighter than the
+// unreplicated scenario's — failover is why replication exists.
+func ReplicaFailover() *Spec {
+	return &Spec{
+		Name:     "replica-failover",
+		Describe: "shard-0 primary crash over a replicated 4-shard ODAFS fleet; clients fail over, not out",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 4, System: "odafs", Replicas: 1, Ack: "sync"},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 3},
+		Faults: []Fault{
+			{Kind: FaultCrashRestart, Shards: []int{0}, At: Pct(25), Down: Pct(30)},
+		},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 1},
+			{Kind: AssertMaxRecoveryMs, Value: 5000},
+			{Kind: AssertZeroFailedOps},
 		},
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"danas/internal/exper"
 	"danas/internal/sim"
+	"danas/internal/stripe"
 )
 
 // ParseError is a syntactic rejection pinned to one line of the input.
@@ -190,8 +191,17 @@ func parseFleet(spec *Spec, toks []string) error {
 			if spec.Fleet.Depth, err = parseInt("fleet", k, v); err != nil {
 				return err
 			}
+		case "replicas":
+			if spec.Fleet.Replicas, err = parseInt("fleet", k, v); err != nil {
+				return err
+			}
+		case "ack":
+			if _, err := stripe.ParseAck(v); err != nil {
+				return fmt.Errorf("fleet: unknown ack %q (valid: sync quorum async)", v)
+			}
+			spec.Fleet.Ack = v
 		default:
-			return fmt.Errorf("fleet: unknown key %q (valid: depth shards system)", k)
+			return fmt.Errorf("fleet: unknown key %q (valid: ack depth replicas shards system)", k)
 		}
 	}
 	if spec.Fleet.Shards == 0 || spec.Fleet.System == "" {
@@ -353,8 +363,12 @@ func parseFault(spec *Spec, toks []string) error {
 			if f.Factor, err = parseInt("fault "+f.Kind, k, v); err != nil {
 				return err
 			}
+		case "copy":
+			if f.Copy, err = parseInt("fault "+f.Kind, k, v); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("fault %s: unknown key %q (valid: at down factor for shard shards stagger)", f.Kind, k)
+			return fmt.Errorf("fault %s: unknown key %q (valid: at copy down factor for shard shards stagger)", f.Kind, k)
 		}
 	}
 	spec.Faults = append(spec.Faults, f)
@@ -399,6 +413,12 @@ func Encode(s *Spec) string {
 	if s.Fleet.Depth != 0 {
 		fmt.Fprintf(&b, " depth=%d", s.Fleet.Depth)
 	}
+	if s.Fleet.Replicas != 0 {
+		fmt.Fprintf(&b, " replicas=%d", s.Fleet.Replicas)
+	}
+	if s.Fleet.Ack != "" {
+		fmt.Fprintf(&b, " ack=%s", s.Fleet.Ack)
+	}
 	b.WriteString("\n")
 	if s.Retry != (Retry{}) {
 		fmt.Fprintf(&b, "retry rto=%s budget=%d\n", formatDur(s.Retry.RTO), s.Retry.Budget)
@@ -424,6 +444,9 @@ func Encode(s *Spec) string {
 			fmt.Fprintf(&b, " shards=%s", strings.Join(strs, ","))
 		} else {
 			fmt.Fprintf(&b, " shard=%d", f.Shards[0])
+		}
+		if f.Copy != 0 {
+			fmt.Fprintf(&b, " copy=%d", f.Copy)
 		}
 		fmt.Fprintf(&b, " at=%s", f.At)
 		if f.Down.Mode != TimeUnset {

@@ -1,0 +1,99 @@
+// The replication experiment: the failure experiment's shard-0 crash
+// replayed across the ack-policy × replica-count grid, each cell a
+// canned scenario like the failure and write-mix cells. The crash
+// always hits the shard's primary (copy 0), so replicated cells
+// exercise client failover while unreplicated baseline rows show what
+// the same outage costs on retries alone.
+package scenario
+
+import (
+	"fmt"
+
+	"danas/internal/exper"
+)
+
+// ReplicationSpec is one replication cell as a scenario: the trace
+// experiment's workload with periodic commits, a shallow retry budget
+// so failover (not backoff) absorbs the outage, and shard 0's primary
+// crashed over the middle 30% of the trace. Write-behind stays off:
+// its high-water stalls hold writes server-side far longer than the
+// shallow budget waits, so arming both would time healthy copies out
+// and measure the throttle, not the failover. ack is ignored for the
+// replicas == 0 baseline.
+func ReplicationSpec(system string, replicas int, ack string) *Spec {
+	token := systemToken(system)
+	w := exper.BaseTraceGen()
+	w.CommitEvery = exper.WriteMixCommitEvery
+	spec := &Spec{
+		Fleet:    Fleet{Shards: exper.ReplicationShards, System: token, Replicas: replicas},
+		Retry:    Retry{RTO: exper.FailRTO, Budget: exper.ReplRetries},
+		Workload: w,
+		Faults: []Fault{
+			{Kind: FaultCrashRestart, Shards: []int{0}, At: Pct(25), Down: Pct(30)},
+		},
+	}
+	if replicas == 0 {
+		spec.Name = fmt.Sprintf("replication-0r-%s", token)
+		spec.Describe = fmt.Sprintf("replication baseline: shard-0 crash, unreplicated %d-shard %s fleet",
+			exper.ReplicationShards, token)
+		return spec
+	}
+	spec.Fleet.Ack = ack
+	spec.Name = fmt.Sprintf("replication-%dr-%s-%s", replicas, ack, token)
+	spec.Describe = fmt.Sprintf("replication cell: shard-0 primary crash, %d replica(s)/shard, ack=%s, %d-shard %s fleet",
+		replicas, ack, exper.ReplicationShards, token)
+	return spec
+}
+
+// Replication runs the replication experiment: the unreplicated
+// baseline plus every replica count times every ack policy, for every
+// protocol, each cell a canned scenario replaying the same trace while
+// shard 0's primary crashes and restarts.
+func Replication(scale exper.Scale) []exper.ReplicationRow {
+	return ReplicationOver(scale, exper.ReplicationCounts)
+}
+
+// ReplicationOver runs the experiment over an explicit replica-count
+// axis (tests use reduced axes; Replication uses the full one).
+func ReplicationOver(scale exper.Scale, counts []int) []exper.ReplicationRow {
+	type cell struct {
+		replicas int
+		ack      string
+	}
+	cells := []cell{{0, ""}}
+	for _, r := range counts {
+		for _, a := range exper.ReplicationAcks {
+			cells = append(cells, cell{r, a})
+		}
+	}
+	g := exper.RunGrid(len(cells), len(exper.ScalingSystems),
+		func(i, j int) string {
+			c := cells[i]
+			if c.replicas == 0 {
+				return "replication/baseline/" + exper.ScalingSystems[j]
+			}
+			return fmt.Sprintf("replication/%dr/%s/%s", c.replicas, c.ack, exper.ScalingSystems[j])
+		},
+		func(i, j int) exper.ReplicationRow {
+			return replicationCell(exper.ScalingSystems[j], cells[i].replicas, cells[i].ack, scale)
+		})
+	return g.Flat()
+}
+
+// replicationCell runs one cell's canned spec and reshapes the measured
+// outcome as the experiment row.
+func replicationCell(system string, replicas int, ack string, scale exper.Scale) exper.ReplicationRow {
+	m := mustRun(ReplicationSpec(system, replicas, ack), scale).M
+	ackTok := "-"
+	if replicas > 0 {
+		ackTok = ack
+	}
+	return exper.ReplicationRow{
+		Replicas: replicas, Ack: ackTok, System: system,
+		BaseMBps: m.Fault.BaseMBps, FaultMBps: m.Fault.FaultMBps, AfterMBps: m.Fault.AfterMBps,
+		RecoveryMillis: m.Fault.RecoveryMillis, P99FaultMicros: m.Fault.P99FaultMicros,
+		OpsOK: m.OpsOK, OpsFailed: m.OpsFailed, OpsRetried: m.Retried,
+		Failovers: m.Failovers, Reissued: m.Reissued,
+		Stalls: m.Stalls,
+	}
+}

@@ -18,6 +18,10 @@ type Measured struct {
 	// retransmissions plus ORDMA faults).
 	OpsOK, OpsFailed int64
 	Retried          uint64
+	// Failovers counts serving-copy switches across the fleet; Reissued
+	// counts the uncommitted ranges failover re-wrote onto surviving
+	// copies. Both are zero on unreplicated fleets.
+	Failovers, Reissued uint64
 	// Stalls and MaxOutstanding describe the open-loop driver's queue.
 	Stalls         int64
 	MaxOutstanding int
@@ -97,6 +101,8 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 		OpsOK:          eval.OK(),
 		OpsFailed:      eval.Failed(),
 		Retried:        sess.Retried(),
+		Failovers:      sess.Failovers(),
+		Reissued:       sess.Reissued(),
 		Stalls:         res.Stalls,
 		MaxOutstanding: res.MaxOutstanding,
 		MBps:           res.MBps(),
@@ -196,6 +202,10 @@ func (r *Report) Format() string {
 			m.Fault.BaseMBps, m.Fault.FaultMBps, m.Fault.AfterMBps,
 			m.Fault.RecoveryMillis, m.Fault.P99FaultMicros)
 	}
+	if s.Fleet.Replicas > 0 {
+		fmt.Fprintf(&b, "  replication replicas=%d ack=%s failovers=%d reissued=%d\n",
+			s.Fleet.Replicas, ackToken(s.Fleet.Ack), m.Failovers, m.Reissued)
+	}
 	if s.WB.Enabled {
 		fmt.Fprintf(&b, "  writebehind wstall=%.1fms throttled=%d flush=%.1fMB@%.1f commits=%d\n",
 			m.WB.StallMillis, m.WB.Throttled, m.WB.FlushedMB, m.WB.BlocksPerFlush, m.WB.Commits)
@@ -206,6 +216,15 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "  assert %s: %s (got %.3f)\n", res.Assert, verdict(res.Ok), res.Got)
 	}
 	return b.String()
+}
+
+// ackToken spells the report's ack policy, defaulting the empty token
+// to the policy an empty spec runs with (sync).
+func ackToken(ack string) string {
+	if ack == "" {
+		return "sync"
+	}
+	return ack
 }
 
 // pctList renders per-shard percentages compactly.

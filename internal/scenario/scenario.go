@@ -18,6 +18,7 @@ import (
 	"danas/internal/exper"
 	"danas/internal/fail"
 	"danas/internal/sim"
+	"danas/internal/stripe"
 	"danas/internal/trace"
 )
 
@@ -50,6 +51,13 @@ type Fleet struct {
 	// Depth is the async client's queue depth (0 = the trace
 	// experiment's default).
 	Depth int
+	// Replicas gives every shard that many replica machines and mounts
+	// the replicated clients over them; zero builds the pre-replication
+	// fleet exactly.
+	Replicas int
+	// Ack is the write acknowledgement policy token ("sync", "quorum",
+	// "async"); empty defaults to sync. Only meaningful with replicas.
+	Ack string
 }
 
 // Retry arms client-side recovery: retransmission with exponential
@@ -201,6 +209,10 @@ type Fault struct {
 	Stagger TimeSpec
 	// Factor divides the victim link's bandwidth (degrade only).
 	Factor int
+	// Copy selects which copy of each victim shard's replica set the
+	// fault hits: 0 (the default) is the primary, matching the
+	// pre-replication meaning; nonzero requires a replicated fleet.
+	Copy int
 }
 
 // resolve compiles the fault to events against trace span d; linkBW is
@@ -208,24 +220,31 @@ type Fault struct {
 func (f Fault) resolve(d sim.Duration, linkBW float64) fail.Schedule {
 	at := f.At.Resolve(d)
 	down := f.Down.Resolve(d)
+	var sched fail.Schedule
 	switch f.Kind {
 	case FaultCrash:
-		return fail.Schedule{{At: at, Kind: fail.Crash, Shard: f.Shards[0]}}
+		sched = fail.Schedule{{At: at, Kind: fail.Crash, Shard: f.Shards[0]}}
 	case FaultRestart:
-		return fail.Schedule{{At: at, Kind: fail.Restart, Shard: f.Shards[0]}}
+		sched = fail.Schedule{{At: at, Kind: fail.Restart, Shard: f.Shards[0]}}
 	case FaultCrashRestart:
-		return fail.CrashRestart(f.Shards[0], at, down)
+		sched = fail.CrashRestart(f.Shards[0], at, down)
 	case FaultMultiCrash:
-		return fail.SimultaneousCrash(f.Shards, at, down)
+		sched = fail.SimultaneousCrash(f.Shards, at, down)
 	case FaultRollingRestart:
-		return fail.RollingRestart(f.Shards, at, down, f.Stagger.Resolve(d))
+		sched = fail.RollingRestart(f.Shards, at, down, f.Stagger.Resolve(d))
 	case FaultDegrade:
-		return fail.Degrade(f.Shards[0], at, down, linkBW/float64(f.Factor))
+		sched = fail.Degrade(f.Shards[0], at, down, linkBW/float64(f.Factor))
 	case FaultRestore:
-		return fail.Schedule{{At: at, Kind: fail.RestoreLink, Shard: f.Shards[0]}}
+		sched = fail.Schedule{{At: at, Kind: fail.RestoreLink, Shard: f.Shards[0]}}
 	default:
 		panic("scenario: unknown fault kind " + f.Kind)
 	}
+	if f.Copy > 0 {
+		for i := range sched {
+			sched[i].Copy = f.Copy
+		}
+	}
+	return sched
 }
 
 // Assert kinds.
@@ -334,6 +353,17 @@ func (s *Spec) Validate() error {
 	if s.Fleet.Depth < 0 {
 		return s.vErr("fleet: negative depth %d", s.Fleet.Depth)
 	}
+	if s.Fleet.Replicas < 0 {
+		return s.vErr("fleet: negative replicas %d", s.Fleet.Replicas)
+	}
+	if s.Fleet.Ack != "" {
+		if s.Fleet.Replicas < 1 {
+			return s.vErr("fleet: ack= needs replicas >= 1")
+		}
+		if _, err := stripe.ParseAck(s.Fleet.Ack); err != nil {
+			return s.vErr("fleet: unknown ack %q (valid: sync quorum async)", s.Fleet.Ack)
+		}
+	}
 	if s.Retry.Budget < 0 {
 		return s.vErr("retry: negative budget %d", s.Retry.Budget)
 	}
@@ -393,6 +423,10 @@ func (s *Spec) Validate() error {
 		}
 		if !shape.factor && f.Factor != 0 {
 			return s.vErr("fault %d (%s): %s takes no factor", i, f.Kind, f.Kind)
+		}
+		if f.Copy < 0 || f.Copy > s.Fleet.Replicas {
+			return s.vErr("fault %d (%s): copy %d outside replica set of %d copies",
+				i, f.Kind, f.Copy, s.Fleet.Replicas+1)
 		}
 		if shape.multi {
 			if len(f.Shards) < 2 {
@@ -490,6 +524,14 @@ func (s *Spec) replayConfig() exper.ReplayConfig {
 		RetryBudget: s.Retry.Budget,
 		WriteBehind: s.WB.Enabled,
 		WBAutoMarks: s.WB.Auto,
+		Replicas:    s.Fleet.Replicas,
+	}
+	if s.Fleet.Ack != "" {
+		ack, err := stripe.ParseAck(s.Fleet.Ack)
+		if err != nil {
+			panic("scenario: unvalidated ack token " + s.Fleet.Ack)
+		}
+		cfg.Ack = ack
 	}
 	if s.WB.Enabled && !s.WB.Auto {
 		cfg.WBConfig.HighWater = s.WB.High

@@ -201,21 +201,69 @@ func (c *Client) WriteData(p *sim.Proc, h *nas.Handle, off int64, data []byte) (
 	return total, nil
 }
 
+// CommitError aggregates per-shard commit failures: the fan-out always
+// attempts every shard, so the shards that answered have run their
+// verifier recovery even when others failed, and the caller sees which
+// shards still owe a commit. It unwraps to the per-shard errors for
+// errors.Is/As matching.
+type CommitError struct {
+	// Shards and Errs pair up: Errs[i] is the failure from Shards[i].
+	Shards []int
+	Errs   []error
+}
+
+func (e *CommitError) Error() string {
+	if len(e.Errs) == 1 {
+		return fmt.Sprintf("stripe: commit failed on shard %d: %v", e.Shards[0], e.Errs[0])
+	}
+	return fmt.Sprintf("stripe: commit failed on %d shards (first: shard %d: %v)",
+		len(e.Errs), e.Shards[0], e.Errs[0])
+}
+
+// Unwrap exposes the per-shard errors to errors.Is / errors.As.
+func (e *CommitError) Unwrap() []error { return e.Errs }
+
 // Commit implements nas.Client, fanning the commit out per shard along
 // the stripe layout: a whole-file commit (n <= 0) reaches every shard, a
 // range commit only the shards owning its spans. Each sub-client runs
-// its own verifier comparison and re-issues its own lost writes.
+// its own verifier comparison and re-issues its own lost writes — which
+// is why every shard is always attempted: an early return on the first
+// failure would leave later shards' lost ranges neither committed nor
+// re-issued. Failures aggregate into a *CommitError.
 func (c *Client) Commit(p *sim.Proc, h *nas.Handle, off, n int64) error {
 	if n <= 0 {
-		return FanOut(p, len(c.subs), "stripe-commit", func(wp *sim.Proc, i int) error {
+		return c.commitAll(p, len(c.subs), func(i int) int { return i }, func(wp *sim.Proc, i int) error {
 			return c.subs[i].Commit(wp, c.shardHandle(h, i), 0, 0)
 		})
 	}
 	spans := c.layout.Spans(off, n)
-	return FanOut(p, len(spans), "stripe-commit", func(wp *sim.Proc, i int) error {
+	return c.commitAll(p, len(spans), func(i int) int { return spans[i].Shard }, func(wp *sim.Proc, i int) error {
 		sp := spans[i]
 		return c.subs[sp.Shard].Commit(wp, c.shardHandle(h, sp.Shard), sp.Off, sp.Len)
 	})
+}
+
+// commitAll runs one commit per target concurrently, collecting every
+// failure instead of surfacing only the first: FanOut already runs all
+// branches to completion, so the collection happens in the branches and
+// the aggregate is built after the barrier.
+func (c *Client) commitAll(p *sim.Proc, n int, shardOf func(i int) int, fn func(wp *sim.Proc, i int) error) error {
+	errs := make([]error, n)
+	FanOut(p, n, "stripe-commit", func(wp *sim.Proc, i int) error {
+		errs[i] = fn(wp, i)
+		return nil
+	})
+	agg := &CommitError{}
+	for i, err := range errs {
+		if err != nil {
+			agg.Shards = append(agg.Shards, shardOf(i))
+			agg.Errs = append(agg.Errs, err)
+		}
+	}
+	if len(agg.Errs) == 0 {
+		return nil
+	}
+	return agg
 }
 
 // Getattr implements nas.Client: attributes come from shard 0 (the

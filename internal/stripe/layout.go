@@ -14,15 +14,25 @@ package stripe
 
 import "fmt"
 
-// Layout describes one striping scheme: S shards with a fixed stripe
-// unit. The zero value is invalid; use New or a literal with Shards >= 1
-// and Unit >= 1.
+// Layout describes one placement scheme: S shards with a fixed stripe
+// unit, each shard optionally backed by R replica copies spread across
+// failure racks. Placement and replication deliberately share this one
+// abstraction — where a byte lives (ShardOf) and where its redundant
+// copies live (Rack) are both pure functions of the layout. The zero
+// value is invalid; use New or a literal with Shards >= 1 and Unit >= 1.
 type Layout struct {
 	// Shards is the number of servers the namespace is striped across.
 	Shards int
 	// Unit is the stripe unit in bytes: contiguous runs of Unit bytes
 	// map to one shard before striping moves to the next.
 	Unit int64
+	// Replicas is the number of redundant copies beyond the primary each
+	// shard keeps (0 = unreplicated, the pre-replication fleets).
+	Replicas int
+	// Racks is the number of failure domains copies are spread across.
+	// 0 means rack-oblivious placement (every copy in rack 0); with
+	// Racks > Replicas every copy of a shard lands in a distinct rack.
+	Racks int
 }
 
 // New validates and returns a Layout.
@@ -45,7 +55,28 @@ func (l Layout) Validate() error {
 	if l.Unit < 1 {
 		return fmt.Errorf("stripe: layout needs a positive stripe unit, got %d", l.Unit)
 	}
+	if l.Replicas < 0 {
+		return fmt.Errorf("stripe: layout needs a non-negative replica count, got %d", l.Replicas)
+	}
+	if l.Racks < 0 {
+		return fmt.Errorf("stripe: layout needs a non-negative rack count, got %d", l.Racks)
+	}
 	return nil
+}
+
+// Width is the number of copies each shard keeps: the primary plus the
+// replicas.
+func (l Layout) Width() int { return l.Replicas + 1 }
+
+// Rack places copy number `copy` (0 = primary) of a shard in a failure
+// rack: copies rotate through the racks starting from the shard's own,
+// so with Racks > Replicas no two copies of one shard share a rack, and
+// primaries themselves spread across racks instead of stacking in one.
+func (l Layout) Rack(shard, copy int) int {
+	if l.Racks <= 1 {
+		return 0
+	}
+	return (shard + copy) % l.Racks
 }
 
 // ShardOf returns the shard owning the byte at off.

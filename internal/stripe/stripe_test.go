@@ -48,15 +48,15 @@ func TestSpans(t *testing.T) {
 		off, n int64
 		want   []Span
 	}{
-		{"empty", Layout{2, 16}, 0, 0, nil},
-		{"negative", Layout{2, 16}, 32, -5, nil},
-		{"single shard merges all", Layout{1, 16}, 5, 1000, []Span{{0, 5, 1000}}},
-		{"aligned one unit", Layout{2, 16}, 16, 16, []Span{{1, 16, 16}}},
-		{"sub-unit", Layout{4, 16}, 36, 8, []Span{{2, 36, 8}}},
-		{"two units two shards", Layout{2, 16}, 0, 32, []Span{{0, 0, 16}, {1, 16, 16}}},
-		{"wraps back to shard 0", Layout{2, 16}, 0, 48, []Span{{0, 0, 16}, {1, 16, 16}, {0, 32, 16}}},
-		{"unaligned start and end", Layout{2, 16}, 12, 24, []Span{{0, 12, 4}, {1, 16, 16}, {0, 32, 4}}},
-		{"merges adjacent same-shard units", Layout{1, 16}, 0, 64, []Span{{0, 0, 64}}},
+		{"empty", Layout{Shards: 2, Unit: 16}, 0, 0, nil},
+		{"negative", Layout{Shards: 2, Unit: 16}, 32, -5, nil},
+		{"single shard merges all", Layout{Shards: 1, Unit: 16}, 5, 1000, []Span{{0, 5, 1000}}},
+		{"aligned one unit", Layout{Shards: 2, Unit: 16}, 16, 16, []Span{{1, 16, 16}}},
+		{"sub-unit", Layout{Shards: 4, Unit: 16}, 36, 8, []Span{{2, 36, 8}}},
+		{"two units two shards", Layout{Shards: 2, Unit: 16}, 0, 32, []Span{{0, 0, 16}, {1, 16, 16}}},
+		{"wraps back to shard 0", Layout{Shards: 2, Unit: 16}, 0, 48, []Span{{0, 0, 16}, {1, 16, 16}, {0, 32, 16}}},
+		{"unaligned start and end", Layout{Shards: 2, Unit: 16}, 12, 24, []Span{{0, 12, 4}, {1, 16, 16}, {0, 32, 4}}},
+		{"merges adjacent same-shard units", Layout{Shards: 1, Unit: 16}, 0, 64, []Span{{0, 0, 64}}},
 	} {
 		got := tc.layout.Spans(tc.off, tc.n)
 		if len(got) != len(tc.want) {
