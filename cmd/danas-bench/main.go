@@ -56,12 +56,13 @@ var known = map[string]func(exper.Scale){
 	"failure":      runFailure,
 	"writemix":     runWriteMix,
 	"replication":  runReplication,
+	"fabric":       runFabric,
 }
 
 // order is what "all" runs; it uses the combined fig34 so the Figure 3/4
 // sweep runs once. New experiments append so earlier sections stay
 // byte-identical.
-var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure", "writemix", "replication"}
+var order = []string{"table2", "fig34", "fig5", "table3", "fig6", "fig7", "scaling", "scaling-grid", "ablations", "trace", "failure", "writemix", "replication", "fabric"}
 
 // validNames returns every accepted experiment argument, sorted.
 func validNames() []string {
@@ -341,6 +342,12 @@ func runTrace(scale exper.Scale) {
 func runReplication(scale exper.Scale) {
 	fmt.Println("== Replication: ack policies x replica counts under a shard-0 primary crash ==")
 	fmt.Print(exper.FormatReplication(scenario.Replication(scale)))
+	fmt.Println()
+}
+
+func runFabric(scale exper.Scale) {
+	fmt.Println("== Fabric: switch-limited fleet sweep over oversubscribed leaf/spine topologies ==")
+	fmt.Print(exper.FormatFabric(exper.FabricSweep(scale)))
 	fmt.Println()
 }
 

@@ -127,6 +127,7 @@ type Client struct {
 
 	retryTimeout sim.Duration
 	retryBudget  int
+	rdmaTimeout  sim.Duration
 
 	failovers   uint64
 	reissued    uint64
@@ -247,6 +248,9 @@ func (c *Client) session(shard, copy int) *dafs.Client {
 	if c.retryTimeout > 0 {
 		in.SetRetry(c.retryTimeout, c.retryBudget)
 	}
+	if c.rdmaTimeout > 0 {
+		in.SetRDMATimeout(c.rdmaTimeout)
+	}
 	c.sessions[shard][copy] = in
 	return in
 }
@@ -260,6 +264,16 @@ func (c *Client) session(shard, copy int) *dafs.Client {
 func (c *Client) SetRetry(timeout sim.Duration, maxRetries int) {
 	c.retryTimeout, c.retryBudget = timeout, maxRetries
 	c.eachSession(func(in *dafs.Client) { in.SetRetry(timeout, maxRetries) })
+}
+
+// SetRDMATimeout bounds direct-access descriptors on every session QP
+// (stored, like the retry config, so later-mounted failover sessions
+// arm it too). Needed on multi-leaf fabrics, where a down switch can
+// black-hole a get's frames: the descriptor then completes with
+// nic.StatusTimeout and the fetch falls back to RPC.
+func (c *Client) SetRDMATimeout(d sim.Duration) {
+	c.rdmaTimeout = d
+	c.eachSession(func(in *dafs.Client) { in.SetRDMATimeout(d) })
 }
 
 // eachSession visits every mounted DAFS session — all copies when

@@ -134,6 +134,13 @@ func (c *Client) SetRetry(timeout sim.Duration, maxRetries int) {
 	c.MaxRetries = maxRetries
 }
 
+// SetRDMATimeout bounds direct-access descriptors on the session QP:
+// a get through a black-holed fabric path (down leaf or spine switch)
+// completes with nic.StatusTimeout and falls back to RPC instead of
+// waiting forever. Armed by multi-leaf fabric experiments; the
+// single-switch star cannot black-hole frames, so it never needs this.
+func (c *Client) SetRDMATimeout(d sim.Duration) { c.qp.SetRDMATimeout(d) }
+
 // call issues one session request and waits for its completion.
 func (c *Client) call(p *sim.Proc, hdr *wire.Header, m *msg, payloadBytes int64) *completion {
 	c.h.Compute(p, c.h.P.DAFSClientOp)

@@ -47,6 +47,14 @@ type Server struct {
 	// is done once its data is in the buffer cache.
 	WB *wb.Flusher
 
+	// RDMATimeout, when positive, bounds the server's write-path data
+	// pulls on session QPs created by later Connects: a pull whose
+	// frames a down switch black-holed completes with nic.StatusTimeout
+	// (the write fails with wire.StatusIO) instead of wedging the
+	// session worker forever. Set before clients mount, and only on
+	// multi-leaf fabrics — the single-switch star cannot black-hole.
+	RDMATimeout sim.Duration
+
 	// down marks the server host crashed: session requests are discarded
 	// and replies suppressed (failure injection; see SetDown).
 	down bool
@@ -116,6 +124,7 @@ func NewServer(s *sim.Scheduler, n *nic.NIC, fs *fsim.FS, sc *fsim.ServerCache, 
 func (srv *Server) Connect(clientNIC *nic.NIC, clientMode nic.NotifyMode) *vi.QP {
 	srv.sessions++
 	cqp, sqp := vi.Connect(clientNIC, srv.N, clientNIC.AllocPort(), srv.N.AllocPort(), clientMode, srv.Mode)
+	sqp.SetRDMATimeout(srv.RDMATimeout)
 	srv.S.Go(fmt.Sprintf("dafsd-%d", srv.sessions), func(p *sim.Proc) {
 		srv.serve(p, sqp)
 	})

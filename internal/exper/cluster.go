@@ -10,6 +10,7 @@ import (
 
 	"danas/internal/core"
 	"danas/internal/dafs"
+	"danas/internal/fail"
 	"danas/internal/fsim"
 	"danas/internal/host"
 	"danas/internal/nas"
@@ -81,6 +82,54 @@ type ClusterConfig struct {
 	// (stripe.Layout.Rack); 0 with Replicas > 0 defaults to Replicas+1
 	// so no two copies of a shard share a rack.
 	Racks int
+	// Fabric selects the interconnect topology. The zero value keeps the
+	// single central switch every pre-fabric experiment runs on.
+	Fabric FabricConfig
+}
+
+// FabricConfig is the cluster-level interconnect spec: how many leaf
+// and spine switches, and how oversubscribed each leaf's trunk bundle
+// is. Racks map onto leaves (rack r's servers attach to leaf r mod
+// Leaves), so rack-aware replica placement puts copies behind distinct
+// leaves by construction; client machines round-robin across the
+// server-free leaves.
+type FabricConfig struct {
+	// Leaves is the leaf-switch count; 0 or 1 keeps the single-switch
+	// star (every other field is then ignored).
+	Leaves int
+	// Spines is the spine-switch count (default 1).
+	Spines int
+	// Oversub is the leaf oversubscription ratio N in N:1 — attached
+	// host bandwidth over trunk bandwidth (default 1, non-blocking).
+	Oversub int
+	// LeafPorts caps host ports per leaf; 0 = uncapped.
+	LeafPorts int
+}
+
+// multi reports whether the config asks for a real multi-leaf fabric.
+func (fc FabricConfig) multi() bool { return fc.Leaves > 1 }
+
+// topology lowers the config onto netsim, taking per-hop latencies and
+// trunk framing from the paper's link parameters.
+func (fc FabricConfig) topology(p *host.Params) netsim.Topology {
+	spines, oversub := fc.Spines, fc.Oversub
+	if spines < 1 {
+		spines = 1
+	}
+	if oversub < 1 {
+		oversub = 1
+	}
+	return netsim.Topology{
+		Leaves:            fc.Leaves,
+		LeafPorts:         fc.LeafPorts,
+		Spines:            spines,
+		Oversub:           oversub,
+		DownlinkBandwidth: p.LinkBandwidth,
+		TrunkOverhead:     p.FrameOverhead,
+		LeafLatency:       p.SwitchLatency,
+		SpineLatency:      p.SwitchLatency,
+		TrunkProp:         p.LinkPropDelay,
+	}
 }
 
 // DefaultClusterConfig mirrors the paper's testbed: four PCs, 2 Gb/s
@@ -156,6 +205,7 @@ type Cluster struct {
 	nextNFSPort int
 	replicas    int
 	racks       int
+	serverLeafs int // leaves occupied by servers; clients fill the rest
 }
 
 // NewCluster builds the testbed.
@@ -171,7 +221,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	s := sim.New()
 	p := cfg.Params
-	fab := netsim.NewFabric(s, p.SwitchLatency)
+	var fab *netsim.Fabric
+	if cfg.Fabric.multi() {
+		fab = netsim.NewFabricWith(s, cfg.Fabric.topology(p))
+	} else {
+		fab = netsim.NewFabric(s, p.SwitchLatency)
+	}
 	line := netsim.LineConfig{Bandwidth: p.LinkBandwidth, Overhead: p.FrameOverhead, PropDelay: p.LinkPropDelay}
 
 	if cfg.Replicas < 0 {
@@ -182,10 +237,27 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	c := &Cluster{S: s, P: p, Fab: fab, stripeUnit: cfg.StripeUnit, nextNFSPort: 900,
 		replicas: cfg.Replicas, racks: cfg.Racks}
-	buildServer := func(name string) *ServerShard {
+	// Racks map onto leaves: rack r attaches to leaf r mod Leaves, so
+	// the degenerate star (and racks 0) puts every server on leaf 0 and
+	// rack-aware replica placement crosses the spine by construction.
+	racks := cfg.Racks
+	if racks < 1 {
+		racks = 1
+	}
+	c.serverLeafs = racks
+	if c.serverLeafs > fab.Leaves() {
+		c.serverLeafs = fab.Leaves()
+	}
+	serverLeaf := func(shard, copy int) int {
+		if racks <= 1 {
+			return 0
+		}
+		return ((shard + copy) % racks) % fab.Leaves()
+	}
+	buildServer := func(name string, leaf int) *ServerShard {
 		sh := &ServerShard{}
 		sh.Host = host.New(s, name, p)
-		sh.NIC = nic.New(sh.Host, fab.AddPort(name, line))
+		sh.NIC = nic.New(sh.Host, fab.AddLeafPort(name, line, leaf))
 		sh.Stack = udpip.NewStack(sh.NIC)
 		sh.FS = fsim.NewFS()
 		sh.Disk = fsim.NewDisk(s, name+"/disk", p.DiskSeek, p.DiskBW)
@@ -208,14 +280,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		if i > 0 {
 			name = fmt.Sprintf("server%d", i+1)
 		}
-		sh := buildServer(name)
+		sh := buildServer(name, serverLeaf(i, 0))
 		c.Shards = append(c.Shards, sh)
 		// Replica machines are built right after their primary, so an
 		// unreplicated cluster's construction order — and with it every
 		// downstream identifier — is untouched.
 		set := []*ServerShard{sh}
 		for r := 1; r <= cfg.Replicas; r++ {
-			set = append(set, buildServer(fmt.Sprintf("%s-r%d", name, r)))
+			set = append(set, buildServer(fmt.Sprintf("%s-r%d", name, r), serverLeaf(i, r)))
 		}
 		c.ReplicaSets = append(c.ReplicaSets, set)
 	}
@@ -246,15 +318,31 @@ func (c *Cluster) Layout() stripe.Layout {
 // Copy returns one copy of a shard's replica set (copy 0 = the primary).
 func (c *Cluster) Copy(shard, copy int) *ServerShard { return c.ReplicaSets[shard][copy] }
 
-// AddClientNode attaches another client machine to the fabric.
+// AddClientNode attaches another client machine to the fabric, on the
+// leaf clientLeaf picks (leaf 0 on the star).
 func (c *Cluster) AddClientNode() *ClientNode {
 	name := fmt.Sprintf("client%d", len(c.Nodes)+1)
 	line := netsim.LineConfig{Bandwidth: c.P.LinkBandwidth, Overhead: c.P.FrameOverhead, PropDelay: c.P.LinkPropDelay}
 	h := host.New(c.S, name, c.P)
-	n := nic.New(h, c.Fab.AddPort(name, line))
+	n := nic.New(h, c.Fab.AddLeafPort(name, line, c.clientLeaf()))
 	node := &ClientNode{Host: h, NIC: n, Stack: udpip.NewStack(n)}
 	c.Nodes = append(c.Nodes, node)
 	return node
+}
+
+// clientLeaf picks the leaf for the next client machine: round-robin
+// over the leaves servers do not occupy, so client traffic to storage
+// crosses the spine; if servers cover every leaf, round-robin over all.
+func (c *Cluster) clientLeaf() int {
+	leaves := c.Fab.Leaves()
+	if leaves <= 1 {
+		return 0
+	}
+	free := leaves - c.serverLeafs
+	if free <= 0 {
+		return len(c.Nodes) % leaves
+	}
+	return c.serverLeafs + len(c.Nodes)%free
 }
 
 // Close tears down the simulation.
@@ -511,9 +599,38 @@ func (c *Cluster) RestoreCopyLink(shard, copy int) {
 	c.ReplicaSets[shard][copy].NIC.Port().SetBandwidth(c.P.LinkBandwidth)
 }
 
-// MarkServerEpochs restarts CPU, link and disk utilization accounting on
-// every shard — every copy of every shard when replicated (the sharded
-// experiments' barrier action).
+// LeafDown black-holes a leaf switch (fail.SwitchTarget): every flow
+// through it — its hosts' traffic in both directions — drops until
+// LeafUp.
+func (c *Cluster) LeafDown(i int) { c.Fab.SetLeafDown(i, true) }
+
+// LeafUp restores a downed leaf switch.
+func (c *Cluster) LeafUp(i int) { c.Fab.SetLeafDown(i, false) }
+
+// SpineDown black-holes a spine switch (fail.SwitchTarget): flows
+// ECMP-hashed onto it drop until SpineUp; pairs hashed onto other
+// spines are untouched.
+func (c *Cluster) SpineDown(i int) { c.Fab.SetSpineDown(i, true) }
+
+// SpineUp restores a downed spine switch.
+func (c *Cluster) SpineUp(i int) { c.Fab.SetSpineDown(i, false) }
+
+// DegradeTrunk clamps a leaf's trunk bundle to the given total rate per
+// direction (fail.SwitchTarget).
+func (c *Cluster) DegradeTrunk(leaf int, bytesPerSec float64) { c.Fab.ClampTrunk(leaf, bytesPerSec) }
+
+// RestoreTrunk returns a leaf's trunk bundle to its
+// oversubscription-derived rate (fail.SwitchTarget).
+func (c *Cluster) RestoreTrunk(leaf int) { c.Fab.RestoreTrunk(leaf) }
+
+// FailTopo is the fleet shape fault schedules validate against.
+func (c *Cluster) FailTopo() fail.Topo {
+	return fail.Topo{Shards: len(c.Shards), Leaves: c.Fab.Leaves(), Spines: c.Fab.Spines()}
+}
+
+// MarkServerEpochs restarts CPU, link, disk, and fabric-trunk
+// utilization accounting on every shard — every copy of every shard
+// when replicated (the sharded experiments' barrier action).
 func (c *Cluster) MarkServerEpochs() {
 	for _, set := range c.ReplicaSets {
 		for _, sh := range set {
@@ -523,10 +640,15 @@ func (c *Cluster) MarkServerEpochs() {
 			sh.Disk.MarkEpoch()
 		}
 	}
+	c.Fab.MarkEpoch()
 }
 
-// Run drives the simulation until quiescent.
-func (c *Cluster) Run() { c.S.Run() }
+// Run arms the fabric (every port must have a sink — the fail-fast
+// misconfiguration check) and drives the simulation until quiescent.
+func (c *Cluster) Run() {
+	c.Fab.MustArm()
+	c.S.Run()
+}
 
 // Go spawns a root process.
 func (c *Cluster) Go(name string, fn func(p *sim.Proc)) { c.S.Go(name, fn) }

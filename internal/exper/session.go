@@ -45,6 +45,12 @@ type ReplayConfig struct {
 	// pre-replication fleet.
 	Replicas int
 	Ack      stripe.AckPolicy
+	// Fabric selects the interconnect topology; the zero value keeps
+	// the single-switch star. On a multi-leaf fabric with a retry
+	// budget, RetryRTO also bounds RDMA descriptors (client gets and the
+	// server's write pulls), since a down switch can black-hole their
+	// frames — something the star cannot do.
+	Fabric FabricConfig
 }
 
 // AutoWBConfig sizes write-behind water marks to a replayed footprint:
@@ -91,9 +97,10 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		cfg.Depth = traceDepth
 	}
 	var mutate func(*ClusterConfig, int)
-	if cfg.WriteBehind || cfg.Replicas > 0 {
+	if cfg.WriteBehind || cfg.Replicas > 0 || cfg.Fabric.multi() {
 		mutate = func(ccfg *ClusterConfig, fileBlocks int) {
 			ccfg.Replicas = cfg.Replicas
+			ccfg.Fabric = cfg.Fabric
 			if !cfg.WriteBehind {
 				return
 			}
@@ -109,6 +116,16 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		}
 	}
 	cl, fileBlocks, dataBlocks := replayClusterWith(tr, cfg.Shards, mutate)
+	if cfg.Fabric.multi() && cfg.RetryRTO > 0 {
+		// Bound the servers' write-path RDMA pulls before any session
+		// connects: a pull black-holed by a down switch must fail the
+		// write with a typed status, not wedge the session worker.
+		for _, set := range cl.ReplicaSets {
+			for _, sh := range set {
+				sh.DAFS.RDMATimeout = cfg.RetryRTO
+			}
+		}
+	}
 	s := &ReplaySession{
 		Cluster:    cl,
 		FileBlocks: fileBlocks,
@@ -135,6 +152,9 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		}
 		if cfg.RetryBudget > 0 {
 			cc.SetRetry(cfg.RetryRTO, cfg.RetryBudget)
+			if cfg.Fabric.multi() {
+				cc.SetRDMATimeout(cfg.RetryRTO)
+			}
 		}
 		s.retried = func() uint64 { return cc.Retries() + cc.Stats().ORDMAFaults }
 		s.AC = cc.Async(cfg.Depth)
@@ -206,7 +226,7 @@ func (s *ReplaySession) Replay(name string, sched fail.Schedule) (*workload.Repl
 		var onStart func(sim.Time)
 		if len(sched) > 0 {
 			onStart = func(sim.Time) {
-				if err := sched.Arm(s.Cluster.S, len(s.Cluster.Shards), s.Cluster); err != nil {
+				if err := sched.ArmTopo(s.Cluster.S, s.Cluster.FailTopo(), s.Cluster); err != nil {
 					panic(fmt.Sprintf("exper: %s: arming unvalidated schedule: %v", name, err))
 				}
 			}

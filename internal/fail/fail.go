@@ -30,6 +30,19 @@ const (
 	DegradeLink
 	// RestoreLink returns a degraded link to full bandwidth.
 	RestoreLink
+	// SwitchDown black-holes a switch (Event.Tier + Event.Switch): every
+	// flow through it drops until SwitchUp. Unlike a shard crash, this is
+	// shared infrastructure — all hosts behind the switch go dark at once.
+	SwitchDown
+	// SwitchUp restores a downed switch.
+	SwitchUp
+	// DegradeTrunk clamps a leaf's trunk bundle toward the spines to
+	// Event.Rate bytes/second per direction (leaf tier only — trunks
+	// hang off leaves).
+	DegradeTrunk
+	// RestoreTrunk returns a degraded trunk bundle to its
+	// oversubscription-derived rate.
+	RestoreTrunk
 )
 
 func (k Kind) String() string {
@@ -42,8 +55,40 @@ func (k Kind) String() string {
 		return "degrade-link"
 	case RestoreLink:
 		return "restore-link"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	case DegradeTrunk:
+		return "degrade-trunk"
+	case RestoreTrunk:
+		return "restore-trunk"
 	default:
 		return fmt.Sprintf("fail-kind(%d)", int(k))
+	}
+}
+
+// switchKind reports whether k targets a switch rather than a shard.
+func (k Kind) switchKind() bool {
+	return k == SwitchDown || k == SwitchUp || k == DegradeTrunk || k == RestoreTrunk
+}
+
+// SwitchTier selects which fabric tier a switch event targets.
+type SwitchTier int
+
+const (
+	TierLeaf SwitchTier = iota
+	TierSpine
+)
+
+func (t SwitchTier) String() string {
+	switch t {
+	case TierLeaf:
+		return "leaf"
+	case TierSpine:
+		return "spine"
+	default:
+		return fmt.Sprintf("fail-tier(%d)", int(t))
 	}
 }
 
@@ -56,17 +101,24 @@ type Event struct {
 	// 0 (the primary) preserves the pre-replication meaning, nonzero
 	// requires the target to implement CopyTarget.
 	Copy int
-	// Rate is the degraded link bandwidth in bytes/second (DegradeLink
-	// only).
+	// Rate is the degraded bandwidth in bytes/second (DegradeLink and
+	// DegradeTrunk only).
 	Rate float64
+	// Tier and Switch select the victim of switch-scoped kinds
+	// (SwitchDown/SwitchUp/DegradeTrunk/RestoreTrunk); Shard and Copy
+	// are ignored for those.
+	Tier   SwitchTier
+	Switch int
 }
 
 func (e Event) String() string {
 	who := fmt.Sprintf("shard%d", e.Shard)
-	if e.Copy > 0 {
+	if e.Kind.switchKind() {
+		who = fmt.Sprintf("%v%d", e.Tier, e.Switch)
+	} else if e.Copy > 0 {
 		who = fmt.Sprintf("shard%d.copy%d", e.Shard, e.Copy)
 	}
-	if e.Kind == DegradeLink {
+	if e.Kind == DegradeLink || e.Kind == DegradeTrunk {
 		return fmt.Sprintf("%v %s %s to %.0f B/s", e.At, who, e.Kind, e.Rate)
 	}
 	return fmt.Sprintf("%v %s %s", e.At, who, e.Kind)
@@ -90,6 +142,18 @@ type CopyTarget interface {
 	RestartCopy(shard, copy int)
 	DegradeCopyLink(shard, copy int, bytesPerSec float64)
 	RestoreCopyLink(shard, copy int)
+}
+
+// SwitchTarget extends Target to clusters with a switch fabric:
+// switch-scoped events act on shared interconnect rather than a shard.
+type SwitchTarget interface {
+	Target
+	LeafDown(i int)
+	LeafUp(i int)
+	SpineDown(i int)
+	SpineUp(i int)
+	DegradeTrunk(leaf int, bytesPerSec float64)
+	RestoreTrunk(leaf int)
 }
 
 // Schedule is a list of events ordered by At.
@@ -128,6 +192,15 @@ var (
 	ErrBadKind      = errors.New("unknown event kind")
 	ErrCopyRange    = errors.New("copy out of range")
 	ErrNoCopyTarget = errors.New("copy event against a target without replica copies")
+
+	ErrSwitchRange       = errors.New("switch out of range")
+	ErrSwitchAlreadyDown = errors.New("switch-down of an already-down switch")
+	ErrSwitchNotDown     = errors.New("switch-up of a live switch")
+	ErrTrunkTier         = errors.New("trunk event targets a spine (trunk bundles hang off leaves)")
+	ErrNoTrunk           = errors.New("trunk event needs a multi-leaf fabric")
+	ErrSwitchDark        = errors.New("trunk event on a down switch")
+	ErrTrunkNotDegraded  = errors.New("restore of an undegraded trunk")
+	ErrNoSwitchTarget    = errors.New("switch event against a target without a switch fabric")
 )
 
 // EventError is a validation failure pinned to one event of a schedule.
@@ -143,21 +216,44 @@ func (e *EventError) Error() string {
 
 func (e *EventError) Unwrap() error { return e.Reason }
 
-// Validate checks the schedule against a fleet of the given shard count:
-// events must be time-ordered with non-negative offsets, shards in
-// range, degraded rates positive, and per-shard state transitions legal
-// (no crash of a down shard, no restart of an up shard, no restore of an
-// undegraded link, no link event against a crashed shard). Failures are
-// *EventError values wrapping the typed reasons above.
+// Topo describes the fleet a schedule is validated against: the shard
+// count plus the fabric's switch counts. Leaves 1 / Spines 0 is the
+// single-switch star every pre-fabric experiment runs on.
+type Topo struct {
+	Shards int
+	Leaves int
+	Spines int
+}
+
+// Validate checks the schedule against a single-switch fleet of the
+// given shard count — ValidateTopo over the degenerate star.
 func (s Schedule) Validate(shards int) error {
+	return s.ValidateTopo(Topo{Shards: shards, Leaves: 1})
+}
+
+// ValidateTopo checks the schedule against a fleet: events must be
+// time-ordered with non-negative offsets, shards and switches in range,
+// degraded rates positive, and per-machine state transitions legal (no
+// crash of a down shard, no restart of an up shard, no restore of an
+// undegraded link or trunk, no link event against a crashed shard, no
+// trunk event against a down leaf or a fabric without trunks). Failures
+// are *EventError values wrapping the typed reasons above.
+func (s Schedule) ValidateTopo(topo Topo) error {
 	// State is tracked per (shard, copy): copy events and primary events
-	// on the same shard are independent machines.
+	// on the same shard are independent machines. Switches get their own
+	// per-(tier, index) machines.
 	type machine struct{ shard, copy int }
 	down := make(map[machine]bool)
 	degraded := make(map[machine]bool)
+	swDown := make(map[swKey]bool)
+	trunkDeg := make(map[int]bool)
 	last := sim.Duration(0)
 	fail := func(i int, reason error) error {
 		return &EventError{Index: i, Event: s[i], Reason: reason}
+	}
+	leaves := topo.Leaves
+	if leaves < 1 {
+		leaves = 1
 	}
 	for i, e := range s {
 		if e.At < 0 {
@@ -167,7 +263,13 @@ func (s Schedule) Validate(shards int) error {
 			return fail(i, ErrOutOfOrder)
 		}
 		last = e.At
-		if e.Shard < 0 || e.Shard >= shards {
+		if e.Kind.switchKind() {
+			if err := validateSwitch(e, leaves, topo.Spines, swDown, trunkDeg); err != nil {
+				return fail(i, err)
+			}
+			continue
+		}
+		if e.Shard < 0 || e.Shard >= topo.Shards {
 			return fail(i, ErrShardRange)
 		}
 		if e.Copy < 0 {
@@ -208,22 +310,104 @@ func (s Schedule) Validate(shards int) error {
 	return nil
 }
 
-// Arm validates the schedule and posts every event on sch relative to
-// the current instant. Events with equal At fire in schedule order (the
-// scheduler is FIFO at equal timestamps).
+// swKey identifies a switch machine during validation.
+type swKey struct {
+	tier SwitchTier
+	idx  int
+}
+
+// validateSwitch checks one switch-scoped event against the fabric's
+// switch counts and the running switch/trunk state machines.
+func validateSwitch(e Event, leaves, spines int, swDown map[swKey]bool, trunkDeg map[int]bool) error {
+	limit := leaves
+	if e.Tier == TierSpine {
+		limit = spines
+	}
+	if e.Switch < 0 || e.Switch >= limit {
+		return ErrSwitchRange
+	}
+	k := swKey{e.Tier, e.Switch}
+	switch e.Kind {
+	case SwitchDown:
+		if swDown[k] {
+			return ErrSwitchAlreadyDown
+		}
+		swDown[k] = true
+	case SwitchUp:
+		if !swDown[k] {
+			return ErrSwitchNotDown
+		}
+		swDown[k] = false
+	case DegradeTrunk, RestoreTrunk:
+		if e.Tier != TierLeaf {
+			return ErrTrunkTier
+		}
+		if leaves <= 1 {
+			return ErrNoTrunk
+		}
+		if swDown[k] {
+			return ErrSwitchDark
+		}
+		if e.Kind == DegradeTrunk {
+			if e.Rate <= 0 {
+				return ErrBadRate
+			}
+			trunkDeg[e.Switch] = true
+		} else {
+			if !trunkDeg[e.Switch] {
+				return ErrTrunkNotDegraded
+			}
+			trunkDeg[e.Switch] = false
+		}
+	}
+	return nil
+}
+
+// Arm validates the schedule against a single-switch fleet and posts
+// every event — ArmTopo over the degenerate star.
 func (s Schedule) Arm(sch *sim.Scheduler, shards int, tgt Target) error {
-	if err := s.Validate(shards); err != nil {
+	return s.ArmTopo(sch, Topo{Shards: shards, Leaves: 1}, tgt)
+}
+
+// ArmTopo validates the schedule against the fleet topology and posts
+// every event on sch relative to the current instant. Events with equal
+// At fire in schedule order (the scheduler is FIFO at equal
+// timestamps). Copy events need a CopyTarget; switch events need a
+// SwitchTarget.
+func (s Schedule) ArmTopo(sch *sim.Scheduler, topo Topo, tgt Target) error {
+	if err := s.ValidateTopo(topo); err != nil {
 		return err
 	}
 	ct, _ := tgt.(CopyTarget)
+	st, _ := tgt.(SwitchTarget)
 	for i, e := range s {
-		if e.Copy > 0 && ct == nil {
+		if !e.Kind.switchKind() && e.Copy > 0 && ct == nil {
 			return &EventError{Index: i, Event: e, Reason: ErrNoCopyTarget}
+		}
+		if e.Kind.switchKind() && st == nil {
+			return &EventError{Index: i, Event: e, Reason: ErrNoSwitchTarget}
 		}
 	}
 	for _, e := range s {
 		e := e
 		sch.After(e.At, func() {
+			if e.Kind.switchKind() {
+				switch {
+				case e.Kind == SwitchDown && e.Tier == TierLeaf:
+					st.LeafDown(e.Switch)
+				case e.Kind == SwitchUp && e.Tier == TierLeaf:
+					st.LeafUp(e.Switch)
+				case e.Kind == SwitchDown && e.Tier == TierSpine:
+					st.SpineDown(e.Switch)
+				case e.Kind == SwitchUp && e.Tier == TierSpine:
+					st.SpineUp(e.Switch)
+				case e.Kind == DegradeTrunk:
+					st.DegradeTrunk(e.Switch, e.Rate)
+				case e.Kind == RestoreTrunk:
+					st.RestoreTrunk(e.Switch)
+				}
+				return
+			}
 			if e.Copy > 0 {
 				switch e.Kind {
 				case Crash:
@@ -277,6 +461,24 @@ func Degrade(shard int, at, dur sim.Duration, bytesPerSec float64) Schedule {
 	return Schedule{
 		{At: at, Kind: DegradeLink, Shard: shard, Rate: bytesPerSec},
 		{At: at + dur, Kind: RestoreLink, Shard: shard},
+	}
+}
+
+// SwitchOutage builds a schedule taking the given switch down at the
+// given instant and back up after the downtime.
+func SwitchOutage(tier SwitchTier, idx int, at, down sim.Duration) Schedule {
+	return Schedule{
+		{At: at, Kind: SwitchDown, Tier: tier, Switch: idx},
+		{At: at + down, Kind: SwitchUp, Tier: tier, Switch: idx},
+	}
+}
+
+// TrunkDegrade builds a schedule clamping a leaf's trunk bundle to
+// bytesPerSec per direction over [at, at+dur).
+func TrunkDegrade(leaf int, at, dur sim.Duration, bytesPerSec float64) Schedule {
+	return Schedule{
+		{At: at, Kind: DegradeTrunk, Tier: TierLeaf, Switch: leaf, Rate: bytesPerSec},
+		{At: at + dur, Kind: RestoreTrunk, Tier: TierLeaf, Switch: leaf},
 	}
 }
 

@@ -269,3 +269,112 @@ func TestGenerateCorrelatedPatterns(t *testing.T) {
 		t.Fatal("pattern knobs disturbed the Independent draw stream")
 	}
 }
+
+// switchRecorder extends recorder with the SwitchTarget surface.
+type switchRecorder struct{ recorder }
+
+func (r *switchRecorder) LeafDown(i int)                      { r.note("leaf-down", i) }
+func (r *switchRecorder) LeafUp(i int)                        { r.note("leaf-up", i) }
+func (r *switchRecorder) SpineDown(i int)                     { r.note("spine-down", i) }
+func (r *switchRecorder) SpineUp(i int)                       { r.note("spine-up", i) }
+func (r *switchRecorder) DegradeTrunk(leaf int, rate float64) { r.note("degrade-trunk", leaf) }
+func (r *switchRecorder) RestoreTrunk(leaf int)               { r.note("restore-trunk", leaf) }
+
+// Switch-scoped schedules validate against the fleet topology with the
+// same typed-error discipline as shard events.
+func TestValidateTopoSwitchEvents(t *testing.T) {
+	topo := Topo{Shards: 2, Leaves: 4, Spines: 2}
+	cases := []struct {
+		name string
+		s    Schedule
+		want error
+	}{
+		{"leaf out of range",
+			Schedule{{At: 0, Kind: SwitchDown, Tier: TierLeaf, Switch: 4}}, ErrSwitchRange},
+		{"spine out of range",
+			Schedule{{At: 0, Kind: SwitchDown, Tier: TierSpine, Switch: 2}}, ErrSwitchRange},
+		{"double switch-down",
+			Schedule{
+				{At: 0, Kind: SwitchDown, Tier: TierSpine, Switch: 0},
+				{At: 1, Kind: SwitchDown, Tier: TierSpine, Switch: 0},
+			}, ErrSwitchAlreadyDown},
+		{"switch-up of live switch",
+			Schedule{{At: 0, Kind: SwitchUp, Tier: TierLeaf, Switch: 1}}, ErrSwitchNotDown},
+		{"trunk event on a spine",
+			Schedule{{At: 0, Kind: DegradeTrunk, Tier: TierSpine, Switch: 0, Rate: 1e6}}, ErrTrunkTier},
+		{"trunk event on a down leaf",
+			Schedule{
+				{At: 0, Kind: SwitchDown, Tier: TierLeaf, Switch: 1},
+				{At: 1, Kind: DegradeTrunk, Tier: TierLeaf, Switch: 1, Rate: 1e6},
+			}, ErrSwitchDark},
+		{"zero-rate trunk degrade",
+			Schedule{{At: 0, Kind: DegradeTrunk, Tier: TierLeaf, Switch: 1}}, ErrBadRate},
+		{"restore of undegraded trunk",
+			Schedule{{At: 0, Kind: RestoreTrunk, Tier: TierLeaf, Switch: 1}}, ErrTrunkNotDegraded},
+	}
+	for _, tc := range cases {
+		err := tc.s.ValidateTopo(topo)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		var ee *EventError
+		if !errors.As(err, &ee) {
+			t.Errorf("%s: error %v does not carry the event", tc.name, err)
+		}
+	}
+
+	good := Merge(
+		SwitchOutage(TierSpine, 1, 10, 20),
+		TrunkDegrade(2, 5, 30, 1e6),
+	)
+	if err := good.ValidateTopo(topo); err != nil {
+		t.Errorf("valid switch schedule rejected: %v", err)
+	}
+	// Trunk events need a multi-leaf fabric; the shard-count Validate
+	// entry point implies the single-switch star.
+	if err := TrunkDegrade(0, 0, 10, 1e6).Validate(2); !errors.Is(err, ErrNoTrunk) {
+		t.Errorf("trunk degrade on the star: got %v, want ErrNoTrunk", err)
+	}
+	// Spine events are out of range on the star (it has no spines).
+	if err := SwitchOutage(TierSpine, 0, 0, 10).Validate(2); !errors.Is(err, ErrSwitchRange) {
+		t.Errorf("spine outage on the star: got %v, want ErrSwitchRange", err)
+	}
+}
+
+// ArmTopo dispatches switch events through the SwitchTarget surface in
+// schedule order, and refuses a schedule whose target lacks it.
+func TestArmTopoSwitchEvents(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	rec := &switchRecorder{recorder{s: s}}
+	sched := Merge(
+		SwitchOutage(TierSpine, 1, 10*sim.Millisecond, 20*sim.Millisecond),
+		TrunkDegrade(2, 5*sim.Millisecond, 40*sim.Millisecond, 1e6),
+		CrashRestart(0, 15*sim.Millisecond, 10*sim.Millisecond),
+	)
+	topo := Topo{Shards: 1, Leaves: 4, Spines: 2}
+	if err := sched.ArmTopo(s, topo, rec); err != nil {
+		t.Fatalf("ArmTopo: %v", err)
+	}
+	s.Run()
+	want := []string{
+		"5.000ms degrade-trunk 2",
+		"10.000ms spine-down 1",
+		"15.000ms crash 0",
+		"25.000ms restart 0",
+		"30.000ms spine-up 1",
+		"45.000ms restore-trunk 2",
+	}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("event log = %v, want %v", rec.log, want)
+	}
+
+	// A bare Target cannot take switch events.
+	s2 := sim.New()
+	defer s2.Close()
+	plain := &recorder{s: s2}
+	err := SwitchOutage(TierLeaf, 0, 0, 10).ArmTopo(s2, topo, plain)
+	if !errors.Is(err, ErrNoSwitchTarget) {
+		t.Fatalf("ArmTopo on a bare Target: got %v, want ErrNoSwitchTarget", err)
+	}
+}

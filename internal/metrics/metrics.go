@@ -44,13 +44,15 @@ func (c *Counter) OpsPerSec(elapsed sim.Duration) float64 {
 
 // Hist is a latency histogram with exact mean and approximate quantiles
 // (power-of-two-spaced buckets from 1 µs to ~1 s, 8 sub-buckets per octave).
+// The bucket array is allocated lazily on the first sample, so fleets of
+// hundreds of idle-dimension histograms cost a pointer each, not ~1.3 KB.
 type Hist struct {
 	Name    string
 	count   uint64
 	sum     float64
 	min     sim.Duration
 	max     sim.Duration
-	buckets [bucketCount]uint64
+	buckets []uint64 // nil until the first Observe; len bucketCount after
 }
 
 const (
@@ -98,7 +100,33 @@ func (h *Hist) Observe(d sim.Duration) {
 	}
 	h.count++
 	h.sum += float64(d)
+	if h.buckets == nil {
+		h.buckets = make([]uint64, bucketCount)
+	}
 	h.buckets[bucketIndex(d)]++
+}
+
+// Merge folds other's samples into h: counts, sums, extremes, and
+// buckets add. The fabric sweep merges per-client histograms into one
+// fleet-wide distribution this way.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if h.buckets == nil {
+		h.buckets = make([]uint64, bucketCount)
+	}
+	for i, b := range other.buckets {
+		h.buckets[i] += b
+	}
 }
 
 // Count returns the number of samples.

@@ -187,3 +187,52 @@ func TestTableString(t *testing.T) {
 		t.Fatalf("missing value should render as '-': %q", out)
 	}
 }
+
+// Merge must fold two histograms into the distribution the union of
+// their samples would have produced, and an unobserved histogram must
+// not allocate its bucket array.
+func TestHistMergeAndLazyBuckets(t *testing.T) {
+	var a, b, whole Hist
+	if a.buckets != nil {
+		t.Fatal("zero-value Hist allocated buckets before the first sample")
+	}
+	for i := 1; i <= 100; i++ {
+		d := sim.Micros(float64(i * i))
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		whole.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	if a.Mean() != whole.Mean() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged mean/min/max %v/%v/%v, want %v/%v/%v",
+			a.Mean(), a.Min(), a.Max(), whole.Mean(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merged q%.2f = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op, including into an empty one.
+	var empty, into Hist
+	into.Merge(&empty)
+	if into.Count() != 0 || into.buckets != nil {
+		t.Fatal("merging empty into empty allocated state")
+	}
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+	// Merging into an empty histogram adopts the other's extremes.
+	var fresh Hist
+	fresh.Merge(&whole)
+	if fresh.Min() != whole.Min() || fresh.Max() != whole.Max() || fresh.Count() != whole.Count() {
+		t.Fatal("merge into empty lost extremes or count")
+	}
+}

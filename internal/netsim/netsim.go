@@ -42,17 +42,22 @@ type LineConfig struct {
 	PropDelay sim.Duration // one-way propagation to/from the switch
 }
 
-// Fabric is the switch plus all attached links.
+// Fabric is the interconnect: one or more leaf switches with attached
+// host links, and — in multi-leaf topologies — spine switches joined by
+// oversubscribed trunk bundles (see Topology in topology.go).
 type Fabric struct {
-	s             *sim.Scheduler
-	switchLatency sim.Duration
-	ports         []*Port
+	s         *sim.Scheduler
+	topo      Topology
+	ports     []*Port
+	leaves    []*leaf
+	spineDown []bool
+	dropped   uint64
 }
 
-// NewFabric creates an empty fabric with the given store-and-forward
-// switch latency.
+// NewFabric creates an empty single-switch fabric with the given
+// store-and-forward switch latency: the degenerate one-leaf topology.
 func NewFabric(s *sim.Scheduler, switchLatency sim.Duration) *Fabric {
-	return &Fabric{s: s, switchLatency: switchLatency}
+	return NewFabricWith(s, Star(switchLatency))
 }
 
 // Port is a host's attachment point: one transmit line toward the switch
@@ -61,6 +66,7 @@ type Port struct {
 	name string
 	fab  *Fabric
 	cfg  LineConfig
+	leaf int
 	up   *sim.Station // host -> switch direction
 	down *sim.Station // switch -> host direction
 	sink Sink
@@ -69,18 +75,14 @@ type Port struct {
 	bytesIn, bytesOut   int64
 }
 
-// AddPort attaches a new port to the fabric.
+// AddPort attaches a new port to the fabric's first leaf (the only one
+// in the degenerate star).
 func (f *Fabric) AddPort(name string, cfg LineConfig) *Port {
-	p := &Port{
-		name: name,
-		fab:  f,
-		cfg:  cfg,
-		up:   sim.NewStation(f.s, name+"/up"),
-		down: sim.NewStation(f.s, name+"/down"),
-	}
-	f.ports = append(f.ports, p)
-	return p
+	return f.AddLeafPort(name, cfg, 0)
 }
+
+// Leaf returns the index of the leaf switch the port attaches to.
+func (p *Port) Leaf() int { return p.leaf }
 
 // Ports returns all attached ports.
 func (f *Fabric) Ports() []*Port { return f.ports }
@@ -107,9 +109,12 @@ func (p *Port) txTime(bytes int) sim.Duration {
 }
 
 // Send transmits f from p toward f.To. The frame serializes on p's uplink,
-// crosses the switch, serializes on the destination downlink, and is
-// finally handed to the destination sink. Panics if f.To is nil or
-// unattached.
+// crosses the switch fabric (one leaf on the same-leaf path, leaf ->
+// spine -> leaf otherwise), serializes on the destination downlink, and
+// is finally handed to the destination sink. Panics if f.To is nil, or
+// if the destination has no sink — checked here, at submission, so a
+// miswired fabric fails with both port names instead of deep inside a
+// delivery callback (Fabric.Arm catches this even earlier).
 func (p *Port) Send(f *Frame) {
 	if f.To == nil {
 		panic(fmt.Sprintf("netsim: frame from %s has no destination", p.name))
@@ -119,19 +124,29 @@ func (p *Port) Send(f *Frame) {
 	}
 	s := p.fab.s
 	dst := f.To
+	if dst.sink == nil {
+		panic(fmt.Sprintf("netsim: port %s has no sink (frame from %s; fabric not armed?)",
+			dst.name, p.name))
+	}
 	p.framesOut++
 	p.bytesOut += int64(f.Bytes)
+	if p.leaf != dst.leaf {
+		p.fab.sendCrossLeaf(p, f)
+		return
+	}
+	lf := p.fab.leaves[p.leaf]
 	// Uplink serialization, then propagation to the switch.
 	p.up.Serve(p.txTime(f.Bytes), func() {
-		s.After(p.cfg.PropDelay+p.fab.switchLatency, func() {
+		s.After(p.cfg.PropDelay+p.fab.topo.LeafLatency, func() {
+			if lf.down {
+				p.fab.dropped++
+				return
+			}
 			// Downlink serialization at the destination, then propagation.
 			dst.down.Serve(dst.txTime(f.Bytes), func() {
 				s.After(dst.cfg.PropDelay, func() {
 					dst.framesIn++
 					dst.bytesIn += int64(f.Bytes)
-					if dst.sink == nil {
-						panic(fmt.Sprintf("netsim: port %s has no sink", dst.name))
-					}
 					dst.sink.DeliverFrame(f)
 				})
 			})
@@ -140,9 +155,10 @@ func (p *Port) Send(f *Frame) {
 }
 
 // OneWayLatency returns the zero-load latency of a frame of the given size
-// between two ports with this port's line configuration on both ends.
+// between two same-leaf ports with this port's line configuration on both
+// ends. For cross-leaf paths see Fabric.PathLatency.
 func (p *Port) OneWayLatency(bytes int) sim.Duration {
-	return 2*p.txTime(bytes) + 2*p.cfg.PropDelay + p.fab.switchLatency
+	return 2*p.txTime(bytes) + 2*p.cfg.PropDelay + p.fab.topo.LeafLatency
 }
 
 // TxUtilization returns the uplink utilization since its last epoch mark.

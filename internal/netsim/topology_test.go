@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"danas/internal/sim"
+)
+
+// testLeafSpine builds a 2-leaf/2-spine 2:1 fabric with one host port
+// on each leaf. With one 250 MB/s port per leaf the trunk bundle is
+// 125 MB/s per direction, split as 62.5 MB/s per spine trunk.
+func testLeafSpine(t *testing.T) (*sim.Scheduler, *Fabric, *Port, *Port) {
+	t.Helper()
+	s := sim.New()
+	t.Cleanup(s.Close)
+	fab := NewFabricWith(s, Topology{
+		Leaves:            2,
+		Spines:            2,
+		Oversub:           2,
+		DownlinkBandwidth: 250e6,
+		TrunkOverhead:     100,
+		LeafLatency:       sim.Micros(0.5),
+		SpineLatency:      sim.Micros(0.5),
+		TrunkProp:         sim.Micros(0.25),
+	})
+	cfg := LineConfig{Bandwidth: 250e6, Overhead: 100, PropDelay: sim.Micros(0.25)}
+	a := fab.AddLeafPort("a", cfg, 0)
+	b := fab.AddLeafPort("b", cfg, 1)
+	return s, fab, a, b
+}
+
+func TestCrossLeafDeliveryMatchesPathLatency(t *testing.T) {
+	s, fab, a, b := testLeafSpine(t)
+	a.Attach(SinkFunc(func(f *Frame) {}))
+	var gotAt sim.Time
+	b.Attach(SinkFunc(func(f *Frame) { gotAt = s.Now() }))
+	a.Send(&Frame{To: b, Bytes: 4096})
+	s.Run()
+	if want := fab.PathLatency(a, b, 4096); gotAt != sim.Time(want) {
+		t.Fatalf("delivered at %v, want closed-form PathLatency %v", sim.Duration(gotAt), want)
+	}
+	// The closed form must strictly exceed the same-leaf latency: two
+	// trunk serializations, two trunk props, and a spine hop more.
+	if fab.PathLatency(a, b, 4096) <= a.OneWayLatency(4096) {
+		t.Fatal("cross-leaf path no slower than same-leaf path")
+	}
+}
+
+func TestCrossLeafByteConservation(t *testing.T) {
+	s, fab, a, b := testLeafSpine(t)
+	var gotA, gotB int64
+	a.Attach(SinkFunc(func(f *Frame) { gotA += int64(f.Bytes) }))
+	b.Attach(SinkFunc(func(f *Frame) { gotB += int64(f.Bytes) }))
+	var sentA, sentB int64
+	for i := 0; i < 40; i++ {
+		n := 512 + 100*i
+		a.Send(&Frame{To: b, Bytes: n})
+		sentA += int64(n)
+		b.Send(&Frame{To: a, Bytes: n / 2})
+		sentB += int64(n / 2)
+	}
+	s.Run()
+	if gotB != sentA || gotA != sentB {
+		t.Fatalf("delivered a->b %d (sent %d), b->a %d (sent %d)", gotB, sentA, gotA, sentB)
+	}
+	// Every byte crossed exactly one up-trunk at the source leaf and one
+	// down-trunk at the destination leaf; nothing was created or lost.
+	ts0, ts1 := fab.TrunkStats(0), fab.TrunkStats(1)
+	if ts0.UpBytes != sentA || ts1.DownBytes != sentA {
+		t.Fatalf("a->b trunk bytes up=%d dn=%d, want %d", ts0.UpBytes, ts1.DownBytes, sentA)
+	}
+	if ts1.UpBytes != sentB || ts0.DownBytes != sentB {
+		t.Fatalf("b->a trunk bytes up=%d dn=%d, want %d", ts1.UpBytes, ts0.DownBytes, sentB)
+	}
+	if ts0.UpFrames != 40 || ts1.DownFrames != 40 || ts1.UpFrames != 40 || ts0.DownFrames != 40 {
+		t.Fatalf("trunk frames %d/%d/%d/%d, want 40 each",
+			ts0.UpFrames, ts1.DownFrames, ts1.UpFrames, ts0.DownFrames)
+	}
+	if fab.Dropped() != 0 {
+		t.Fatalf("healthy fabric dropped %d frames", fab.Dropped())
+	}
+}
+
+func TestTrunkContentionBoundsCompletion(t *testing.T) {
+	s, fab, a, b := testLeafSpine(t)
+	a.Attach(SinkFunc(func(f *Frame) {}))
+	n := 0
+	b.Attach(SinkFunc(func(f *Frame) { n++ }))
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		a.Send(&Frame{To: b, Bytes: 4096})
+	}
+	s.Run()
+	if n != frames {
+		t.Fatalf("delivered %d frames, want %d", n, frames)
+	}
+	// All 50 frames ECMP onto one spine trunk at 62.5 MB/s — an eighth
+	// of the host line rate — so the trunk, not the links, bounds the
+	// run: at least 50 trunk serializations of 4196 bytes.
+	min := sim.Duration(frames) * sim.TransferTime(4196, 62.5e6)
+	if sim.Duration(s.Now()) < min {
+		t.Fatalf("finished in %v, impossible through the trunk (min %v)", sim.Duration(s.Now()), min)
+	}
+	if ts := fab.TrunkStats(0); ts.UpUtil < 0.9 {
+		t.Fatalf("trunk utilization %v under saturation, want ~1", ts.UpUtil)
+	}
+	if ts := fab.TrunkStats(0); ts.MaxBacklog <= 0 {
+		t.Fatal("no trunk backlog recorded under a 50-frame burst")
+	}
+}
+
+func TestSpineOutageDropsThenRecovers(t *testing.T) {
+	s, fab, a, b := testLeafSpine(t)
+	a.Attach(SinkFunc(func(f *Frame) {}))
+	n := 0
+	b.Attach(SinkFunc(func(f *Frame) { n++ }))
+	// The (0,1) pair rides spine 1; take it down under the first frame.
+	sp := fab.SpineFor(0, 1)
+	fab.SetSpineDown(sp, true)
+	a.Send(&Frame{To: b, Bytes: 4096})
+	s.After(sim.Millisecond, func() {
+		fab.SetSpineDown(sp, false)
+		a.Send(&Frame{To: b, Bytes: 4096})
+	})
+	s.Run()
+	if n != 1 {
+		t.Fatalf("delivered %d frames, want 1 (first black-holed, second through)", n)
+	}
+	if fab.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", fab.Dropped())
+	}
+}
+
+func TestTrunkClampAndRestore(t *testing.T) {
+	s, fab, a, b := testLeafSpine(t)
+	a.Attach(SinkFunc(func(f *Frame) {}))
+	var gotAt sim.Time
+	b.Attach(SinkFunc(func(f *Frame) { gotAt = s.Now() }))
+	if r := fab.TrunkRate(0); r != 125e6 {
+		t.Fatalf("derived trunk rate %v, want 125e6 (1 port * 250e6 / 2)", r)
+	}
+	fab.ClampTrunk(0, 1e6)
+	if r := fab.TrunkRate(0); r != 1e6 {
+		t.Fatalf("clamped trunk rate %v, want 1e6", r)
+	}
+	// PathLatency reads the live rate, so a frame sent under the clamp
+	// still lands exactly on the closed form.
+	want := fab.PathLatency(a, b, 4096)
+	a.Send(&Frame{To: b, Bytes: 4096})
+	s.Run()
+	if gotAt != sim.Time(want) {
+		t.Fatalf("clamped delivery at %v, want %v", sim.Duration(gotAt), want)
+	}
+	fab.RestoreTrunk(0)
+	if r := fab.TrunkRate(0); r != 125e6 {
+		t.Fatalf("restored trunk rate %v, want 125e6", r)
+	}
+}
+
+func TestArmNamesUnattachedPorts(t *testing.T) {
+	_, fab, a, b := testLeafSpine(t)
+	a.Attach(SinkFunc(func(f *Frame) {}))
+	err := fab.Arm()
+	if err == nil {
+		t.Fatal("Arm accepted a fabric with a sinkless port")
+	}
+	if !strings.Contains(err.Error(), "b") {
+		t.Fatalf("Arm error %q does not name the unattached port", err)
+	}
+	b.Attach(SinkFunc(func(f *Frame) {}))
+	if err := fab.Arm(); err != nil {
+		t.Fatalf("Arm rejected a fully attached fabric: %v", err)
+	}
+}
+
+func TestLeafPortCapPanics(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	fab := NewFabricWith(s, Topology{
+		Leaves: 2, LeafPorts: 1, Spines: 1, Oversub: 1, DownlinkBandwidth: 250e6,
+	})
+	cfg := LineConfig{Bandwidth: 250e6}
+	fab.AddLeafPort("first", cfg, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic attaching past the leaf port cap")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "second") {
+			t.Fatalf("panic %v does not name the port", r)
+		}
+	}()
+	fab.AddLeafPort("second", cfg, 0)
+}
+
+func TestStarHasNoTrunks(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	fab := NewFabric(s, sim.Micros(0.5))
+	if fab.Spines() != 0 {
+		t.Fatalf("star Spines() = %d, want 0", fab.Spines())
+	}
+	if ts := fab.TrunkStats(0); ts != (TrunkStats{}) {
+		t.Fatalf("star TrunkStats = %+v, want zero", ts)
+	}
+}

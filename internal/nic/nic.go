@@ -149,6 +149,7 @@ type Stats struct {
 	TLBHits, TLBMisses   uint64
 	CapRejects           uint64
 	Interrupts           uint64
+	RDMATimeouts         uint64 // initiator completions forced by Op.Timeout
 }
 
 // New creates a NIC for host h attached to fabric port port.

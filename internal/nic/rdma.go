@@ -24,6 +24,11 @@ const (
 	StatusBadCapability
 	// StatusBadRequest: malformed request (zero length etc.).
 	StatusBadRequest
+	// StatusTimeout: the initiator's completion timer fired before any
+	// completion (data, ack, or exception) arrived — the path to the
+	// target is black-holed (e.g. a down switch). Local, soft: the far
+	// end may still have executed the operation.
+	StatusTimeout
 )
 
 func (st Status) String() string {
@@ -40,6 +45,8 @@ func (st Status) String() string {
 		return "bad-capability"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusTimeout:
+		return "timeout"
 	default:
 		return fmt.Sprintf("status(%d)", int(st))
 	}
@@ -64,6 +71,11 @@ type Op struct {
 	// Done receives the completion status at the initiator. Run after
 	// notification cost has been charged per Notify.
 	Done func(Status)
+	// Timeout, when positive, bounds the wait for initiator-side
+	// completion: if nothing (data, ack, exception) has arrived when it
+	// expires, the op completes with StatusTimeout. Completions racing
+	// in later are discarded by the exactly-once guard.
+	Timeout sim.Duration
 
 	initiator *NIC // stamped by RDMAAsync
 	rejected  bool // target validation failed; drop its data frames
@@ -100,6 +112,14 @@ func (n *NIC) RDMAAsync(op *Op) {
 		panic("nic: RDMA needs a remote target")
 	}
 	op.initiator = n
+	if op.Timeout > 0 {
+		n.s.After(op.Timeout, func() {
+			if !op.completed {
+				n.stats.RDMATimeouts++
+			}
+			n.completeOp(op, StatusTimeout)
+		})
+	}
 	switch op.Kind {
 	case Get:
 		// Send a small control frame; data streams back from the target.

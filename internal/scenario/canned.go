@@ -17,6 +17,7 @@ var canned = map[string]func() *Spec{
 	"degrade-under-skew": DegradeUnderSkew,
 	"commit-loss":        CommitLoss,
 	"rolling-restart":    RollingRestartScenario,
+	"spine-outage":       SpineOutage,
 	"tight-sla":          TightSLA,
 }
 
@@ -149,6 +150,32 @@ func RollingRestartScenario() *Spec {
 		Asserts: []Assert{
 			{Kind: AssertMinMBps, Value: 1},
 			{Kind: AssertMaxFailedOps, Value: 400},
+		},
+	}
+}
+
+// SpineOutage is the switch-fault scenario: a 4-shard ODAFS fleet on a
+// 2-leaf/2-spine fabric, with the servers racked onto leaf 0 and the
+// client on leaf 1. ECMP hashes the (0,1) leaf pair onto spine 1, so
+// that one spine carries every flow — taking it down black-holes the
+// whole fleet at once, the failure mode no shard crash can produce.
+// The RDMA descriptor timeouts the fabric arms (client gets and server
+// write pulls) must convert black-holed transfers into typed faults the
+// retry budget rides out.
+func SpineOutage() *Spec {
+	return &Spec{
+		Name:     "spine-outage",
+		Describe: "spine-1 outage black-holes the whole client-to-storage path; RDMA timeouts and retries ride it out",
+		Workload: exper.BaseTraceGen(),
+		Fleet:    Fleet{Shards: 4, System: "odafs"},
+		Fabric:   FabricSpec{Leaves: 2, Spines: 2, Oversub: 2},
+		Retry:    Retry{RTO: 2 * sim.Millisecond, Budget: 7},
+		Faults: []Fault{
+			{Kind: FaultSwitchOutage, Switch: "spine1", At: Pct(25), Down: Pct(20)},
+		},
+		Asserts: []Assert{
+			{Kind: AssertMinMBps, Value: 1},
+			{Kind: AssertMaxRecoveryMs, Value: 5000},
 		},
 	}
 }

@@ -6,6 +6,7 @@
 //	scenario crash-recovery
 //	describe shard-0 crash mid-replay; the fleet must recover
 //	fleet shards=4 system=odafs depth=64
+//	fabric leaves=2 spines=2 oversub=2
 //	retry rto=2ms budget=7
 //	writebehind marks=auto
 //	workload ops=4000 files=8 filesize=4194304 iosize=16384 readfrac=0.7
@@ -41,7 +42,7 @@ func (e *ParseError) Error() string {
 }
 
 // directives lists the accepted line directives, sorted.
-var directives = []string{"assert", "describe", "fault", "fleet", "retry", "scenario", "workload", "writebehind"}
+var directives = []string{"assert", "describe", "fabric", "fault", "fleet", "retry", "scenario", "workload", "writebehind"}
 
 // Parse decodes one scenario spec from its text form. Errors are
 // *ParseError values naming the offending line. Parse checks syntax
@@ -75,6 +76,8 @@ func Parse(src string) (*Spec, error) {
 			spec.Describe = strings.Join(rest, " ")
 		case "fleet":
 			err = parseFleet(spec, rest)
+		case "fabric":
+			err = parseFabric(spec, rest)
 		case "retry":
 			err = parseRetry(spec, rest)
 		case "writebehind":
@@ -206,6 +209,34 @@ func parseFleet(spec *Spec, toks []string) error {
 	}
 	if spec.Fleet.Shards == 0 || spec.Fleet.System == "" {
 		return fmt.Errorf("fleet: needs shards= and system=")
+	}
+	return nil
+}
+
+func parseFabric(spec *Spec, toks []string) error {
+	for _, tok := range toks {
+		k, v, err := splitKV(tok)
+		if err != nil {
+			return fmt.Errorf("fabric: %v", err)
+		}
+		switch k {
+		case "leaves":
+			spec.Fabric.Leaves, err = parseInt("fabric", k, v)
+		case "spines":
+			spec.Fabric.Spines, err = parseInt("fabric", k, v)
+		case "oversub":
+			spec.Fabric.Oversub, err = parseInt("fabric", k, v)
+		case "ports":
+			spec.Fabric.Ports, err = parseInt("fabric", k, v)
+		default:
+			return fmt.Errorf("fabric: unknown key %q (valid: leaves oversub ports spines)", k)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if spec.Fabric.Leaves == 0 {
+		return fmt.Errorf("fabric: needs leaves=")
 	}
 	return nil
 }
@@ -367,8 +398,13 @@ func parseFault(spec *Spec, toks []string) error {
 			if f.Copy, err = parseInt("fault "+f.Kind, k, v); err != nil {
 				return err
 			}
+		case "switch":
+			if _, _, err := parseSwitchRef(v); err != nil {
+				return fmt.Errorf("fault %s: %v", f.Kind, err)
+			}
+			f.Switch = v
 		default:
-			return fmt.Errorf("fault %s: unknown key %q (valid: at copy down factor for shard shards stagger)", f.Kind, k)
+			return fmt.Errorf("fault %s: unknown key %q (valid: at copy down factor for shard shards stagger switch)", f.Kind, k)
 		}
 	}
 	spec.Faults = append(spec.Faults, f)
@@ -420,6 +456,19 @@ func Encode(s *Spec) string {
 		fmt.Fprintf(&b, " ack=%s", s.Fleet.Ack)
 	}
 	b.WriteString("\n")
+	if s.Fabric != (FabricSpec{}) {
+		fmt.Fprintf(&b, "fabric leaves=%d", s.Fabric.Leaves)
+		if s.Fabric.Spines != 0 {
+			fmt.Fprintf(&b, " spines=%d", s.Fabric.Spines)
+		}
+		if s.Fabric.Oversub != 0 {
+			fmt.Fprintf(&b, " oversub=%d", s.Fabric.Oversub)
+		}
+		if s.Fabric.Ports != 0 {
+			fmt.Fprintf(&b, " ports=%d", s.Fabric.Ports)
+		}
+		b.WriteString("\n")
+	}
 	if s.Retry != (Retry{}) {
 		fmt.Fprintf(&b, "retry rto=%s budget=%d\n", formatDur(s.Retry.RTO), s.Retry.Budget)
 	}
@@ -436,13 +485,16 @@ func Encode(s *Spec) string {
 	}
 	for _, f := range s.Faults {
 		fmt.Fprintf(&b, "fault %s", f.Kind)
-		if faultKinds[f.Kind].multi {
+		switch shape := faultKinds[f.Kind]; {
+		case shape.swtch:
+			fmt.Fprintf(&b, " switch=%s", f.Switch)
+		case shape.multi:
 			strs := make([]string, len(f.Shards))
 			for i, sh := range f.Shards {
 				strs[i] = strconv.Itoa(sh)
 			}
 			fmt.Fprintf(&b, " shards=%s", strings.Join(strs, ","))
-		} else {
+		default:
 			fmt.Fprintf(&b, " shard=%d", f.Shards[0])
 		}
 		if f.Copy != 0 {

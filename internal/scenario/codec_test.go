@@ -104,7 +104,7 @@ func TestParseErrors(t *testing.T) {
 		{"name not first", "fleet shards=1 system=nfs",
 			`scenario: line 1: first directive must be "scenario <name>", got "fleet"`},
 		{"unknown directive", "scenario x\nfault-injection crash",
-			`scenario: line 2: unknown directive "fault-injection" (valid: assert describe fault fleet retry scenario workload writebehind)`},
+			`scenario: line 2: unknown directive "fault-injection" (valid: assert describe fabric fault fleet retry scenario workload writebehind)`},
 		{"duplicate fleet", "scenario x\nfleet shards=1 system=nfs\n\nfleet shards=2 system=nfs",
 			`scenario: line 4: duplicate fleet directive (first on line 2)`},
 		{"bad system", "scenario x\nfleet shards=1 system=nfsv4",
@@ -114,7 +114,13 @@ func TestParseErrors(t *testing.T) {
 		{"wrong duration key", "scenario x\nfleet shards=2 system=nfs\nfault degrade shard=0 at=25% down=30% factor=8",
 			`scenario: line 3: fault degrade: use for= for the duration`},
 		{"bad fault kind", "scenario x\nfleet shards=1 system=nfs\nfault meteor shard=0 at=25%",
-			`scenario: line 3: fault: unknown kind "meteor" (valid: crash crash-restart degrade multi-crash restart restore rolling-restart)`},
+			`scenario: line 3: fault: unknown kind "meteor" (valid: crash crash-restart degrade degrade-trunk multi-crash restart restore rolling-restart switch-outage)`},
+		{"bad switch ref", "scenario x\nfleet shards=2 system=nfs\nfault switch-outage switch=rack3 at=25% down=10%",
+			`scenario: line 3: fault switch-outage: bad switch "rack3" (use leafN or spineN)`},
+		{"fabric missing leaves", "scenario x\nfleet shards=2 system=nfs\nfabric spines=2",
+			`scenario: line 3: fabric: needs leaves=`},
+		{"fabric unknown key", "scenario x\nfleet shards=2 system=nfs\nfabric leaves=2 uplinks=4",
+			`scenario: line 3: fabric: unknown key "uplinks" (valid: leaves oversub ports spines)`},
 		{"assert missing value", "scenario x\nfleet shards=1 system=nfs\nassert min-mbps",
 			`scenario: line 3: assert min-mbps: takes exactly one threshold value`},
 		{"assert extra value", "scenario x\nfleet shards=1 system=nfs\nassert zero-failed-ops 3",

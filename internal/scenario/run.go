@@ -42,6 +42,15 @@ type Measured struct {
 	ShardCPUPct  []float64
 	ShardLinkPct []float64
 	ShardDiskPct []float64
+	// HasFabric marks the trunk figures as meaningful: the storage
+	// leaf's hottest trunk utilization per direction, the deepest trunk
+	// backlog any frame queued behind, and the frames black-holed by
+	// down switches. All zero on the star, which has no trunks.
+	HasFabric        bool
+	TrunkUpPct       float64
+	TrunkDownPct     float64
+	TrunkQueueMicros float64
+	SwitchDrops      uint64
 }
 
 // WBMeasured aggregates the shards' write-behind counters.
@@ -87,8 +96,8 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 	tr := trace.Generate(exper.ScaleGen(scale, spec.Workload))
 	sess := exper.NewReplaySession(tr, spec.replayConfig())
 	defer sess.Close()
-	sched := spec.schedule(tr.Duration(), sess.Cluster.P.LinkBandwidth)
-	if err := sched.Validate(spec.Fleet.Shards); err != nil {
+	sched := spec.schedule(tr.Duration(), sess.Cluster.P.LinkBandwidth, sess.Cluster.Fab.TrunkRate)
+	if err := sched.ValidateTopo(sess.Cluster.FailTopo()); err != nil {
 		// Unreachable for a spec that passed Validate (one time mode
 		// keeps event order span-invariant), but the contract is that
 		// nothing arms unvalidated.
@@ -131,6 +140,14 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 	}
 	if flushes > 0 {
 		m.WB.BlocksPerFlush = float64(blocks) / float64(flushes)
+	}
+	if spec.Fabric.enabled() {
+		m.HasFabric = true
+		ts := sess.Cluster.Fab.TrunkStats(0)
+		m.TrunkUpPct = ts.UpUtil * 100
+		m.TrunkDownPct = ts.DownUtil * 100
+		m.TrunkQueueMicros = ts.MaxBacklog.Micros()
+		m.SwitchDrops = sess.Cluster.Fab.Dropped()
 	}
 
 	rep := &Report{Spec: spec, Scale: scale, M: m, Pass: true}
@@ -212,6 +229,18 @@ func (r *Report) Format() string {
 	}
 	fmt.Fprintf(&b, "  util cpu%%=%s link%%=%s disk%%=%s\n",
 		pctList(m.ShardCPUPct), pctList(m.ShardLinkPct), pctList(m.ShardDiskPct))
+	if m.HasFabric {
+		spines, oversub := s.Fabric.Spines, s.Fabric.Oversub
+		if spines < 1 {
+			spines = 1
+		}
+		if oversub < 1 {
+			oversub = 1
+		}
+		fmt.Fprintf(&b, "  fabric leaves=%d spines=%d oversub=%d:1  trunk up=%.1f%% dn=%.1f%% q=%.1fus drops=%d\n",
+			s.Fabric.Leaves, spines, oversub,
+			m.TrunkUpPct, m.TrunkDownPct, m.TrunkQueueMicros, m.SwitchDrops)
+	}
 	for _, res := range r.Results {
 		fmt.Fprintf(&b, "  assert %s: %s (got %.3f)\n", res.Assert, verdict(res.Ok), res.Got)
 	}

@@ -13,6 +13,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"danas/internal/exper"
@@ -32,8 +33,11 @@ type Spec struct {
 	// Describe is a one-line human description.
 	Describe string
 	Fleet    Fleet
-	Retry    Retry
-	WB       WriteBehind
+	// Fabric selects the interconnect topology; the zero value keeps the
+	// single-switch star every pre-fabric scenario runs on.
+	Fabric FabricSpec
+	Retry  Retry
+	WB     WriteBehind
 	// Workload is the synthetic trace to replay; the runner applies the
 	// experiment -scale to it like every replay experiment
 	// (exper.ScaleGen), so one spec exercises every scale.
@@ -58,6 +62,42 @@ type Fleet struct {
 	// Ack is the write acknowledgement policy token ("sync", "quorum",
 	// "async"); empty defaults to sync. Only meaningful with replicas.
 	Ack string
+}
+
+// FabricSpec declares a leaf/spine interconnect for the fleet: servers
+// rack onto leaves by the cluster's placement rule, clients fill the
+// remaining leaves, and every cross-leaf flow rides the oversubscribed
+// trunk bundles. The zero value is the single-switch star.
+type FabricSpec struct {
+	// Leaves is the leaf-switch count; a fabric needs at least 2 (one
+	// leaf is the star, spelled by omitting the directive).
+	Leaves int
+	// Spines is the spine-switch count (0 = the cluster default of 1).
+	Spines int
+	// Oversub is the trunk oversubscription ratio N in N:1 (0 = 1,
+	// a non-blocking fabric).
+	Oversub int
+	// Ports caps host ports per leaf (0 = uncapped).
+	Ports int
+}
+
+// enabled reports whether the spec asks for a real multi-leaf fabric.
+func (f FabricSpec) enabled() bool { return f.Leaves > 1 }
+
+// parseSwitchRef decodes a switch reference ("leaf1", "spine0") into
+// its tier and index — the same spelling fail.Event prints.
+func parseSwitchRef(ref string) (fail.SwitchTier, int, error) {
+	for _, p := range []struct {
+		prefix string
+		tier   fail.SwitchTier
+	}{{"leaf", fail.TierLeaf}, {"spine", fail.TierSpine}} {
+		if rest, ok := strings.CutPrefix(ref, p.prefix); ok {
+			if idx, err := strconv.Atoi(rest); err == nil && idx >= 0 {
+				return p.tier, idx, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("bad switch %q (use leafN or spineN)", ref)
 }
 
 // Retry arms client-side recovery: retransmission with exponential
@@ -174,10 +214,18 @@ const (
 	FaultRollingRestart = "rolling-restart"
 	FaultDegrade        = "degrade"
 	FaultRestore        = "restore"
+	// FaultSwitchOutage black-holes one switch of the fabric (switch=
+	// leafN or spineN) for the down span — shared infrastructure, so
+	// every flow through it drops at once. FaultTrunkDegrade clamps a
+	// leaf's trunk bundle to 1/factor of its oversubscription-derived
+	// rate for the span; both need a fabric directive.
+	FaultSwitchOutage = "switch-outage"
+	FaultTrunkDegrade = "degrade-trunk"
 )
 
-// faultKinds lists every fault kind with the fields it takes.
-var faultKinds = map[string]struct{ down, stagger, factor, multi bool }{
+// faultKinds lists every fault kind with the fields it takes; swtch
+// kinds target a switch (switch=) instead of a shard set.
+var faultKinds = map[string]struct{ down, stagger, factor, multi, swtch bool }{
 	FaultCrash:          {},
 	FaultRestart:        {},
 	FaultCrashRestart:   {down: true},
@@ -185,6 +233,8 @@ var faultKinds = map[string]struct{ down, stagger, factor, multi bool }{
 	FaultRollingRestart: {down: true, stagger: true, multi: true},
 	FaultDegrade:        {down: true, factor: true},
 	FaultRestore:        {},
+	FaultSwitchOutage:   {down: true, swtch: true},
+	FaultTrunkDegrade:   {down: true, factor: true, swtch: true},
 }
 
 // FaultKinds lists the accepted fault kinds, sorted.
@@ -207,17 +257,23 @@ type Fault struct {
 	At      TimeSpec
 	Down    TimeSpec
 	Stagger TimeSpec
-	// Factor divides the victim link's bandwidth (degrade only).
+	// Factor divides the victim link's bandwidth (degrade) or trunk
+	// bundle's rate (degrade-trunk).
 	Factor int
 	// Copy selects which copy of each victim shard's replica set the
 	// fault hits: 0 (the default) is the primary, matching the
 	// pre-replication meaning; nonzero requires a replicated fleet.
 	Copy int
+	// Switch is the victim of switch-scoped kinds ("leaf1", "spine0");
+	// those kinds take it instead of Shards.
+	Switch string
 }
 
 // resolve compiles the fault to events against trace span d; linkBW is
-// the fleet's full link bandwidth (degrade rates derive from it).
-func (f Fault) resolve(d sim.Duration, linkBW float64) fail.Schedule {
+// the fleet's full link bandwidth (degrade rates derive from it) and
+// trunkRate gives a leaf's full trunk-bundle rate (degrade-trunk rates
+// derive from that).
+func (f Fault) resolve(d sim.Duration, linkBW float64, trunkRate func(leaf int) float64) fail.Schedule {
 	at := f.At.Resolve(d)
 	down := f.Down.Resolve(d)
 	var sched fail.Schedule
@@ -236,6 +292,12 @@ func (f Fault) resolve(d sim.Duration, linkBW float64) fail.Schedule {
 		sched = fail.Degrade(f.Shards[0], at, down, linkBW/float64(f.Factor))
 	case FaultRestore:
 		sched = fail.Schedule{{At: at, Kind: fail.RestoreLink, Shard: f.Shards[0]}}
+	case FaultSwitchOutage:
+		tier, idx := mustSwitchRef(f.Switch)
+		sched = fail.SwitchOutage(tier, idx, at, down)
+	case FaultTrunkDegrade:
+		_, idx := mustSwitchRef(f.Switch)
+		sched = fail.TrunkDegrade(idx, at, down, trunkRate(idx)/float64(f.Factor))
 	default:
 		panic("scenario: unknown fault kind " + f.Kind)
 	}
@@ -245,6 +307,15 @@ func (f Fault) resolve(d sim.Duration, linkBW float64) fail.Schedule {
 		}
 	}
 	return sched
+}
+
+// mustSwitchRef is parseSwitchRef for validated faults.
+func mustSwitchRef(ref string) (fail.SwitchTier, int) {
+	tier, idx, err := parseSwitchRef(ref)
+	if err != nil {
+		panic("scenario: unvalidated switch ref " + ref)
+	}
+	return tier, idx
 }
 
 // Assert kinds.
@@ -364,6 +435,29 @@ func (s *Spec) Validate() error {
 			return s.vErr("fleet: unknown ack %q (valid: sync quorum async)", s.Fleet.Ack)
 		}
 	}
+	if s.Fabric != (FabricSpec{}) {
+		if s.Fabric.Leaves < 2 {
+			return s.vErr("fabric: leaves must be at least 2, got %d (one leaf is the star: omit the directive)", s.Fabric.Leaves)
+		}
+		if s.Fabric.Spines < 0 || s.Fabric.Oversub < 0 || s.Fabric.Ports < 0 {
+			return s.vErr("fabric: negative field (leaves=%d spines=%d oversub=%d ports=%d)",
+				s.Fabric.Leaves, s.Fabric.Spines, s.Fabric.Oversub, s.Fabric.Ports)
+		}
+		if s.Fabric.Ports > 0 {
+			// Rack placement folds racks onto leaves round-robin, so the
+			// fullest leaf holds shards * ceil(racks/leaves) servers; a
+			// port cap below that would panic at construction.
+			racks := 1
+			if s.Fleet.Replicas > 0 {
+				racks = s.Fleet.Replicas + 1
+			}
+			perLeaf := s.Fleet.Shards * ((racks + s.Fabric.Leaves - 1) / s.Fabric.Leaves)
+			if s.Fabric.Ports < perLeaf {
+				return s.vErr("fabric: ports=%d below the %d servers rack placement puts on one leaf",
+					s.Fabric.Ports, perLeaf)
+			}
+		}
+	}
 	if s.Retry.Budget < 0 {
 		return s.vErr("retry: negative budget %d", s.Retry.Budget)
 	}
@@ -428,22 +522,47 @@ func (s *Spec) Validate() error {
 			return s.vErr("fault %d (%s): copy %d outside replica set of %d copies",
 				i, f.Kind, f.Copy, s.Fleet.Replicas+1)
 		}
-		if shape.multi {
-			if len(f.Shards) < 2 {
-				return s.vErr("fault %d (%s): need at least 2 shards", i, f.Kind)
+		if shape.swtch {
+			if !s.Fabric.enabled() {
+				return s.vErr("fault %d (%s): switch faults need a fabric directive", i, f.Kind)
 			}
-		} else if len(f.Shards) != 1 {
-			return s.vErr("fault %d (%s): need exactly one shard", i, f.Kind)
-		}
-		seen := make(map[int]bool)
-		for _, sh := range f.Shards {
-			if sh < 0 || sh >= s.Fleet.Shards {
-				return s.vErr("fault %d (%s): shard %d outside fleet of %d", i, f.Kind, sh, s.Fleet.Shards)
+			if f.Switch == "" {
+				return s.vErr("fault %d (%s): missing switch=", i, f.Kind)
 			}
-			if seen[sh] {
-				return s.vErr("fault %d (%s): duplicate shard %d", i, f.Kind, sh)
+			tier, _, err := parseSwitchRef(f.Switch)
+			if err != nil {
+				return s.vErr("fault %d (%s): %v", i, f.Kind, err)
 			}
-			seen[sh] = true
+			if f.Kind == FaultTrunkDegrade && tier != fail.TierLeaf {
+				return s.vErr("fault %d (%s): trunk bundles hang off leaves, got %q", i, f.Kind, f.Switch)
+			}
+			if len(f.Shards) != 0 {
+				return s.vErr("fault %d (%s): takes switch=, not shard=", i, f.Kind)
+			}
+			if f.Copy != 0 {
+				return s.vErr("fault %d (%s): takes no copy=", i, f.Kind)
+			}
+		} else {
+			if f.Switch != "" {
+				return s.vErr("fault %d (%s): %s takes no switch=", i, f.Kind, f.Kind)
+			}
+			if shape.multi {
+				if len(f.Shards) < 2 {
+					return s.vErr("fault %d (%s): need at least 2 shards", i, f.Kind)
+				}
+			} else if len(f.Shards) != 1 {
+				return s.vErr("fault %d (%s): need exactly one shard", i, f.Kind)
+			}
+			seen := make(map[int]bool)
+			for _, sh := range f.Shards {
+				if sh < 0 || sh >= s.Fleet.Shards {
+					return s.vErr("fault %d (%s): shard %d outside fleet of %d", i, f.Kind, sh, s.Fleet.Shards)
+				}
+				if seen[sh] {
+					return s.vErr("fault %d (%s): duplicate shard %d", i, f.Kind, sh)
+				}
+				seen[sh] = true
+			}
 		}
 		for _, t := range []TimeSpec{f.At, f.Down, f.Stagger} {
 			if t.Mode == TimePct && (t.Pct < 0 || t.Pct > 100) {
@@ -468,7 +587,7 @@ func (s *Spec) Validate() error {
 		if mode == TimeDur {
 			d = 0 // absolute times resolve as themselves
 		}
-		if err := s.schedule(d, 1e9).Validate(s.Fleet.Shards); err != nil {
+		if err := s.schedule(d, 1e9, nominalTrunkRate).ValidateTopo(s.failTopo()); err != nil {
 			return &ValidateError{Spec: s.Name, Msg: fmt.Sprintf("fault schedule: %v", err), Err: err}
 		}
 	}
@@ -489,19 +608,38 @@ func (s *Spec) Validate() error {
 }
 
 // downKey is the spelling of the duration key per fault kind ("for"
-// reads better for degrade).
+// reads better for the degradations).
 func downKey(kind string) string {
-	if kind == FaultDegrade {
+	if kind == FaultDegrade || kind == FaultTrunkDegrade {
 		return "for"
 	}
 	return "down"
 }
 
+// nominalTrunkRate stands in for the built fabric's trunk rate during
+// static validation, where only positivity matters; the runner compiles
+// the schedule again with the real rates.
+func nominalTrunkRate(int) float64 { return 1e9 }
+
+// failTopo is the fleet shape schedules validate against — the static
+// mirror of the built cluster's FailTopo.
+func (s *Spec) failTopo() fail.Topo {
+	topo := fail.Topo{Shards: s.Fleet.Shards, Leaves: 1}
+	if s.Fabric.enabled() {
+		topo.Leaves = s.Fabric.Leaves
+		topo.Spines = s.Fabric.Spines
+		if topo.Spines < 1 {
+			topo.Spines = 1
+		}
+	}
+	return topo
+}
+
 // schedule compiles every fault to one merged, time-ordered schedule.
-func (s *Spec) schedule(d sim.Duration, linkBW float64) fail.Schedule {
+func (s *Spec) schedule(d sim.Duration, linkBW float64, trunkRate func(leaf int) float64) fail.Schedule {
 	var parts []fail.Schedule
 	for _, f := range s.Faults {
-		parts = append(parts, f.resolve(d, linkBW))
+		parts = append(parts, f.resolve(d, linkBW, trunkRate))
 	}
 	return fail.Merge(parts...)
 }
@@ -525,6 +663,14 @@ func (s *Spec) replayConfig() exper.ReplayConfig {
 		WriteBehind: s.WB.Enabled,
 		WBAutoMarks: s.WB.Auto,
 		Replicas:    s.Fleet.Replicas,
+	}
+	if s.Fabric.enabled() {
+		cfg.Fabric = exper.FabricConfig{
+			Leaves:    s.Fabric.Leaves,
+			Spines:    s.Fabric.Spines,
+			Oversub:   s.Fabric.Oversub,
+			LeafPorts: s.Fabric.Ports,
+		}
 	}
 	if s.Fleet.Ack != "" {
 		ack, err := stripe.ParseAck(s.Fleet.Ack)

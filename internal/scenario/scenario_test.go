@@ -44,6 +44,24 @@ func TestValidateRejections(t *testing.T) {
 			s.Faults[0] = Fault{Kind: FaultMultiCrash, Shards: []int{1, 1}, At: Pct(25), Down: Pct(10)}
 		}},
 		{"unknown assert", func(s *Spec) { s.Asserts[0].Kind = "min-iops" }},
+		{"one-leaf fabric", func(s *Spec) { s.Fabric = FabricSpec{Leaves: 1} }},
+		{"fabric ports below rack placement", func(s *Spec) { s.Fabric = FabricSpec{Leaves: 2, Ports: 2} }},
+		{"switch fault without fabric", func(s *Spec) {
+			s.Faults[0] = Fault{Kind: FaultSwitchOutage, Switch: "spine0", At: Pct(25), Down: Pct(10)}
+		}},
+		{"switch fault without switch", func(s *Spec) {
+			s.Fabric = FabricSpec{Leaves: 2, Spines: 2}
+			s.Faults[0] = Fault{Kind: FaultSwitchOutage, At: Pct(25), Down: Pct(10)}
+		}},
+		{"switch fault with shard", func(s *Spec) {
+			s.Fabric = FabricSpec{Leaves: 2, Spines: 2}
+			s.Faults[0] = Fault{Kind: FaultSwitchOutage, Switch: "spine0", Shards: []int{0}, At: Pct(25), Down: Pct(10)}
+		}},
+		{"switch on shard kind", func(s *Spec) { s.Faults[0].Switch = "leaf0" }},
+		{"trunk degrade of a spine", func(s *Spec) {
+			s.Fabric = FabricSpec{Leaves: 2, Spines: 2}
+			s.Faults[0] = Fault{Kind: FaultTrunkDegrade, Switch: "spine0", At: Pct(25), Down: Pct(10), Factor: 4}
+		}},
 		{"valueless assert with value", func(s *Spec) { s.Asserts = []Assert{{Kind: AssertZeroFailedOps, Value: 1}} }},
 	}
 	for _, c := range cases {
@@ -90,9 +108,19 @@ func TestValidateRejectsImpossibleSchedules(t *testing.T) {
 		{"restore without degrade",
 			[]Fault{{Kind: FaultRestore, Shards: []int{0}, At: Pct(25)}},
 			fail.ErrNotDegraded},
+		{"spine outside fabric",
+			[]Fault{{Kind: FaultSwitchOutage, Switch: "spine5", At: Pct(25), Down: Pct(10)}},
+			fail.ErrSwitchRange},
+		{"trunk degrade of a downed leaf",
+			[]Fault{
+				{Kind: FaultSwitchOutage, Switch: "leaf0", At: Pct(20), Down: Pct(40)},
+				{Kind: FaultTrunkDegrade, Switch: "leaf0", At: Pct(30), Down: Pct(10), Factor: 4},
+			},
+			fail.ErrSwitchDark},
 	}
 	for _, c := range cases {
 		sp := valid()
+		sp.Fabric = FabricSpec{Leaves: 2, Spines: 2}
 		sp.Faults = c.faults
 		err := sp.Validate()
 		if err == nil {

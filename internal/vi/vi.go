@@ -19,11 +19,19 @@ import (
 
 // QP is one side of a connected queue pair.
 type QP struct {
-	name string
-	n    *nic.NIC
-	ep   *nic.Endpoint
-	peer *QP
+	name    string
+	n       *nic.NIC
+	ep      *nic.Endpoint
+	peer    *QP
+	timeout sim.Duration // bound on RDMA descriptor completion; 0 = wait forever
 }
+
+// SetRDMATimeout bounds every subsequent RDMA descriptor on this QP: if
+// no completion (data, ack, or exception) arrives within d, the
+// descriptor completes with nic.StatusTimeout instead of blocking
+// forever — required once a fabric can black-hole frames at a down
+// switch. Zero restores unbounded waiting.
+func (q *QP) SetRDMATimeout(d sim.Duration) { q.timeout = d }
 
 // Connect creates a connected queue pair between two NICs. port must be
 // unique per NIC; mode selects each side's completion discipline
@@ -122,13 +130,14 @@ func (q *QP) RDMA(p *sim.Proc, kind nic.OpKind, va uint64, length int64, cap []b
 	sig := sim.NewSignal(p.Sched())
 	var st nic.Status
 	q.n.RDMA(p, &nic.Op{
-		Kind:   kind,
-		Target: q.peer.n,
-		VA:     va,
-		Len:    length,
-		Cap:    cap,
-		Notify: q.ep.Mode,
-		Done:   func(s nic.Status) { st = s; sig.Fire() },
+		Kind:    kind,
+		Target:  q.peer.n,
+		VA:      va,
+		Len:     length,
+		Cap:     cap,
+		Notify:  q.ep.Mode,
+		Done:    func(s nic.Status) { st = s; sig.Fire() },
+		Timeout: q.timeout,
 	})
 	sig.Wait(p)
 	// Charge the completion consumption cost in the waiter's context.
@@ -145,12 +154,13 @@ func (q *QP) RDMA(p *sim.Proc, kind nic.OpKind, va uint64, length int64, cap []b
 // done after notification costs.
 func (q *QP) RDMAAsync(kind nic.OpKind, va uint64, length int64, cap []byte, done func(RDMAResult)) {
 	q.n.RDMAAsync(&nic.Op{
-		Kind:   kind,
-		Target: q.peer.n,
-		VA:     va,
-		Len:    length,
-		Cap:    cap,
-		Notify: q.ep.Mode,
-		Done:   func(s nic.Status) { done(RDMAResult{Status: s}) },
+		Kind:    kind,
+		Target:  q.peer.n,
+		VA:      va,
+		Len:     length,
+		Cap:     cap,
+		Notify:  q.ep.Mode,
+		Done:    func(s nic.Status) { done(RDMAResult{Status: s}) },
+		Timeout: q.timeout,
 	})
 }
