@@ -1,0 +1,200 @@
+// Command danas-lint runs the repository's analyzer suite (see
+// internal/lint): determinism, sortedmaps, typederr, procdiscipline
+// and panicfree — the simulator's machine-checked invariants — plus
+// nilness, shadow and lostcancel equivalents.
+//
+// Standalone:
+//
+//	danas-lint [-list] [packages...]        (default ./...)
+//
+// prints one "file:line:col: message (analyzer)" per finding and
+// exits 1 if there are any. Deliberate violations are silenced with a
+// justified suppression on or above the offending line:
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(which danas-lint) ./...
+//
+// the command speaks go vet's unitchecker protocol (-V=full and the
+// JSON .cfg file vet passes per package), type-checking against the
+// export data vet already built.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"danas/internal/lint"
+	"danas/internal/lint/analysis"
+	"danas/internal/lint/load"
+)
+
+func main() {
+	// go vet probes its tool twice before handing it packages: -V=full
+	// for a cache-busting version string, and -flags for the JSON list
+	// of tool flags to merge into its own (this suite exposes none).
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Println("danas-lint version 1 (danas invariant suite)")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	listFlag := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: danas-lint [-list] [packages...]\n   or: go vet -vettool=$(which danas-lint) [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads package patterns through the go command and prints
+// findings. Exit status 1 means findings, 2 means the load failed.
+func standalone(patterns []string) int {
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "danas-lint:", err)
+		return 2
+	}
+	found := 0
+	for _, p := range pkgs {
+		diags, err := lint.RunAnalyzers(p, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "danas-lint:", err)
+			return 2
+		}
+		found += len(diags)
+		printDiags(p, diags)
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printDiags(p *load.Package, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		name := "?"
+		if d.Analyzer != nil {
+			name = d.Analyzer.Name
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", relPath(pos.Filename), pos.Line, pos.Column, d.Message, name)
+	}
+}
+
+// relPath shortens an absolute filename to be relative to the current
+// directory when possible, matching go vet's output style.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// vetConfig is the JSON configuration go vet hands a -vettool per
+// package (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// exports flattens the config's package-file and import maps into the
+// import-path → export-data lookup the type-checker needs. (Kept out
+// of unitcheck so no map iteration shares a function with the
+// diagnostic printer — danas-lint holds itself to sortedmaps too; the
+// resulting map is order-independent anyway.)
+func (cfg *vetConfig) exports() map[string]string {
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for as, actual := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[actual]; ok {
+			exports[as] = f
+		}
+	}
+	return exports
+}
+
+// unitcheck analyzes one package from a vet .cfg file. Findings go to
+// stderr and exit status 2, which go vet reports; exit 0 is a clean
+// package. Facts are not used by this suite, but vet requires the
+// vetx output file to exist.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "danas-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "danas-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "danas-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	p, cerr := load.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.exports())
+	if cerr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "danas-lint:", cerr)
+		return 1
+	}
+	diags, rerr := lint.RunAnalyzers(p, lint.All())
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "danas-lint:", rerr)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		name := "?"
+		if d.Analyzer != nil {
+			name = d.Analyzer.Name
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, name)
+	}
+	return 2
+}

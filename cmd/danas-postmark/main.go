@@ -64,18 +64,18 @@ func main() {
 	cl.Go("postmark", func(p *danas.Proc) {
 		b := postmark.New(m.NASClient(), m.Host(), cfg)
 		if err := b.Setup(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("danas-postmark: setup: %v", err))
 		}
 		if *warm {
 			if _, err := b.Run(p); err != nil {
-				panic(err)
+				panic(fmt.Sprintf("danas-postmark: warm run: %v", err))
 			}
 		}
 		cl.MarkServerEpoch()
 		var err error
 		res, err = b.Run(p)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("danas-postmark: run: %v", err))
 		}
 	})
 	cl.Run()

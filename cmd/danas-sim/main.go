@@ -74,7 +74,7 @@ func main() {
 				if _, err := workload.Stream(p, m.NASClient(), workload.StreamConfig{
 					File: "data", BlockSize: *block, Window: *window, Passes: 1,
 				}); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("danas-sim: warm pass: %v", err))
 				}
 			}
 			if started == 0 {
@@ -98,7 +98,7 @@ func main() {
 				}
 			}
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("danas-sim: workload: %v", err))
 			}
 			results[i] = res
 		})

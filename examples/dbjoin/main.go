@@ -32,11 +32,11 @@ func main() {
 			cl.Go("dbapp", func(p *danas.Proc) {
 				outer, err := bdb.Create(p, client, src, host, "outer.db", 1<<20)
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("dbjoin: create outer: %v", err))
 				}
 				inner, err := bdb.Create(p, client, src, host, "inner.db", 16<<20)
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("dbjoin: create inner: %v", err))
 				}
 				rec := make([]byte, 60*1024)
 				for k := 0; k < records; k++ {
@@ -49,12 +49,12 @@ func main() {
 				// stream from the server.
 				inner2, err := bdb.Open(p, client, src, host, "inner.db", 2<<20)
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("dbjoin: reopen inner: %v", err))
 				}
 				start := p.Now()
 				res, err := bdb.EqualityJoin(p, outer, inner2, copyBytes, 8)
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("dbjoin: join: %v", err))
 				}
 				el := p.Now().Sub(start)
 				out[i] = float64(res.Bytes) / 1e6 / el.Seconds()

@@ -23,7 +23,7 @@ func main() {
 		var mb64, mb256, cpu float64
 		cl := danas.NewCluster(danas.WithServerCache(64*1024, 4096))
 		if err := cl.CreateWarmFile("movie.bin", fileSize); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("mediastream: create file: %v", err))
 		}
 		m := mountRaw(cl, proto)
 		cl.Go("stream", func(p *danas.Proc) {
@@ -31,7 +31,7 @@ func main() {
 				File: "movie.bin", BlockSize: 64 * 1024, Window: 8, Passes: 1,
 			})
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("mediastream: 64k stream: %v", err))
 			}
 			mb64 = res[0].MBps()
 
@@ -40,7 +40,7 @@ func main() {
 				File: "movie.bin", BlockSize: 256 * 1024, Window: 8, Passes: 1,
 			})
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("mediastream: 256k stream: %v", err))
 			}
 			mb256 = res[0].MBps()
 			cpu = 100 * m.ClientCPUUtilization()

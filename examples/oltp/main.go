@@ -25,7 +25,7 @@ func main() {
 		params.NICTLBSize = int(fileSize/4096) + 1024
 		cl := danas.NewCluster(danas.WithParams(params), danas.WithServerCache(4096, 1<<16))
 		if err := cl.CreateWarmFile("table.dat", fileSize); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("oltp: create table: %v", err))
 		}
 		mounts := make([]*danas.Mount, clients)
 		for i := range mounts {
@@ -43,7 +43,7 @@ func main() {
 				if _, err := workload.Stream(p, m.NASClient(), workload.StreamConfig{
 					File: "table.dat", BlockSize: 64 * 1024, Window: 2, Passes: 1,
 				}); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("oltp: warm stream: %v", err))
 				}
 				// Both clients start the measured phase together so the
 				// server epoch sees only small-I/O traffic.
@@ -59,7 +59,7 @@ func main() {
 					Seed: uint64(i + 1),
 				})
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("oltp: small io: %v", err))
 				}
 				results[i] = res
 			})

@@ -17,7 +17,7 @@ func main() {
 	// precondition).
 	const fileSize = 16 << 20
 	if err := cl.CreateWarmFile("quick.dat", fileSize); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("quickstart: create file: %v", err))
 	}
 
 	// An ODAFS mount whose data cache is much smaller than the file but
@@ -31,7 +31,7 @@ func main() {
 	cl.Go("app", func(p *danas.Proc) {
 		h, err := m.Open(p, "quick.dat")
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("quickstart: open: %v", err))
 		}
 		pass := func(name string) {
 			start := p.Now()
@@ -39,7 +39,7 @@ func main() {
 			for off := int64(0); off < h.Size; off += 256 * 1024 {
 				n, err := m.Read(p, h, off, 256*1024)
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("quickstart: read: %v", err))
 				}
 				total += n
 			}
@@ -63,7 +63,7 @@ func main() {
 		// Verify real content round-trips through the stack.
 		buf := make([]byte, 64)
 		if _, err := m.ReadData(p, h, 4096, buf); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("quickstart: read data: %v", err))
 		}
 		fmt.Printf("first content bytes at 4096: %x...\n", buf[:8])
 	})

@@ -252,9 +252,9 @@ func (db *DB) insert(p *sim.Proc, id PageID, level int, key uint64, ov PageID, v
 	}
 	db.h.Compute(p, pageCPU)
 	if level == 1 {
-		l, err := parseLeaf(data)
-		if err != nil {
-			return 0, nilPage, err
+		l, lerr := parseLeaf(data)
+		if lerr != nil {
+			return 0, nilPage, lerr
 		}
 		i, found := l.search(key)
 		if found {

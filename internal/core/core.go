@@ -160,7 +160,7 @@ func NewStripedClient(s *sim.Scheduler, clientNIC *nic.NIC, srvs []*dafs.Server,
 		panic("core: config needs positive block size and data capacity")
 	}
 	if err := layout.Validate(); err != nil {
-		panic(err)
+		panic(err.Error())
 	}
 	if len(srvs) != layout.Shards {
 		panic(fmt.Sprintf("core: %d servers for %d shards", len(srvs), layout.Shards))

@@ -162,7 +162,6 @@ func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
 			// XID, so out-of-order completion is fine). Write-path
 			// backpressure stays in-line by design: throttling the
 			// session is how the server sheds offered write load.
-			req := req
 			srv.S.Go("dafs-commit", func(cp *sim.Proc) { srv.commit(cp, qp, req) })
 		case wire.OpOpen, wire.OpLookup:
 			srv.openOp(p, qp, req)

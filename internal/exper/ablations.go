@@ -48,7 +48,7 @@ func ablationTLBPoint(n int, missUS float64) (meanUS, missRate float64) {
 	fileSize := int64(n) * 4096
 	f, err := cl.FS.Create("a1", fileSize)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("a1: create: %v", err))
 	}
 	cl.ServerCache.Warm(f) // exports installed; TLB deliberately cold
 
@@ -171,16 +171,16 @@ func ablationDirPoint(files, txns int, mq bool) (tps, ordmaRate float64) {
 	cl.Go("pm", func(p *sim.Proc) {
 		b := postmark.NewSkewed(client, cl.Nodes[0].Host, pmCfg, 0.8)
 		if err := b.Setup(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("dir ablation: postmark setup: %v", err))
 		}
 		if _, err := b.Run(p); err != nil { // warm
-			panic(err)
+			panic(fmt.Sprintf("dir ablation: postmark warm: %v", err))
 		}
 		cl.ServerNIC.TPT.WarmTLB()
 		st0 := client.Stats()
 		res, err := b.Run(p)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("dir ablation: postmark run: %v", err))
 		}
 		st1 := client.Stats()
 		tps = res.TxnsPerSec()
@@ -231,7 +231,7 @@ func ablationBatchPoint(n, batch int) float64 {
 				offs[i] = off + int64(i)*block
 			}
 			if _, err := client.BatchReadDirect(p, h, offs, block, 1); err != nil {
-				panic(err)
+				panic(fmt.Sprintf("batch ablation: read: %v", err))
 			}
 			reads += batch
 		}
@@ -287,15 +287,15 @@ func ablationWriteRatioPoint(files, txns, readPct int, ordma bool) float64 {
 	cl.Go("pm", func(p *sim.Proc) {
 		b := postmark.New(client, cl.Nodes[0].Host, pmCfg)
 		if err := b.Setup(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("write-ratio ablation: postmark setup: %v", err))
 		}
 		if _, err := b.Run(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("write-ratio ablation: postmark warm: %v", err))
 		}
 		cl.ServerNIC.TPT.WarmTLB()
 		res, err := b.Run(p)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("write-ratio ablation: postmark run: %v", err))
 		}
 		tps = res.TxnsPerSec()
 	})
@@ -338,7 +338,7 @@ func ablationSuccessPoint(n int, validFrac float64, ordma bool) float64 {
 	fileSize := int64(n) * 4096
 	f, err := cl.FS.Create("a5", fileSize)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("a5: create: %v", err))
 	}
 	cl.ServerCache.Warm(f)
 	client := cl.CachedClient(0, core.Config{
@@ -351,7 +351,7 @@ func ablationSuccessPoint(n int, validFrac float64, ordma bool) float64 {
 	cl.Go("bench", func(p *sim.Proc) {
 		h, _ := client.Open(p, "a5")
 		if err := client.PopulateDirectory(p, h); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("a5: populate directory: %v", err))
 		}
 		// Invalidate a fraction of the exports server-side.
 		cl.ServerCache.EvictFraction(f, 1-validFrac, sim.NewRand(7))
@@ -361,7 +361,7 @@ func ablationSuccessPoint(n int, validFrac float64, ordma bool) float64 {
 		for off := int64(0); off < fileSize; off += 4096 {
 			got, err := client.Read(p, h, off, 4096, 1)
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("a5: read: %v", err))
 			}
 			bytes += got
 		}

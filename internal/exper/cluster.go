@@ -508,7 +508,7 @@ func (c *Cluster) CreateWarmFile(name string, size int64) *fsim.File {
 		for _, sh := range set {
 			f, err := sh.FS.Create(name, size)
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("exper: create warm file: %v", err))
 			}
 			sh.Cache.Warm(f)
 			sh.NIC.TPT.WarmTLB()

@@ -70,7 +70,7 @@ func fig3Point(system string, fileSize, block int64) (mbps, util float64) {
 			File: "stream", BlockSize: block, Window: 8, Passes: 1,
 		})
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig3: stream: %v", err))
 		}
 		util = node.Host.CPU.Utilization()
 	})

@@ -73,21 +73,21 @@ func fig5Point(system string, records int, copyPerRecord int64) float64 {
 		}
 		rec := make([]byte, 60*1024)
 		for k := 0; k < records; k++ {
-			if err := outer.Put(p, uint64(k), []byte{1}); err != nil {
-				panic(err)
+			if perr := outer.Put(p, uint64(k), []byte{1}); perr != nil {
+				panic(fmt.Sprintf("fig5 build: outer put: %v", perr))
 			}
 			for i := range rec {
 				rec[i] = byte(k + i)
 			}
-			if err := inner.Put(p, uint64(k), rec); err != nil {
-				panic(err)
+			if perr := inner.Put(p, uint64(k), rec); perr != nil {
+				panic(fmt.Sprintf("fig5 build: inner put: %v", perr))
 			}
 		}
-		if err := outer.Sync(p); err != nil {
-			panic(err)
+		if serr := outer.Sync(p); serr != nil {
+			panic(fmt.Sprintf("fig5 build: outer sync: %v", serr))
 		}
-		if err := inner.Sync(p); err != nil {
-			panic(err)
+		if serr := inner.Sync(p); serr != nil {
+			panic(fmt.Sprintf("fig5 build: inner sync: %v", serr))
 		}
 		// Server cache is warm from the writes; re-warm explicitly and
 		// open fresh handles with a cold db cache sized well below the
@@ -96,11 +96,11 @@ func fig5Point(system string, records int, copyPerRecord int64) float64 {
 		cl.ServerCache.Warm(f)
 		outer2, err := bdb.Open(p, client, cl.FS, node.Host, "outer.db", 1<<20)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig5: open outer: %v", err))
 		}
 		inner2, err := bdb.Open(p, client, cl.FS, node.Host, "inner.db", 4<<20)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig5: open inner: %v", err))
 		}
 		start := p.Now()
 		res, err := bdb.EqualityJoin(p, outer2, inner2, copyPerRecord, 8)

@@ -106,19 +106,19 @@ func fig6Point(files, txns, hitPercent int, ordma bool) (float64, float64) {
 	cl.Go("postmark", func(p *sim.Proc) {
 		b := postmark.New(client, cl.Nodes[0].Host, pmCfg)
 		if err := b.Setup(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig6: postmark setup: %v", err))
 		}
 		// Warm pass: fills the client cache to its steady state and — for
 		// ODAFS — collects references for every file accessed at least
 		// once (§5.2: "after the client has accessed each file").
 		if _, err := b.Run(p); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig6: postmark warm: %v", err))
 		}
 		cl.ServerNIC.TPT.WarmTLB()
 		cl.ServerHost.CPU.MarkEpoch()
 		res, err := b.Run(p)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig6: postmark run: %v", err))
 		}
 		tps = res.TxnsPerSec()
 		util = cl.ServerHost.CPU.Utilization()

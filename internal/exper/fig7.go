@@ -121,7 +121,7 @@ func fig7Point(fileSize, block int64, ordma, serverPoll bool) float64 {
 	})
 	cl.Run()
 	if res.Err != nil {
-		panic(res.Err)
+		panic(fmt.Sprintf("fig7: %v", res.Err))
 	}
 	return res.AggregateMBps()
 }

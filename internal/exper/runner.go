@@ -54,13 +54,13 @@ func RunJobs(workers int, jobs []Job) {
 		workers = len(jobs)
 	}
 	var panicMu sync.Mutex
-	var firstPanic error
+	var firstPanic string
 	runOne := func(j Job) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicMu.Lock()
-				if firstPanic == nil {
-					firstPanic = fmt.Errorf("exper: job %s: %v", j.Name, r)
+				if firstPanic == "" {
+					firstPanic = fmt.Sprintf("exper: job %s: %v", j.Name, r)
 				}
 				panicMu.Unlock()
 			}
@@ -89,7 +89,7 @@ func RunJobs(workers int, jobs []Job) {
 		close(ch)
 		wg.Wait()
 	}
-	if firstPanic != nil {
+	if firstPanic != "" {
 		panic(firstPanic)
 	}
 }

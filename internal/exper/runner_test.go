@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -43,8 +44,8 @@ func TestRunJobsPanicCarriesName(t *testing.T) {
 				if r == nil {
 					t.Fatalf("workers=%d: expected panic to propagate", workers)
 				}
-				msg, ok := r.(error)
-				if !ok || !strings.Contains(msg.Error(), "broken/cell") || !strings.Contains(msg.Error(), "boom") {
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "broken/cell") || !strings.Contains(msg, "boom") {
 					t.Errorf("workers=%d: panic %v does not name the failing job", workers, r)
 				}
 				if got := ran.Load(); got != 2 {
@@ -122,5 +123,31 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 	}
 	if serialF7 != parF7 {
 		t.Errorf("Figure 7 differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s", serialF7, parF7)
+	}
+}
+
+// TestArtifactIdenticalAcrossGOMAXPROCS pins the stronger half of the
+// determinism contract: not just the worker-pool width but the Go
+// scheduler's own parallelism must be invisible in rendered artifacts.
+// The same small artifact is rendered three times under different
+// GOMAXPROCS settings with the pool width held fixed; any divergence
+// means host-scheduler interleaving leaked into a simulation.
+func TestArtifactIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	oldPar := Parallelism()
+	defer SetParallelism(oldPar)
+	SetParallelism(4)
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	procs := []int{1, 2, 8}
+	var outs []string
+	for _, n := range procs {
+		runtime.GOMAXPROCS(n)
+		outs = append(outs, Fig7(tiny).String())
+	}
+	for i, out := range outs[1:] {
+		if out != outs[0] {
+			t.Fatalf("artifact differs between GOMAXPROCS=%d and GOMAXPROCS=%d", procs[0], procs[i+1])
+		}
 	}
 }

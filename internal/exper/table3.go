@@ -1,6 +1,8 @@
 package exper
 
 import (
+	"fmt"
+
 	"danas/internal/cache"
 	"danas/internal/core"
 	"danas/internal/dafs"
@@ -85,7 +87,7 @@ func rawLatency(n int, mechanism string) float64 {
 	cl.Go("bench", func(p *sim.Proc) {
 		h, err := client.Open(p, "t3")
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("table3: open: %v", err))
 		}
 		if mechanism == "ordma" {
 			// First pass over RPC collects the remote memory references;
@@ -114,7 +116,7 @@ func rawLatency(n int, mechanism string) float64 {
 			for off := int64(0); off < fileSize; off += 4096 {
 				start := p.Now()
 				if _, err := client.Read(p, h, off, 4096, 1); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("table3: read: %v", err))
 				}
 				if pass == 1 {
 					hist.Observe(p.Now().Sub(start))
@@ -152,7 +154,7 @@ func cachedLatency(n int, mechanism string) float64 {
 	cl.Go("bench", func(p *sim.Proc) {
 		h, err := client.Open(p, "t3")
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("table3: open: %v", err))
 		}
 		for pass := 0; pass < 2; pass++ {
 			if pass == 1 {
@@ -161,7 +163,7 @@ func cachedLatency(n int, mechanism string) float64 {
 			for off := int64(0); off < fileSize; off += 4096 {
 				start := p.Now()
 				if _, err := client.Read(p, h, off, 4096, 1); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("table3: read: %v", err))
 				}
 				if pass == 1 {
 					hist.Observe(p.Now().Sub(start))

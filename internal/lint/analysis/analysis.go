@@ -1,0 +1,180 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer owns a
+// name, a doc string and a Run function; a Pass hands the Run function
+// one type-checked package and collects Diagnostics. The build
+// environment for this repository is offline, so the upstream module
+// cannot be pulled in; the subset here is API-compatible by shape
+// (Analyzer/Pass/Diagnostic/Reportf) so the analyzers in
+// internal/lint would port to the real framework unchanged.
+//
+// The one deliberate extension is first-class suppression: a comment
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// on (or immediately above) a line mutes that analyzer's diagnostics
+// for that line. The justification is mandatory — an unexplained
+// ignore is itself reported — so every deliberate violation of an
+// invariant carries its reason in the source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. It must look like a Go identifier.
+	Name string
+	// Doc is the one-paragraph description -h prints: the invariant
+	// the analyzer enforces and what a finding means.
+	Doc string
+	// Run executes the check over one package and reports findings
+	// through pass.Reportf. The result value is unused by this
+	// driver (the upstream framework threads it between analyzers)
+	// but kept in the signature for API compatibility.
+	Run func(pass *Pass) (any, error)
+}
+
+// Diagnostic is one finding, pinned to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppress suppressions
+	report   func(Diagnostic)
+}
+
+// NewPass assembles a pass over a type-checked package. The sink
+// receives every non-suppressed diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		suppress:  collectSuppressions(fset, files),
+		report:    sink,
+	}
+}
+
+// Reportf records a finding at pos unless a //lint:ignore comment for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppress.covers(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// suppressKey addresses one suppressed (file line, analyzer) pair.
+type suppressKey struct {
+	file string
+	line int
+	name string
+}
+
+type suppressions map[suppressKey]bool
+
+// IgnoreDirective is the comment prefix that mutes one analyzer on one
+// line. The full form is "//lint:ignore <analyzer> <justification>".
+const IgnoreDirective = "//lint:ignore"
+
+// collectSuppressions scans every comment for ignore directives. A
+// directive covers its own line and, when it is the only thing on its
+// line, the next line — the two places a justified suppression reads
+// naturally.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s[suppressKey{pos.Filename, pos.Line, name}] = true
+				s[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore extracts the analyzer name from a well-formed ignore
+// directive. Directives without a justification are treated as absent
+// (BadIgnores reports them), so they suppress nothing.
+func parseIgnore(text string) (name string, ok bool) {
+	if !strings.HasPrefix(text, IgnoreDirective) {
+		return "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, IgnoreDirective))
+	if len(fields) < 2 {
+		return "", false // name but no justification, or nothing at all
+	}
+	return fields[0], true
+}
+
+// BadIgnores returns a diagnostic position and message for every
+// //lint:ignore directive that lacks an analyzer name or a
+// justification. The drivers report these as findings of their own:
+// an unexplained suppression is a violation, not an escape hatch.
+func BadIgnores(files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnoreDirective) {
+					continue
+				}
+				if _, ok := parseIgnore(c.Text); !ok {
+					out = append(out, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed " + IgnoreDirective + " (need \"" + IgnoreDirective + " <analyzer> <justification>\")",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (s suppressions) covers(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	return s[suppressKey{p.Filename, p.Line, name}]
+}
+
+// SortDiagnostics orders findings by file, line and column so output
+// is stable regardless of analyzer execution order.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

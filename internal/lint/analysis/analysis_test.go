@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//lint:ignore determinism the clock here is host-side", "determinism", true},
+		{"//lint:ignore panicfree x", "panicfree", true},
+		{"//lint:ignore determinism", "", false},         // justification missing
+		{"//lint:ignore", "", false},                     // name missing too
+		{"// lint:ignore determinism reason", "", false}, // space breaks the directive
+		{"//nolint:all", "", false},
+	} {
+		name, ok := parseIgnore(tc.text)
+		if name != tc.name || ok != tc.ok {
+			t.Errorf("parseIgnore(%q) = (%q, %v), want (%q, %v)", tc.text, name, ok, tc.name, tc.ok)
+		}
+	}
+}
+
+const suppressedSrc = `package p
+
+func a() {
+	//lint:ignore demo covered: the directive line and the next
+	bad()
+	bad()
+}
+
+//lint:ignore demo
+func b() { bad() }
+
+func bad() {}
+`
+
+// lineOf returns the position of the first statement on the given
+// 1-based source line, so tests can report "from" real code positions.
+func lineOf(t *testing.T, fset *token.FileSet, f *ast.File, line int) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || pos != token.NoPos {
+			return false
+		}
+		if fset.Position(n.Pos()).Line == line {
+			pos = n.Pos()
+			return false
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		t.Fatalf("no node on line %d", line)
+	}
+	return pos
+}
+
+// TestReportfSuppression checks a justified directive mutes the named
+// analyzer on its own line and the next — and only that analyzer —
+// while a justification-less directive suppresses nothing.
+func TestReportfSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(a *Analyzer, line int) bool {
+		delivered := false
+		pass := NewPass(a, fset, []*ast.File{f}, nil, nil, func(Diagnostic) { delivered = true })
+		pass.Reportf(lineOf(t, fset, f, line), "finding")
+		return delivered
+	}
+	demo := &Analyzer{Name: "demo"}
+	other := &Analyzer{Name: "other"}
+	if report(demo, 5) {
+		t.Error("line after a justified directive: finding delivered, want suppressed")
+	}
+	if !report(demo, 6) {
+		t.Error("two lines below the directive: finding suppressed, want delivered")
+	}
+	if !report(other, 5) {
+		t.Error("directive for a different analyzer suppressed this one")
+	}
+	if report(demo, 10) {
+		// Line 10 is b's body, under the justification-less directive
+		// on line 9 — which must suppress nothing... so a finding IS
+		// delivered.
+		t.Log("justification-less directive correctly suppresses nothing")
+	} else {
+		t.Error("justification-less directive suppressed a finding")
+	}
+}
+
+// TestBadIgnores checks the malformed directive is itself reported.
+func TestBadIgnores(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := BadIgnores([]*ast.File{f})
+	if len(bad) != 1 {
+		t.Fatalf("BadIgnores found %d directives, want 1 (the justification-less one)", len(bad))
+	}
+	if line := fset.Position(bad[0].Pos).Line; line != 9 {
+		t.Errorf("malformed directive reported on line %d, want 9", line)
+	}
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs one analyzer over a fixture package under
+// testdata/src and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which cannot
+// be vendored in this offline build environment).
+//
+// A fixture is a directory testdata/src/<import/path>/ whose files
+// are type-checked as <import/path>. Expectations are comments:
+//
+//	m := map[int]int{} // no comment: no diagnostic expected here
+//	for k := range m { // want `map iteration`
+//
+// Each backquoted or double-quoted string after "// want" is a regexp
+// that must match a diagnostic reported on that line; diagnostics
+// with no matching want, and wants with no matching diagnostic, fail
+// the test. Fixtures may only import the standard library.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"danas/internal/lint/analysis"
+	"danas/internal/lint/load"
+)
+
+// Run analyzes the fixture package at testdata/src/<importPath> with
+// a and compares diagnostics against its // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			t.Fatalf("parsing fixture: %v", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", importPath)
+	}
+
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if strings.HasPrefix(p, "danas") {
+				t.Fatalf("fixture %s imports %s; fixtures must stick to the standard library", importPath, p)
+			}
+			imports = append(imports, p)
+		}
+	}
+	exports, err := load.StdExports(".", imports)
+	if err != nil {
+		t.Fatalf("building std export data: %v", err)
+	}
+	pkg, err := load.CheckFiles(importPath, dir, fset, files, exports)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+		func(d analysis.Diagnostic) { got = append(got, d) })
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, got)
+
+	wants := collectWants(t, fset, files)
+	matched := make([]bool, len(wants))
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE pulls the quoted or backquoted patterns off a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				pats := wantRE.FindAllString(rest, -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, p := range pats {
+					var pat string
+					if p[0] == '`' {
+						pat = p[1 : len(p)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, p, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// NoDiagnostics asserts the analyzer is silent on the fixture — the
+// "pass" half of a trigger/pass fixture pair. With no want comments
+// present, Run already fails on any diagnostic; the explicit name
+// documents the fixture's intent at the call site.
+func NoDiagnostics(t *testing.T, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	Run(t, a, importPath)
+}

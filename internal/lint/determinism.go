@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"danas/internal/lint/analysis"
+)
+
+// Determinism forbids nondeterministic inputs inside simulator-domain
+// packages: wall-clock time, global (unseeded) math/rand state, and
+// environment lookups. Simulated time comes from sim.Scheduler/Proc;
+// randomness comes from seeded sources (rand.New(rand.NewSource(s))
+// or sim's seeded wrappers). Any of the flagged calls would make a
+// run a function of the host machine instead of its inputs and seeds,
+// breaking the byte-identical-artifact contract.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, unseeded math/rand and environment reads in simulator packages; " +
+		"use simulated time (sim.Proc) and seeded sources so runs are pure functions of inputs and seeds",
+	Run: runDeterminism,
+}
+
+// deniedFuncs maps package path → function names that read host state.
+var deniedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "use the scheduler's virtual clock (sim.Proc.Now)",
+		"Sleep":     "use sim.Proc.Sleep (simulated time)",
+		"After":     "use sim.Scheduler.After (simulated time)",
+		"AfterFunc": "use sim.Scheduler.After (simulated time)",
+		"Tick":      "use a sim.Proc loop with Sleep",
+		"NewTimer":  "use sim.Scheduler.After (simulated time)",
+		"NewTicker": "use a sim.Proc loop with Sleep",
+		"Since":     "subtract sim.Time values instead",
+		"Until":     "subtract sim.Time values instead",
+	},
+	"os": {
+		"Getenv":    "behavior must not depend on the environment; take configuration as explicit parameters",
+		"LookupEnv": "behavior must not depend on the environment; take configuration as explicit parameters",
+		"Environ":   "behavior must not depend on the environment; take configuration as explicit parameters",
+	},
+}
+
+// randConstructors are the only math/rand entry points simulator code
+// may touch: they build explicitly-seeded sources. Everything else at
+// package level (Intn, Float64, Perm, Shuffle, Seed, ...) reads or
+// mutates the process-global generator.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !simDomain(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			switch path := obj.Pkg().Path(); path {
+			case "time", "os":
+				if hint, bad := deniedFuncs[path][fn.Name()]; bad && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(id.Pos(), "%s.%s in simulator-domain code: %s", path, fn.Name(), hint)
+				}
+			case "math/rand", "math/rand/v2":
+				if fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(), "%s.%s uses the process-global random state: draw from an explicitly seeded source instead", path, fn.Name())
+				}
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

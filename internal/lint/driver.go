@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"fmt"
+
+	"danas/internal/lint/analysis"
+	"danas/internal/lint/load"
+)
+
+// IgnoreCheck is the pseudo-analyzer that owns diagnostics about the
+// suppression mechanism itself: a //lint:ignore directive without an
+// analyzer name or a justification suppresses nothing and is reported
+// as a finding, so every deliberate invariant violation in the tree
+// carries its reason.
+var IgnoreCheck = &analysis.Analyzer{
+	Name: "lintignore",
+	Doc:  "report malformed //lint:ignore directives (the justification is mandatory)",
+}
+
+// RunAnalyzers executes the analyzers over one loaded package and
+// returns the surviving (non-suppressed) diagnostics in positional
+// order, malformed-suppression findings included.
+func RunAnalyzers(p *load.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, p.Fset, p.Files, p.Types, p.Info,
+			func(d analysis.Diagnostic) { diags = append(diags, d) })
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.ImportPath, err)
+		}
+	}
+	for _, d := range analysis.BadIgnores(p.Files) {
+		d.Analyzer = IgnoreCheck
+		diags = append(diags, d)
+	}
+	analysis.SortDiagnostics(p.Fset, diags)
+	return diags, nil
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"danas/internal/lint/analysis"
+)
+
+// The three analyzers in this file are scoped-down reimplementations
+// of golang.org/x/tools/go/analysis/passes' nilness, shadow and
+// lostcancel. The upstream module cannot be vendored in this offline
+// build environment, so the multichecker carries these equivalents;
+// each keeps the upstream name and the high-signal core of the check
+// while dropping the SSA-based reasoning the originals use for the
+// long tail.
+
+// Nilness flags uses of a variable inside the body of `if x == nil`
+// that would dereference it: field selection, indexing, and explicit
+// *x. The upstream analyzer proves nilness along all paths over SSA;
+// this version handles the directly-guarded case, which is where the
+// repo's past nil-sink bug lived.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of a variable inside the body of its own == nil guard",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			bin, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || bin.Op != token.EQL {
+				return true
+			}
+			var guarded *ast.Ident
+			if isNilIdent(bin.Y) {
+				guarded, _ = ast.Unparen(bin.X).(*ast.Ident)
+			} else if isNilIdent(bin.X) {
+				guarded, _ = ast.Unparen(bin.Y).(*ast.Ident)
+			}
+			if guarded == nil {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[guarded].(*types.Var)
+			if !ok || !nilableDeref(obj.Type()) {
+				return true
+			}
+			if reassignedIn(pass, ifs.Body, obj) {
+				return true
+			}
+			ast.Inspect(ifs.Body, func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.SelectorExpr:
+					if usesVar(pass, e.X, obj) && isFieldSelection(pass, e) {
+						pass.Reportf(e.Pos(), "nil dereference in field selection (%s is nil here)", guarded.Name)
+					}
+				case *ast.StarExpr:
+					if usesVar(pass, e.X, obj) {
+						pass.Reportf(e.Pos(), "nil dereference in load (%s is nil here)", guarded.Name)
+					}
+				case *ast.IndexExpr:
+					if usesVar(pass, e.X, obj) {
+						if _, isMap := obj.Type().Underlying().(*types.Map); !isMap {
+							pass.Reportf(e.Pos(), "nil dereference in index operation (%s is nil here)", guarded.Name)
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilableDeref reports whether dereferencing a nil value of type t
+// faults: pointers and slices (map reads and nil-method calls can be
+// legal, so they are excluded).
+func nilableDeref(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isFieldSelection reports whether sel selects a struct field (not a
+// method — calling a method on a nil pointer can be legal).
+func isFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+func usesVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+// reassignedIn reports whether body assigns to v anywhere.
+func reassignedIn(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if pass.TypesInfo.Uses[id] == v || pass.TypesInfo.Defs[id] == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Shadow flags a short variable declaration that redeclares a name
+// from an enclosing function scope when the shadowed variable is
+// still used after the inner scope closes — the case where the
+// shadow plausibly swallows an assignment the outer reader expects.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag shadowed variable declarations whose shadowed original is used after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	// Collect every use position of every object once, sorted, so
+	// "used after scope end" is a binary search.
+	usePos := map[types.Object][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		usePos[obj] = append(usePos[obj], id.Pos())
+	}
+	for _, ps := range usePos {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				innerScope := inner.Parent()
+				if innerScope == nil || innerScope.Parent() == nil {
+					continue
+				}
+				_, outerObj := innerScope.Parent().LookupParent(id.Name, id.Pos())
+				outer, ok := outerObj.(*types.Var)
+				if !ok || outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+					continue
+				}
+				if !types.Identical(inner.Type(), outer.Type()) {
+					continue // different type: almost always deliberate reuse of a good name
+				}
+				// Is the outer variable used after the inner scope ends?
+				ps := usePos[outer]
+				i := sort.Search(len(ps), func(i int) bool { return ps[i] > innerScope.End() })
+				if i < len(ps) && ps[i] <= outer.Parent().End() {
+					pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+						id.Name, pass.Fset.Position(outer.Pos()).Line)
+				}
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// LostCancel flags context.WithCancel/WithTimeout/WithDeadline calls
+// whose cancel function is discarded with the blank identifier; the
+// context (and its resources) can then never be released.
+var LostCancel = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "flag discarded cancel functions from context.WithCancel and friends",
+	Run:  runLostCancel,
+}
+
+var cancelFuncs = map[string]bool{"WithCancel": true, "WithTimeout": true, "WithDeadline": true, "WithCancelCause": true}
+
+func runLostCancel(pass *analysis.Pass) (any, error) {
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelFuncs[fn.Name()] {
+				return true
+			}
+			if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(id.Pos(), "the cancel function returned by context.%s should be used, not discarded, to avoid a context leak", fn.Name())
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,86 @@
+// Package lint holds danas-lint's analyzers: machine-checked versions
+// of the invariants every PR to this repository re-proves by hand.
+//
+// The simulator's value rests on properties the compiler cannot see:
+//
+//   - artifacts are byte-identical across reruns and -parallel widths,
+//     so nothing under internal/ may consult wall-clock time, global
+//     random state, the environment, or map iteration order on a path
+//     that writes report output;
+//   - faults surface as typed errors matchable with errors.Is/As,
+//     never as hangs or bare panics;
+//   - all simulated concurrency flows through the internal/sim
+//     scheduler (sim.Proc), never raw goroutines or sync primitives.
+//
+// Each analyzer enforces one of these at the diff, the way the
+// paper's own interface discipline (stable/unstable writes, typed
+// export invalidation) makes direct-access storage safe by
+// construction rather than by heroics.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"danas/internal/lint/analysis"
+)
+
+// ModulePrefix is the import-path prefix of this module's packages.
+const ModulePrefix = "danas"
+
+// simDomainPrefix marks the packages that run inside the simulation.
+const simDomainPrefix = ModulePrefix + "/internal/"
+
+// hostToolPrefix exempts the lint tree itself: it is host-side
+// tooling (it shells out to the go command and reads the wall clock
+// freely) and never executes inside a simulation.
+const hostToolPrefix = ModulePrefix + "/internal/lint"
+
+// simDomain reports whether import path is simulator-domain code —
+// the scope of the determinism and scheduler-discipline invariants.
+func simDomain(path string) bool {
+	return strings.HasPrefix(path, simDomainPrefix) && !strings.HasPrefix(path, hostToolPrefix)
+}
+
+// TypedErrPackages lists the packages that declare error sentinels;
+// typederr enforces wrap-or-sentinel discipline inside them. A new
+// package that declares sentinels must register here (see
+// CONTRIBUTING.md).
+var TypedErrPackages = []string{
+	ModulePrefix + "/internal/fail",
+	ModulePrefix + "/internal/nas",
+	ModulePrefix + "/internal/rpc",
+	ModulePrefix + "/internal/scenario",
+	ModulePrefix + "/internal/stripe",
+	ModulePrefix + "/internal/trace",
+}
+
+// All returns every analyzer in the suite, custom invariants first,
+// in the order danas-lint runs them.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Determinism,
+		SortedMaps,
+		TypedErr,
+		ProcDiscipline,
+		PanicFree,
+		Nilness,
+		Shadow,
+		LostCancel,
+	}
+}
+
+// isTestFile reports whether f comes from a _test.go file. Test code
+// may use wall-clock timeouts, goroutines and t.Fatal freely.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// eachNonTestFile visits every non-test file of the pass.
+func eachNonTestFile(pass *analysis.Pass, fn func(f *ast.File)) {
+	for _, f := range pass.Files {
+		if !isTestFile(pass, f) {
+			fn(f)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"testing"
+
+	"danas/internal/lint/analysistest"
+)
+
+// Each analyzer gets a trigger fixture (with // want expectations) and,
+// where the check is scoped by import path or file name, a pass
+// fixture proving the gate. Fixture packages live under testdata/src
+// and type-check against the standard library only.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, Determinism, "danas/internal/fixture/det")
+}
+
+func TestDeterminismExemptsHostTools(t *testing.T) {
+	analysistest.NoDiagnostics(t, Determinism, "danas/cmd/fixture/hosttool")
+}
+
+func TestSortedMaps(t *testing.T) {
+	analysistest.Run(t, SortedMaps, "danas/internal/fixture/sorted")
+}
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, TypedErr, "danas/internal/fail")
+}
+
+func TestTypedErrScopedToSentinelPackages(t *testing.T) {
+	analysistest.NoDiagnostics(t, TypedErr, "danas/internal/fixture/typederrok")
+}
+
+func TestProcDiscipline(t *testing.T) {
+	analysistest.Run(t, ProcDiscipline, "danas/internal/fixture/proc")
+}
+
+func TestProcDisciplineAllowsCoroutineEngine(t *testing.T) {
+	analysistest.NoDiagnostics(t, ProcDiscipline, "danas/internal/sim")
+}
+
+func TestProcDisciplineAllowsWorkerPoolFileOnly(t *testing.T) {
+	// runner.go is allowlisted; other.go in the same package is not.
+	analysistest.Run(t, ProcDiscipline, "danas/internal/exper")
+}
+
+func TestProcDisciplineExemptsHostTools(t *testing.T) {
+	analysistest.NoDiagnostics(t, ProcDiscipline, "danas/cmd/fixture/hosttool")
+}
+
+func TestPanicFree(t *testing.T) {
+	analysistest.Run(t, PanicFree, "danas/internal/fixture/panics")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, Nilness, "danas/internal/fixture/nilcheck")
+}
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, Shadow, "danas/internal/fixture/shadowed")
+}
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, LostCancel, "danas/internal/fixture/cancel")
+}

@@ -1,0 +1,179 @@
+// Package load turns Go package patterns into type-checked syntax
+// trees using only the standard library and the go command. It backs
+// both danas-lint's standalone mode and the analysistest fixture
+// harness.
+//
+// The mechanism is the same one go vet uses under the hood: `go list
+// -export` compiles (or reuses from the build cache) each dependency's
+// export data, and go/importer's "gc" form with a lookup function
+// reads those archives back, so a whole tree type-checks in one pass
+// without a network connection or a second type-checking of every
+// dependency from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// goList runs the go command from dir and decodes its JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir into
+// type-checked packages, in deterministic import-path order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	withDeps, err := goList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(withDeps))
+	for _, e := range withDeps {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		p, err := Check(t.ImportPath, t.Dir, files, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// StdExports returns export-data paths for the named standard-library
+// packages and their dependencies, building them into the go cache as
+// needed. The fixture harness uses it: fixtures import only std.
+func StdExports(dir string, imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	entries, err := goList(dir, append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, imports...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(entries))
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// Check parses the named files and type-checks them as importPath,
+// resolving imports through the export-data map.
+func Check(importPath, dir string, filenames []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(importPath, dir, fset, files, exports)
+}
+
+// CheckFiles type-checks already-parsed files as importPath.
+func CheckFiles(importPath, dir string, fset *token.FileSet, files []*ast.File, exports map[string]string) (*Package, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not a dependency of the loaded patterns?)", path)
+		}
+		return os.Open(e)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect everything; first error returned below
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}

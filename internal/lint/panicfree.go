@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"danas/internal/lint/analysis"
+)
+
+// PanicFree forbids bare panics — panic(v) where v is not a string —
+// in non-test code. A panic that escapes with a raw error or struct
+// value prints without package attribution and cannot be matched by
+// errors.Is/As; the PR 8 Port.Send lesson is the template: an
+// unarmed fabric port used to panic a bare value mid-simulation, and
+// the fix was a named arm-time validation. Validation panics must
+// carry a package-prefixed message (a string, usually fmt.Sprintf);
+// recoverable failures must surface as typed errors instead.
+var PanicFree = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic with a non-string value in non-test code; " +
+		"surface recoverable failures as typed errors, and give validation panics a package-prefixed message",
+	Run: runPanicFree,
+}
+
+func runPanicFree(pass *analysis.Pass) (any, error) {
+	eachNonTestFile(pass, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic with a non-string value (%s): return a typed error, or panic with a package-prefixed message", tv.Type)
+			return true
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"danas/internal/lint/analysis"
+)
+
+// ProcDiscipline forbids raw concurrency in simulator-domain
+// packages: `go` statements, sync primitives and ad-hoc channels.
+// Simulated concurrency must flow through the sim scheduler
+// (sim.Scheduler.Go spawning sim.Procs) so that exactly one logical
+// process runs at a time and every interleaving is a deterministic
+// function of the event queue. A raw goroutine or mutex in this
+// domain reintroduces host-scheduler nondeterminism — the bug class
+// the whole kernel exists to exclude.
+//
+// Two places legitimately use raw concurrency and are allowlisted:
+// internal/sim itself (the coroutine engine is built on goroutines
+// and channels) and internal/exper's runner.go (the host-side worker
+// pool that fans experiment cells across OS threads; each cell owns
+// an independent simulation).
+var ProcDiscipline = &analysis.Analyzer{
+	Name: "procdiscipline",
+	Doc: "forbid raw go statements, sync primitives and channel construction in simulator-domain packages; " +
+		"concurrency must be sim.Procs on the deterministic scheduler",
+	Run: runProcDiscipline,
+}
+
+// procAllowedFile reports whether the file may use raw concurrency.
+func procAllowedFile(pkgPath, filename string) bool {
+	if pkgPath == ModulePrefix+"/internal/sim" {
+		return true // the coroutine engine itself
+	}
+	if pkgPath == ModulePrefix+"/internal/exper" && filepath.Base(filename) == "runner.go" {
+		return true // the host-side worker pool
+	}
+	return false
+}
+
+func runProcDiscipline(pass *analysis.Pass) (any, error) {
+	if !simDomain(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	eachNonTestFile(pass, func(f *ast.File) {
+		if procAllowedFile(pass.Pkg.Path(), pass.Fset.Position(f.Pos()).Filename) {
+			return
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement in simulator-domain code: spawn a sim.Proc (Scheduler.Go) so the run stays deterministic")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in simulator-domain code: coordinate through sim queues/resources, not channels")
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							pass.Reportf(n.Pos(), "channel construction in simulator-domain code: use sim.Queue/sim.Resource for coordination")
+						}
+					}
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+					return true
+				}
+				switch obj.(type) {
+				case *types.TypeName, *types.Func:
+					pass.Reportf(n.Pos(), "sync.%s in simulator-domain code: one logical process runs at a time under the sim scheduler, so host-side locking is both unnecessary and nondeterministic", obj.Name())
+				}
+			}
+			return true
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"danas/internal/lint/analysis"
+)
+
+// SortedMaps flags `range` over a map inside any function that
+// (transitively, within its package) reaches an artifact or report
+// writer. Map iteration order is deliberately randomized by the
+// runtime, so a map range on a path that produces output would break
+// the byte-identical-artifact contract; those loops must iterate a
+// sorted key slice instead.
+//
+// The one permitted map-range shape in a writer function is pure key
+// (or value) collection — every statement in the loop body appends to
+// a slice — because collecting then sorting is exactly the sanctioned
+// idiom.
+var SortedMaps = &analysis.Analyzer{
+	Name: "sortedmaps",
+	Doc: "forbid map iteration in functions that reach a report/artifact writer; " +
+		"collect keys, sort them, and iterate the slice (the byte-identical-output contract)",
+	Run: runSortedMaps,
+}
+
+// fmtWriterFuncs are fmt functions that emit output directly.
+var fmtWriterFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// writerMethodNames are method names that emit into a stream or
+// builder regardless of receiver type.
+var writerMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true, "WriteTo": true,
+}
+
+// writerNamePrefixes marks cross-package calls into this module that
+// produce rendered output by convention.
+var writerNamePrefixes = []string{"Format", "Print", "Render", "Encode", "Write"}
+
+func runSortedMaps(pass *analysis.Pass) (any, error) {
+	// Map every function declared in this package to its declaration
+	// so calls can be resolved into intra-package graph edges.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*ast.FuncDecl // deterministic iteration for the fixpoint
+	eachNonTestFile(pass, func(f *ast.File) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+				order = append(order, fd)
+			}
+		}
+	})
+
+	// A function is a writer if it takes a writer-shaped parameter,
+	// emits output itself, or calls a writer.
+	writer := map[*ast.FuncDecl]bool{}
+	for _, fd := range order {
+		if hasWriterParam(pass, fd) {
+			writer[fd] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range order {
+			if writer[fd] {
+				continue
+			}
+			reaches := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if reaches {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isWriterSeedCall(pass, call) {
+					reaches = true
+					return false
+				}
+				if callee := calleeFunc(pass, call); callee != nil {
+					if cd, ok := decls[callee]; ok && writer[cd] {
+						reaches = true
+						return false
+					}
+				}
+				return true
+			})
+			if reaches {
+				writer[fd] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range order {
+		if !writer[fd] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration in %s, which reaches a report writer; iterate sorted keys instead (byte-identical-output contract)", fd.Name.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, when the
+// callee is a plain identifier or selector (method or package func).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isWriterSeedCall reports whether call emits output on its own:
+// fmt print functions, io.WriteString, Write* methods, or a call into
+// another module package whose name promises rendered output.
+func isWriterSeedCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if pkg := fn.Pkg(); pkg != nil && sig != nil && sig.Recv() == nil {
+		switch pkg.Path() {
+		case "fmt":
+			return fmtWriterFuncs[fn.Name()]
+		case "io":
+			return fn.Name() == "WriteString"
+		}
+		if strings.HasPrefix(pkg.Path(), ModulePrefix) && pkg.Path() != pass.Pkg.Path() {
+			if fn.Name() == "String" {
+				return true
+			}
+			for _, p := range writerNamePrefixes {
+				if strings.HasPrefix(fn.Name(), p) {
+					return true
+				}
+			}
+		}
+	}
+	if sig != nil && sig.Recv() != nil && writerMethodNames[fn.Name()] {
+		return true
+	}
+	// Cross-package method calls with writer-promising names (e.g.
+	// (*metrics.Table).String) also count as emission.
+	if sig != nil && sig.Recv() != nil && fn.Name() == "String" {
+		if pkg := fn.Pkg(); pkg != nil && strings.HasPrefix(pkg.Path(), ModulePrefix) && pkg.Path() != pass.Pkg.Path() {
+			return true
+		}
+	}
+	return false
+}
+
+// hasWriterParam reports whether the function receives an io.Writer,
+// *strings.Builder or *bytes.Buffer — the signature shape of a
+// report writer.
+func hasWriterParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isWriterType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWriterType(t types.Type) bool {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		if named, ok := tt.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				return false
+			}
+			name := obj.Pkg().Path() + "." + obj.Name()
+			return name == "strings.Builder" || name == "bytes.Buffer"
+		}
+	case *types.Named:
+		obj := tt.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "io" && obj.Name() == "Writer"
+	}
+	return false
+}
+
+// isKeyCollection reports whether every statement of the range body
+// appends to a slice — the collect-then-sort idiom.
+func isKeyCollection(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return false
+		}
+	}
+	return true
+}

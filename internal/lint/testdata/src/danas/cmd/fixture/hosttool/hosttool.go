@@ -1,0 +1,20 @@
+// Fixture: outside danas/internal/ the determinism and
+// scheduler-discipline invariants do not apply — host-side tools may
+// read the wall clock and spawn goroutines freely.
+package hosttool
+
+import (
+	"sync"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() { defer wg.Done(); j() }()
+	}
+	wg.Wait()
+}

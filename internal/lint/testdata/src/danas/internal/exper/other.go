@@ -1,0 +1,7 @@
+// Fixture: the allowlist covers only runner.go; every other exper
+// file is held to the scheduler discipline.
+package exper
+
+func offPool(f func()) {
+	go f() // want `raw go statement in simulator-domain code`
+}

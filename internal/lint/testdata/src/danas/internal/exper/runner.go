@@ -1,0 +1,14 @@
+// Fixture: exper's allowlist is per-file — runner.go (the host-side
+// worker pool) may use raw concurrency.
+package exper
+
+import "sync"
+
+func pool(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() { defer wg.Done(); j() }()
+	}
+	wg.Wait()
+}

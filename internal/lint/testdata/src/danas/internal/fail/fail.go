@@ -1,0 +1,30 @@
+// Fixture for typederr. The import path matters: the analyzer fires
+// only inside TypedErrPackages, so this fixture type-checks under the
+// danas/internal/fail path to land in the registered list.
+package fail
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is sentinel territory: package-level errors.New is the point
+// of a sentinel-declaring package, not a finding.
+var ErrGone = errors.New("fail: gone")
+
+func callSiteNew() error {
+	return errors.New("fail: ad hoc") // want `call-site errors\.New`
+}
+
+func unwrapped(name string) error {
+	return fmt.Errorf("fail: lost %q", name) // want `fmt\.Errorf without %w`
+}
+
+func wrapped(name string) error {
+	return fmt.Errorf("fail: %w %q", ErrGone, name)
+}
+
+// dynamic has no compile-time format string; there is nothing to prove.
+func dynamic(format string) error {
+	return fmt.Errorf(format, 1)
+}

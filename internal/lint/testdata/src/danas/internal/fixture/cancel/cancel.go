@@ -1,0 +1,15 @@
+// Fixture: lostcancel must flag a cancel function discarded with the
+// blank identifier and accept one that is kept.
+package cancel
+
+import "context"
+
+func leak(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `cancel function returned by context\.WithCancel should be used`
+	return c
+}
+
+func kept(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithCancel(ctx)
+	return c, cancel
+}

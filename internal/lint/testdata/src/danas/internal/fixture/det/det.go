@@ -1,0 +1,44 @@
+// Fixture: determinism must flag wall-clock, environment and
+// global-random-state reads under a simulator-domain import path.
+package det
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in simulator-domain code`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in simulator-domain code`
+}
+
+func ticking() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After in simulator-domain code`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os\.Getenv in simulator-domain code`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand\.Intn uses the process-global random state`
+}
+
+// seeded draws from an explicitly seeded source: the constructors are
+// the sanctioned math/rand entry points, and methods on the resulting
+// *Rand are not package-global state.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// suppressed carries a justified //lint:ignore, so the finding on the
+// next line is muted.
+func suppressed() time.Time {
+	//lint:ignore determinism fixture exercises the justified-suppression path
+	return time.Now()
+}

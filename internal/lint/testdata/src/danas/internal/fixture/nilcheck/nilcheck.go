@@ -1,0 +1,28 @@
+// Fixture: nilness must flag dereferences inside the body of a
+// variable's own == nil guard, unless the guard reassigns it first.
+package nilcheck
+
+type node struct{ next *node }
+
+func deref(n *node) *node {
+	if n == nil {
+		return n.next // want `nil dereference in field selection`
+	}
+	return n
+}
+
+func index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `nil dereference in index operation`
+	}
+	return xs[0]
+}
+
+// healed reassigns before using, so the dereference is safe.
+func healed(n *node) *node {
+	if n == nil {
+		n = &node{}
+		return n.next
+	}
+	return n
+}

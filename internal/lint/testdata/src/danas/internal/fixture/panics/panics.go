@@ -1,0 +1,43 @@
+// Fixture: panicfree must flag panic with a non-string value in
+// non-test code while accepting package-prefixed message panics.
+package panics
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBoom = errors.New("panics: boom")
+
+func bareError() {
+	panic(errBoom) // want `panic with a non-string value`
+}
+
+func bareStruct() {
+	panic(struct{ n int }{1}) // want `panic with a non-string value`
+}
+
+func bareInt() {
+	panic(42) // want `panic with a non-string value`
+}
+
+func prefixed() {
+	panic("panics: invariant broken")
+}
+
+func formatted(err error) {
+	panic(fmt.Sprintf("panics: setup: %v", err))
+}
+
+// killToken mirrors sim's typed unwind token: a deliberate non-string
+// panic that carries a justified suppression.
+type killToken struct{}
+
+func suppressedAbove() {
+	//lint:ignore panicfree fixture mirrors sim's typed unwind token, recovered by type
+	panic(killToken{})
+}
+
+func suppressedInline() {
+	panic(killToken{}) //lint:ignore panicfree same-line suppressions also count
+}

@@ -1,0 +1,23 @@
+// Fixture: procdiscipline must flag raw goroutines, channels, select
+// and sync primitives under a simulator-domain import path.
+package proc
+
+import "sync"
+
+func spawn(done func()) {
+	go done() // want `raw go statement in simulator-domain code`
+}
+
+func channels(stop chan struct{}) {
+	ch := make(chan int, 1) // want `channel construction in simulator-domain code`
+	ch <- 1
+	select { // want `select statement in simulator-domain code`
+	case <-ch:
+	case <-stop:
+	}
+}
+
+func locking() {
+	var mu sync.Mutex // want `sync\.Mutex in simulator-domain code`
+	mu.Lock()         // want `sync\.Lock in simulator-domain code`
+}

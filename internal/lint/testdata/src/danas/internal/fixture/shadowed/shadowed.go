@@ -1,0 +1,26 @@
+// Fixture: shadow must flag a same-type redeclaration whose shadowed
+// original is still used after the inner scope closes, and stay quiet
+// on different-type reuse.
+package shadowed
+
+func resolve(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		if v > 0 {
+			total := total + v // want `declaration of "total" shadows declaration`
+			_ = total
+		}
+	}
+	return total
+}
+
+// retype reuses a good name at a different type — deliberate, not
+// flagged.
+func retype(n int) string {
+	s := "x"
+	{
+		s := []byte{byte(n)}
+		_ = s
+	}
+	return s
+}

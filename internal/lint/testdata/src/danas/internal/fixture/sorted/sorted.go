@@ -1,0 +1,55 @@
+// Fixture: sortedmaps must flag map ranges in functions that reach a
+// report writer — directly, through a writer-shaped parameter, or
+// transitively — while leaving non-writer functions and the sanctioned
+// collect-then-sort idiom alone.
+package sorted
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// report emits directly, so its map iteration order leaks into output.
+func report(m map[string]int) {
+	for k, v := range m { // want `map iteration in report`
+		fmt.Println(k, v)
+	}
+}
+
+// render reaches a writer through its *strings.Builder parameter.
+func render(b *strings.Builder, m map[string]int) {
+	for k := range m { // want `map iteration in render`
+		b.WriteString(k)
+	}
+}
+
+// summarize is a writer transitively: it calls report.
+func summarize(m map[string]int) {
+	for range m { // want `map iteration in summarize`
+		return
+	}
+	report(m)
+}
+
+// collectSorted is the sanctioned idiom: a pure key-collection range
+// is allowed even in a writer, because sorting follows.
+func collectSorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// tally never reaches a writer, so map order cannot leak into output.
+func tally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

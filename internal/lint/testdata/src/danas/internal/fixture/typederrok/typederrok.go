@@ -1,0 +1,15 @@
+// Fixture: packages not registered in TypedErrPackages are out of
+// scope for typederr — ad-hoc error construction is their business.
+package typederrok
+
+import (
+	"errors"
+	"fmt"
+)
+
+func free(name string) error {
+	if name == "" {
+		return errors.New("anything goes here")
+	}
+	return fmt.Errorf("no %s required", name)
+}

@@ -1,0 +1,15 @@
+// Fixture: the coroutine engine package is allowlisted wholesale —
+// goroutines and channels are how the deterministic scheduler is
+// built, so procdiscipline stays silent under this import path.
+package sim
+
+func pump(stop chan struct{}) int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	select {
+	case v := <-ch:
+		return v
+	case <-stop:
+		return 0
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"danas/internal/lint/analysis"
+)
+
+// TypedErr enforces wrap-or-sentinel discipline in the packages that
+// declare error sentinels (TypedErrPackages): every fmt.Errorf must
+// wrap with %w, and errors.New may only appear in package-level
+// sentinel declarations, never at a call site. Otherwise a fault
+// constructed mid-flight is unmatchable by errors.Is/As, and callers
+// fall back to string comparison — the exact failure mode the typed
+// retry/failover machinery exists to prevent.
+var TypedErr = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "in sentinel-declaring packages, require fmt.Errorf to wrap with %w and forbid call-site errors.New, " +
+		"so every fault stays matchable via errors.Is/As",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *analysis.Pass) (any, error) {
+	listed := false
+	for _, p := range TypedErrPackages {
+		if pass.Pkg.Path() == p {
+			listed = true
+			break
+		}
+	}
+	if !listed {
+		return nil, nil
+	}
+	eachNonTestFile(pass, func(f *ast.File) {
+		for _, d := range f.Decls {
+			var body *ast.BlockStmt
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				body = fd.Body
+			}
+			if body == nil {
+				// Package-level declarations: sentinel territory.
+				// errors.New is the point here; nothing to check.
+				continue
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() + "." + fn.Name() {
+				case "errors.New":
+					pass.Reportf(call.Pos(), "call-site errors.New: declare a package sentinel (var Err... = errors.New) or wrap one with fmt.Errorf and %%w so the error is matchable")
+				case "fmt.Errorf":
+					if format, ok := constFormat(pass, call); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w in a sentinel-declaring package: wrap a sentinel so the error stays matchable via errors.Is/As")
+					}
+				}
+				return true
+			})
+		}
+	})
+	return nil, nil
+}
+
+// constFormat extracts the constant format string of a fmt.Errorf
+// call, if it is compile-time known.
+func constFormat(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -21,6 +21,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -40,6 +41,25 @@ type ParseError struct {
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("scenario: line %d: %s", e.Line, e.Msg)
 }
+
+// Sentinel errors for the syntactic rejections the parse helpers
+// produce. Each is a phrase that reads in place inside the rendered
+// message ("fleet: unknown system ..."), so call sites wrap them with
+// %w and errors.Is can classify a rejection without string matching.
+var (
+	ErrNotKeyValue      = errors.New("expected key=value")
+	ErrUnknown          = errors.New("unknown")
+	ErrBadValue         = errors.New("bad")
+	ErrMissing          = errors.New("needs")
+	ErrOneValue         = errors.New("takes exactly one threshold value")
+	ErrNoValue          = errors.New("takes no value")
+	ErrRelativeRTO      = errors.New("rto must be an absolute duration")
+	ErrWrongDurationKey = errors.New("wrong duration key")
+
+	// ErrMarksExcludes is returned as-is: writebehind marks=auto and
+	// explicit high=/low= marks are mutually exclusive.
+	ErrMarksExcludes = errors.New("writebehind: marks=auto excludes high=/low=")
+)
 
 // directives lists the accepted line directives, sorted.
 var directives = []string{"assert", "describe", "fabric", "fault", "fleet", "retry", "scenario", "workload", "writebehind"}
@@ -106,7 +126,7 @@ func Parse(src string) (*Spec, error) {
 func splitKV(tok string) (key, val string, err error) {
 	i := strings.IndexByte(tok, '=')
 	if i <= 0 || i == len(tok)-1 {
-		return "", "", fmt.Errorf("expected key=value, got %q", tok)
+		return "", "", fmt.Errorf("%w, got %q", ErrNotKeyValue, tok)
 	}
 	return tok[:i], tok[i+1:], nil
 }
@@ -114,7 +134,7 @@ func splitKV(tok string) (key, val string, err error) {
 func parseInt(dir, key, val string) (int, error) {
 	v, err := strconv.Atoi(val)
 	if err != nil {
-		return 0, fmt.Errorf("%s: bad %s %q (need an integer)", dir, key, val)
+		return 0, fmt.Errorf("%s: %w %s %q (need an integer)", dir, ErrBadValue, key, val)
 	}
 	return v, nil
 }
@@ -122,7 +142,7 @@ func parseInt(dir, key, val string) (int, error) {
 func parseFloat(dir, key, val string) (float64, error) {
 	v, err := strconv.ParseFloat(val, 64)
 	if err != nil {
-		return 0, fmt.Errorf("%s: bad %s %q (need a number)", dir, key, val)
+		return 0, fmt.Errorf("%s: %w %s %q (need a number)", dir, ErrBadValue, key, val)
 	}
 	return v, nil
 }
@@ -131,7 +151,7 @@ func parseFloat(dir, key, val string) (float64, error) {
 // suffix.
 func parseTime(dir, key, val string) (TimeSpec, error) {
 	bad := func() (TimeSpec, error) {
-		return TimeSpec{}, fmt.Errorf("%s: bad time %s=%q (use \"25%%\" or an integer with ns/us/ms/s)", dir, key, val)
+		return TimeSpec{}, fmt.Errorf("%s: %w time %s=%q (use \"25%%\" or an integer with ns/us/ms/s)", dir, ErrBadValue, key, val)
 	}
 	if p, ok := strings.CutSuffix(val, "%"); ok {
 		v, err := strconv.ParseInt(p, 10, 64)
@@ -178,7 +198,7 @@ func parseFleet(spec *Spec, toks []string) error {
 	for _, tok := range toks {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("fleet: %v", err)
+			return fmt.Errorf("fleet: %w", err)
 		}
 		switch k {
 		case "shards":
@@ -187,7 +207,7 @@ func parseFleet(spec *Spec, toks []string) error {
 			}
 		case "system":
 			if _, ok := systemNames[v]; !ok {
-				return fmt.Errorf("fleet: unknown system %q (valid: %s)", v, strings.Join(SystemTokens(), " "))
+				return fmt.Errorf("fleet: %w system %q (valid: %s)", ErrUnknown, v, strings.Join(SystemTokens(), " "))
 			}
 			spec.Fleet.System = v
 		case "depth":
@@ -200,15 +220,15 @@ func parseFleet(spec *Spec, toks []string) error {
 			}
 		case "ack":
 			if _, err := stripe.ParseAck(v); err != nil {
-				return fmt.Errorf("fleet: unknown ack %q (valid: sync quorum async)", v)
+				return fmt.Errorf("fleet: %w ack %q (valid: sync quorum async)", ErrUnknown, v)
 			}
 			spec.Fleet.Ack = v
 		default:
-			return fmt.Errorf("fleet: unknown key %q (valid: ack depth replicas shards system)", k)
+			return fmt.Errorf("fleet: %w key %q (valid: ack depth replicas shards system)", ErrUnknown, k)
 		}
 	}
 	if spec.Fleet.Shards == 0 || spec.Fleet.System == "" {
-		return fmt.Errorf("fleet: needs shards= and system=")
+		return fmt.Errorf("fleet: %w shards= and system=", ErrMissing)
 	}
 	return nil
 }
@@ -217,7 +237,7 @@ func parseFabric(spec *Spec, toks []string) error {
 	for _, tok := range toks {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("fabric: %v", err)
+			return fmt.Errorf("fabric: %w", err)
 		}
 		switch k {
 		case "leaves":
@@ -229,14 +249,14 @@ func parseFabric(spec *Spec, toks []string) error {
 		case "ports":
 			spec.Fabric.Ports, err = parseInt("fabric", k, v)
 		default:
-			return fmt.Errorf("fabric: unknown key %q (valid: leaves oversub ports spines)", k)
+			return fmt.Errorf("fabric: %w key %q (valid: leaves oversub ports spines)", ErrUnknown, k)
 		}
 		if err != nil {
 			return err
 		}
 	}
 	if spec.Fabric.Leaves == 0 {
-		return fmt.Errorf("fabric: needs leaves=")
+		return fmt.Errorf("fabric: %w leaves=", ErrMissing)
 	}
 	return nil
 }
@@ -245,16 +265,16 @@ func parseRetry(spec *Spec, toks []string) error {
 	for _, tok := range toks {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("retry: %v", err)
+			return fmt.Errorf("retry: %w", err)
 		}
 		switch k {
 		case "rto":
-			t, err := parseTime("retry", k, v)
-			if err != nil {
-				return err
+			t, terr := parseTime("retry", k, v)
+			if terr != nil {
+				return terr
 			}
 			if t.Mode != TimeDur {
-				return fmt.Errorf("retry: rto must be an absolute duration, got %q", v)
+				return fmt.Errorf("retry: %w, got %q", ErrRelativeRTO, v)
 			}
 			spec.Retry.RTO = t.Dur
 		case "budget":
@@ -262,7 +282,7 @@ func parseRetry(spec *Spec, toks []string) error {
 				return err
 			}
 		default:
-			return fmt.Errorf("retry: unknown key %q (valid: budget rto)", k)
+			return fmt.Errorf("retry: %w key %q (valid: budget rto)", ErrUnknown, k)
 		}
 	}
 	return nil
@@ -273,12 +293,12 @@ func parseWriteBehind(spec *Spec, toks []string) error {
 	for _, tok := range toks {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("writebehind: %v", err)
+			return fmt.Errorf("writebehind: %w", err)
 		}
 		switch k {
 		case "marks":
 			if v != "auto" {
-				return fmt.Errorf("writebehind: marks=%q (only \"auto\"; otherwise give high=/low=)", v)
+				return fmt.Errorf("writebehind: %w marks=%q (only \"auto\"; otherwise give high=/low=)", ErrBadValue, v)
 			}
 			spec.WB.Auto = true
 		case "high":
@@ -294,11 +314,11 @@ func parseWriteBehind(spec *Spec, toks []string) error {
 				return err
 			}
 		default:
-			return fmt.Errorf("writebehind: unknown key %q (valid: batch high low marks)", k)
+			return fmt.Errorf("writebehind: %w key %q (valid: batch high low marks)", ErrUnknown, k)
 		}
 	}
 	if spec.WB.Auto && (spec.WB.High != 0 || spec.WB.Low != 0) {
-		return fmt.Errorf("writebehind: marks=auto excludes high=/low=")
+		return ErrMarksExcludes
 	}
 	return nil
 }
@@ -307,7 +327,7 @@ func parseWorkload(spec *Spec, toks []string) error {
 	for _, tok := range toks {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("workload: %v", err)
+			return fmt.Errorf("workload: %w", err)
 		}
 		w := &spec.Workload
 		switch k {
@@ -338,7 +358,7 @@ func parseWorkload(spec *Spec, toks []string) error {
 			n, err = parseInt("workload", k, v)
 			w.Seed = uint64(n)
 		default:
-			return fmt.Errorf("workload: unknown key %q (valid: commitevery files filesize filezipf iosize offzipf ops rate readfrac seed)", k)
+			return fmt.Errorf("workload: %w key %q (valid: commitevery files filesize filezipf iosize offzipf ops rate readfrac seed)", ErrUnknown, k)
 		}
 		if err != nil {
 			return err
@@ -349,29 +369,29 @@ func parseWorkload(spec *Spec, toks []string) error {
 
 func parseFault(spec *Spec, toks []string) error {
 	if len(toks) == 0 {
-		return fmt.Errorf("fault: missing kind (valid: %s)", strings.Join(FaultKinds(), " "))
+		return fmt.Errorf("fault: %w a kind (valid: %s)", ErrMissing, strings.Join(FaultKinds(), " "))
 	}
 	f := Fault{Kind: toks[0]}
 	if _, ok := faultKinds[f.Kind]; !ok {
-		return fmt.Errorf("fault: unknown kind %q (valid: %s)", f.Kind, strings.Join(FaultKinds(), " "))
+		return fmt.Errorf("fault: %w kind %q (valid: %s)", ErrUnknown, f.Kind, strings.Join(FaultKinds(), " "))
 	}
 	for _, tok := range toks[1:] {
 		k, v, err := splitKV(tok)
 		if err != nil {
-			return fmt.Errorf("fault %s: %v", f.Kind, err)
+			return fmt.Errorf("fault %s: %w", f.Kind, err)
 		}
 		switch k {
 		case "shard":
-			sh, err := parseInt("fault "+f.Kind, k, v)
-			if err != nil {
-				return err
+			sh, serr := parseInt("fault "+f.Kind, k, v)
+			if serr != nil {
+				return serr
 			}
 			f.Shards = append(f.Shards, sh)
 		case "shards":
 			for _, part := range strings.Split(v, ",") {
-				sh, err := parseInt("fault "+f.Kind, k, part)
-				if err != nil {
-					return err
+				sh, serr := parseInt("fault "+f.Kind, k, part)
+				if serr != nil {
+					return serr
 				}
 				f.Shards = append(f.Shards, sh)
 			}
@@ -381,7 +401,7 @@ func parseFault(spec *Spec, toks []string) error {
 			}
 		case "down", "for":
 			if k != downKey(f.Kind) {
-				return fmt.Errorf("fault %s: use %s= for the duration", f.Kind, downKey(f.Kind))
+				return fmt.Errorf("fault %s: %w (use %s= for the duration)", f.Kind, ErrWrongDurationKey, downKey(f.Kind))
 			}
 			if f.Down, err = parseTime("fault "+f.Kind, k, v); err != nil {
 				return err
@@ -400,11 +420,11 @@ func parseFault(spec *Spec, toks []string) error {
 			}
 		case "switch":
 			if _, _, err := parseSwitchRef(v); err != nil {
-				return fmt.Errorf("fault %s: %v", f.Kind, err)
+				return fmt.Errorf("fault %s: %w", f.Kind, err)
 			}
 			f.Switch = v
 		default:
-			return fmt.Errorf("fault %s: unknown key %q (valid: at copy down factor for shard shards stagger switch)", f.Kind, k)
+			return fmt.Errorf("fault %s: %w key %q (valid: at copy down factor for shard shards stagger switch)", f.Kind, ErrUnknown, k)
 		}
 	}
 	spec.Faults = append(spec.Faults, f)
@@ -413,24 +433,24 @@ func parseFault(spec *Spec, toks []string) error {
 
 func parseAssert(spec *Spec, toks []string) error {
 	if len(toks) == 0 {
-		return fmt.Errorf("assert: missing kind (valid: %s)", strings.Join(AssertKinds(), " "))
+		return fmt.Errorf("assert: %w a kind (valid: %s)", ErrMissing, strings.Join(AssertKinds(), " "))
 	}
 	a := Assert{Kind: toks[0]}
 	valued, ok := assertKinds[a.Kind]
 	if !ok {
-		return fmt.Errorf("assert: unknown kind %q (valid: %s)", a.Kind, strings.Join(AssertKinds(), " "))
+		return fmt.Errorf("assert: %w kind %q (valid: %s)", ErrUnknown, a.Kind, strings.Join(AssertKinds(), " "))
 	}
 	switch {
 	case valued && len(toks) == 2:
 		v, err := strconv.ParseFloat(toks[1], 64)
 		if err != nil {
-			return fmt.Errorf("assert %s: bad threshold %q", a.Kind, toks[1])
+			return fmt.Errorf("assert %s: %w threshold %q", a.Kind, ErrBadValue, toks[1])
 		}
 		a.Value = v
 	case valued:
-		return fmt.Errorf("assert %s: takes exactly one threshold value", a.Kind)
+		return fmt.Errorf("assert %s: %w", a.Kind, ErrOneValue)
 	case len(toks) != 1:
-		return fmt.Errorf("assert %s: takes no value", a.Kind)
+		return fmt.Errorf("assert %s: %w", a.Kind, ErrNoValue)
 	}
 	spec.Asserts = append(spec.Asserts, a)
 	return nil

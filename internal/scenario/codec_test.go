@@ -112,7 +112,7 @@ func TestParseErrors(t *testing.T) {
 		{"bad time", "scenario x\nfleet shards=1 system=nfs\nfault crash-restart shard=0 at=25 down=30%",
 			`scenario: line 3: fault crash-restart: bad time at="25" (use "25%" or an integer with ns/us/ms/s)`},
 		{"wrong duration key", "scenario x\nfleet shards=2 system=nfs\nfault degrade shard=0 at=25% down=30% factor=8",
-			`scenario: line 3: fault degrade: use for= for the duration`},
+			`scenario: line 3: fault degrade: wrong duration key (use for= for the duration)`},
 		{"bad fault kind", "scenario x\nfleet shards=1 system=nfs\nfault meteor shard=0 at=25%",
 			`scenario: line 3: fault: unknown kind "meteor" (valid: crash crash-restart degrade degrade-trunk multi-crash restart restore rolling-restart switch-outage)`},
 		{"bad switch ref", "scenario x\nfleet shards=2 system=nfs\nfault switch-outage switch=rack3 at=25% down=10%",

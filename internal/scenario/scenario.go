@@ -97,7 +97,7 @@ func parseSwitchRef(ref string) (fail.SwitchTier, int, error) {
 			}
 		}
 	}
-	return 0, 0, fmt.Errorf("bad switch %q (use leafN or spineN)", ref)
+	return 0, 0, fmt.Errorf("%w switch %q (use leafN or spineN)", ErrBadValue, ref)
 }
 
 // Retry arms client-side recovery: retransmission with exponential

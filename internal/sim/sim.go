@@ -266,6 +266,7 @@ func (p *Proc) yieldToLoop() {
 	select {
 	case p.s.yield <- struct{}{}:
 	case <-p.s.shutdown:
+		//lint:ignore panicfree killed{} is the coroutine-unwind token Go() recovers by type; a string would be caught by nothing
 		panic(killed{})
 	}
 }
@@ -274,6 +275,7 @@ func (p *Proc) waitResume() {
 	select {
 	case <-p.resume:
 	case <-p.s.shutdown:
+		//lint:ignore panicfree killed{} is the coroutine-unwind token Go() recovers by type; a string would be caught by nothing
 		panic(killed{})
 	}
 }

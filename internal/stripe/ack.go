@@ -40,6 +40,10 @@ func (a AckPolicy) String() string {
 	}
 }
 
+// ErrUnknownAck rejects a policy token outside the three ParseAck
+// accepts.
+var ErrUnknownAck = errors.New("stripe: unknown ack policy")
+
 // ParseAck resolves a policy token ("sync", "quorum", "async").
 func ParseAck(tok string) (AckPolicy, error) {
 	switch tok {
@@ -50,7 +54,7 @@ func ParseAck(tok string) (AckPolicy, error) {
 	case "async":
 		return AckAsync, nil
 	default:
-		return 0, fmt.Errorf("stripe: unknown ack policy %q (valid: sync quorum async)", tok)
+		return 0, fmt.Errorf("%w %q (valid: sync quorum async)", ErrUnknownAck, tok)
 	}
 }
 

@@ -63,7 +63,7 @@ var _ nas.Client = (*Client)(nil)
 // shard, in shard order) under one nas.Client.
 func NewClient(layout Layout, subs []nas.Client) *Client {
 	if err := layout.Validate(); err != nil {
-		panic(err)
+		panic(err.Error())
 	}
 	if len(subs) != layout.Shards {
 		panic(fmt.Sprintf("stripe: %d sub-clients for %d shards", len(subs), layout.Shards))

@@ -12,7 +12,10 @@
 // internal/core), but shares the same Layout.
 package stripe
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Layout describes one placement scheme: S shards with a fixed stripe
 // unit, each shard optionally backed by R replica copies spread across
@@ -47,19 +50,23 @@ func New(shards int, unit int64) (Layout, error) {
 // Single returns the degenerate one-shard layout (everything on shard 0).
 func Single() Layout { return Layout{Shards: 1, Unit: 1 << 62} }
 
+// ErrBadLayout classifies every Validate rejection; the rendered
+// message names the specific field ("stripe: layout needs ...").
+var ErrBadLayout = errors.New("stripe: layout")
+
 // Validate reports whether the layout is usable.
 func (l Layout) Validate() error {
 	if l.Shards < 1 {
-		return fmt.Errorf("stripe: layout needs at least one shard, got %d", l.Shards)
+		return fmt.Errorf("%w needs at least one shard, got %d", ErrBadLayout, l.Shards)
 	}
 	if l.Unit < 1 {
-		return fmt.Errorf("stripe: layout needs a positive stripe unit, got %d", l.Unit)
+		return fmt.Errorf("%w needs a positive stripe unit, got %d", ErrBadLayout, l.Unit)
 	}
 	if l.Replicas < 0 {
-		return fmt.Errorf("stripe: layout needs a non-negative replica count, got %d", l.Replicas)
+		return fmt.Errorf("%w needs a non-negative replica count, got %d", ErrBadLayout, l.Replicas)
 	}
 	if l.Racks < 0 {
-		return fmt.Errorf("stripe: layout needs a non-negative rack count, got %d", l.Racks)
+		return fmt.Errorf("%w needs a non-negative rack count, got %d", ErrBadLayout, l.Racks)
 	}
 	return nil
 }

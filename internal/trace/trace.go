@@ -99,17 +99,17 @@ func (t Trace) Encode(w io.Writer) error {
 	var prev sim.Duration
 	for i, r := range t {
 		if r.File == "" || strings.IndexFunc(r.File, isSpace) >= 0 {
-			return fmt.Errorf("trace: record %d: file name %q not encodable", i, r.File)
+			return fmt.Errorf("trace: record %d: file name %q %w", i, r.File, ErrNotEncodable)
 		}
 		minSize := int64(1)
 		if r.Kind == nas.OpCommit {
 			minSize = 0
 		}
 		if r.At < 0 || r.Off < 0 || r.Size < minSize {
-			return fmt.Errorf("trace: record %d: at %d off %d size %d not encodable", i, int64(r.At), r.Off, r.Size)
+			return fmt.Errorf("trace: record %d: at %d off %d size %d %w", i, int64(r.At), r.Off, r.Size, ErrNotEncodable)
 		}
 		if r.At < prev {
-			return fmt.Errorf("trace: record %d: arrival %d before record %d's %d", i, int64(r.At), i-1, int64(prev))
+			return fmt.Errorf("trace: record %d: arrival %d %w (record %d has %d)", i, int64(r.At), ErrOutOfOrder, i-1, int64(prev))
 		}
 		prev = r.At
 		var kind string
@@ -140,6 +140,16 @@ func isSpace(r rune) bool {
 // describes.
 var ErrUnknownKind = errors.New("trace: unknown record kind")
 
+// Sentinels for the codec's other rejections, phrased to read in
+// place inside the rendered message; call sites wrap them with %w so
+// errors.Is can classify a rejection without string matching.
+var (
+	ErrNotEncodable = errors.New("not encodable")
+	ErrOutOfOrder   = errors.New("out of order")
+	ErrBadField     = errors.New("bad")
+	ErrFieldCount   = errors.New("want 5 fields")
+)
+
 // Decode parses the text format produced by Encode. Blank lines and
 // lines starting with '#' are skipped; a line whose kind field is not
 // R, W or C fails with an error wrapping ErrUnknownKind.
@@ -156,14 +166,14 @@ func Decode(r io.Reader) (Trace, error) {
 		}
 		f := strings.Fields(s)
 		if len(f) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(f))
+			return nil, fmt.Errorf("trace: line %d: %w, got %d", line, ErrFieldCount, len(f))
 		}
 		at, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil || at < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad arrival %q", line, f[0])
+			return nil, fmt.Errorf("trace: line %d: %w arrival %q", line, ErrBadField, f[0])
 		}
 		if at < prev {
-			return nil, fmt.Errorf("trace: line %d: arrival %d out of order (previous %d)", line, at, prev)
+			return nil, fmt.Errorf("trace: line %d: arrival %d %w (previous %d)", line, at, ErrOutOfOrder, prev)
 		}
 		prev = at
 		var kind nas.OpKind
@@ -179,7 +189,7 @@ func Decode(r io.Reader) (Trace, error) {
 		}
 		off, err := strconv.ParseInt(f[3], 10, 64)
 		if err != nil || off < 0 {
-			return nil, fmt.Errorf("trace: line %d: bad offset %q", line, f[3])
+			return nil, fmt.Errorf("trace: line %d: %w offset %q", line, ErrBadField, f[3])
 		}
 		minSize := int64(1)
 		if kind == nas.OpCommit {
@@ -187,7 +197,7 @@ func Decode(r io.Reader) (Trace, error) {
 		}
 		size, err := strconv.ParseInt(f[4], 10, 64)
 		if err != nil || size < minSize {
-			return nil, fmt.Errorf("trace: line %d: bad size %q", line, f[4])
+			return nil, fmt.Errorf("trace: line %d: %w size %q", line, ErrBadField, f[4])
 		}
 		t = append(t, Record{At: sim.Duration(at), Kind: kind, File: f[2], Off: off, Size: size})
 	}
