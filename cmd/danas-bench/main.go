@@ -6,6 +6,7 @@
 //
 //	danas-bench [-scale f] [-parallel n] [-exper names] [experiment|all]...
 //	danas-bench [-scale f] [-parallel n] -scenario file-or-name[,...] [-scenario-validate]
+//	danas-bench [-scale f] [-parallel n] -scenario file-or-name [-trace-out f] [-telemetry-out f]
 //	danas-bench [-scale f] [-parallel n] -scenario-seed n [-scenario-count m]
 //
 // The experiment names accepted positionally and by -exper come from the
@@ -24,9 +25,16 @@
 // file. -scenario-validate parses and validates without running.
 // -scenario-seed generates and runs a seeded random stress fleet. A
 // failed scenario assertion exits 1.
+//
+// -trace-out and -telemetry-out attach deterministic observability
+// exports to a single scenario run: per-op spans as Chrome trace-event
+// JSON (loadable in Perfetto) and the fleet gauge time series as TSV.
+// Both require exactly one -scenario item and are byte-identical
+// across reruns and -parallel widths.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -99,6 +107,10 @@ func main() {
 		"generate and run a seeded random stress-scenario fleet")
 	scenarioCount := flag.Int("scenario-count", 8,
 		"number of stress scenarios to generate with -scenario-seed")
+	traceOut := flag.String("trace-out", "",
+		"write the run's per-op spans as Chrome trace-event JSON (Perfetto-loadable) to this file; requires exactly one -scenario item")
+	telemetryOut := flag.String("telemetry-out", "",
+		"write the run's gauge time series as TSV to this file; requires exactly one -scenario item")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: danas-bench [flags] [%s]...\n", strings.Join(validNames(), "|"))
@@ -122,15 +134,19 @@ func main() {
 			stressMode = true
 		}
 	})
+	ob := obsOuts{Trace: *traceOut, Telemetry: *telemetryOut}
 	if *scenarioFlag != "" || stressMode {
 		if len(flag.Args()) > 0 || *experFlag != "" {
 			usageErr("scenario flags do not combine with experiment arguments")
 		}
-		runScenarios(*scenarioFlag, *scenarioValidate, stressMode, *scenarioSeed, *scenarioCount, scale)
+		runScenarios(*scenarioFlag, *scenarioValidate, stressMode, *scenarioSeed, *scenarioCount, scale, ob)
 		return
 	}
 	if *scenarioValidate {
 		usageErr("-scenario-validate requires -scenario")
+	}
+	if ob.enabled() {
+		usageErr("%v", fmt.Errorf("%w: require -scenario", ErrObsFlag))
 	}
 
 	args := flag.Args()
@@ -281,10 +297,41 @@ func resolveScenarios(items []string) []*scenario.Spec {
 	return specs
 }
 
+// ErrObsFlag classifies a misuse of the observability output flags, so
+// the validation is testable without exercising os.Exit.
+var ErrObsFlag = errors.New("-trace-out/-telemetry-out")
+
+// obsOuts carries the observability output destinations through the
+// scenario entry point.
+type obsOuts struct {
+	Trace, Telemetry string
+}
+
+func (o obsOuts) enabled() bool { return o.Trace != "" || o.Telemetry != "" }
+
+// checkObsFlags validates the observability outputs against the rest
+// of the invocation: they attach a deterministic export to exactly one
+// scenario run, so batches, stress fleets and validate-only passes are
+// rejected. The error wraps ErrObsFlag.
+func checkObsFlags(ob obsOuts, nSpecs int, validateOnly, stress bool) error {
+	if !ob.enabled() {
+		return nil
+	}
+	switch {
+	case stress:
+		return fmt.Errorf("%w: do not combine with -scenario-seed", ErrObsFlag)
+	case validateOnly:
+		return fmt.Errorf("%w: do not combine with -scenario-validate", ErrObsFlag)
+	case nSpecs != 1:
+		return fmt.Errorf("%w: require exactly one -scenario item, got %d", ErrObsFlag, nSpecs)
+	}
+	return nil
+}
+
 // runScenarios is the -scenario/-scenario-seed entry point. A spec that
 // cannot parse or validate exits 2 (usage error); a scenario that runs
 // but fails an assertion exits 1.
-func runScenarios(list string, validateOnly, stress bool, seed uint64, count int, scale exper.Scale) {
+func runScenarios(list string, validateOnly, stress bool, seed uint64, count int, scale exper.Scale, ob obsOuts) {
 	var specs []*scenario.Spec
 	if stress {
 		if list != "" {
@@ -306,6 +353,9 @@ func runScenarios(list string, validateOnly, stress bool, seed uint64, count int
 		}
 		specs = resolveScenarios(items)
 	}
+	if err := checkObsFlags(ob, len(specs), validateOnly, stress); err != nil {
+		usageErr("%v", err)
+	}
 	for _, sp := range specs {
 		if err := sp.Validate(); err != nil {
 			usageErr("%v", err)
@@ -317,12 +367,52 @@ func runScenarios(list string, validateOnly, stress bool, seed uint64, count int
 		}
 		return
 	}
+	if ob.enabled() {
+		runObservedScenario(specs[0], scale, ob)
+		return
+	}
 	reps, err := scenario.RunAll(specs, scale)
 	if err != nil {
 		usageErr("%v", err)
 	}
 	fmt.Print(scenario.FormatAll(reps))
 	if !scenario.AllPass(reps) {
+		os.Exit(1)
+	}
+}
+
+// runObservedScenario runs one scenario with tracing armed and writes
+// the requested exports. Export files are created before the run so a
+// bad path is a usage error, not a wasted simulation.
+func runObservedScenario(sp *scenario.Spec, scale exper.Scale, ob obsOuts) {
+	opts := scenario.RunOpts{Observe: true}
+	open := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		return f
+	}
+	var files []*os.File
+	if ob.Trace != "" {
+		f := open(ob.Trace)
+		files, opts.TraceOut = append(files, f), f
+	}
+	if ob.Telemetry != "" {
+		f := open(ob.Telemetry)
+		files, opts.TelemetryOut = append(files, f), f
+	}
+	rep, err := scenario.RunObserved(sp, scale, opts)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			usageErr("%v", err)
+		}
+	}
+	fmt.Print(scenario.FormatAll([]*scenario.Report{rep}))
+	if !rep.Pass {
 		os.Exit(1)
 	}
 }

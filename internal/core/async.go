@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"danas/internal/nas"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -35,6 +36,10 @@ func (c *Client) Async(depth int) nas.AsyncClient {
 func (a *asyncCached) Submit(p *sim.Proc, op nas.Op) uint64 {
 	tag, at := a.Begin(p)
 	p.Sched().Go(fmt.Sprintf("odafs-async-%d", tag), func(wp *sim.Proc) {
+		// The fresh process starts at the admission instant, so there is
+		// no pickup delay to bucket as queue time — the span just rides
+		// along for the operation's execution.
+		obs.Activate(wp, op.Span)
 		n, err := op.Run(wp, a.Client)
 		a.Finish(nas.Completion{Tag: tag, Op: op, N: n, Err: err, Submitted: at})
 	})

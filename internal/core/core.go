@@ -39,6 +39,7 @@ import (
 	"danas/internal/host"
 	"danas/internal/nas"
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/stripe"
 )
@@ -302,6 +303,14 @@ func (c *Client) Retries() uint64 {
 	return n
 }
 
+// TimedOuts counts session calls that exhausted their retry budget and
+// failed, summed across every mounted session.
+func (c *Client) TimedOuts() uint64 {
+	var n uint64
+	c.eachSession(func(in *dafs.Client) { n += in.TimedOut })
+	return n
+}
+
 // Failovers counts serving-copy switches across the shards; Reissued
 // counts the uncommitted ranges failover re-wrote onto surviving
 // copies. Both are zero on unreplicated clients.
@@ -381,6 +390,7 @@ func (c *Client) failover(p *sim.Proc, shard, failed int) bool {
 	c.inners[shard] = nw
 	c.refEpoch[shard]++
 	c.failovers++
+	obs.Active(p).CountFailover()
 	for _, pr := range old.TakeUncommitted() {
 		if nw.HasUncommitted(pr.FH, pr.WriteRange) {
 			continue
@@ -605,14 +615,17 @@ func (c *Client) Read(p *sim.Proc, h *nas.Handle, off, n int64, bufID uint64) (i
 		}
 		return end - off, nil
 	}
-	// Internal read-ahead: fetch all missing blocks concurrently.
+	// Internal read-ahead: fetch all missing blocks concurrently, each
+	// fetch process carrying the requesting operation's span.
 	s := p.Sched()
 	doneSig := sim.NewSignal(s)
 	results := make([]fetch, len(misses))
 	remaining := len(misses)
+	sp := obs.Active(p)
 	for i, bo := range misses {
 		i, bo := i, bo
 		s.Go(fmt.Sprintf("fetch-%d", bo), func(fp *sim.Proc) {
+			obs.Activate(fp, sp)
 			results[i] = fetch{off: bo, err: c.fetchBlock(fp, h, bo)}
 			remaining--
 			if remaining == 0 {

@@ -5,6 +5,7 @@ import (
 	"danas/internal/host"
 	"danas/internal/nas"
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/vi"
 	"danas/internal/wire"
@@ -146,6 +147,7 @@ func (c *Client) call(p *sim.Proc, hdr *wire.Header, m *msg, payloadBytes int64)
 	c.h.Compute(p, c.h.P.DAFSClientOp)
 	c.nextXID++
 	hdr.XID = c.nextXID
+	hdr.Span = obs.Active(p)
 	c.Calls++
 	m.Hdr = hdr
 	fut := sim.NewFuture[*completion](p.Sched())
@@ -154,22 +156,32 @@ func (c *Client) call(p *sim.Proc, hdr *wire.Header, m *msg, payloadBytes int64)
 		HeaderBytes:  hdr.WireSize() + 16*len(m.Batch),
 		PayloadBytes: payloadBytes,
 		Header:       m,
+		Span:         hdr.Span,
 	}
 	c.qp.Send(p, vm)
 	if c.RetransmitTimeout > 0 {
 		// Retransmission runs in event context (a library timer),
 		// charging send costs asynchronously; on budget exhaustion the
-		// pending future resolves with nas.ErrTimeout.
+		// pending future resolves with nas.ErrTimeout. Each fired timer
+		// means the interval since the last transmission was spent on a
+		// lost exchange: that dead time is the span's retry phase.
 		xid := hdr.XID
+		sp := hdr.Span
+		lastSend := c.h.S.Now()
 		sim.Retry(c.h.S, c.RetransmitTimeout, c.MaxRetries, fut.Fired,
 			func() {
 				c.Retries++
+				now := c.h.S.Now()
+				sp.CountRetry()
+				sp.Add(obs.PhaseRetry, now.Sub(lastSend))
+				lastSend = now
 				c.h.ComputeAsync(c.h.P.DAFSClientOp, nil)
 				c.qp.SendAsync(vm)
 			},
 			func() {
 				delete(c.pending, xid)
 				c.TimedOut++
+				sp.Add(obs.PhaseRetry, c.h.S.Now().Sub(lastSend))
 				fut.Resolve(&completion{err: nas.ErrTimeout})
 			})
 	}

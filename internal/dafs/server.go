@@ -17,6 +17,7 @@ import (
 	"danas/internal/fsim"
 	"danas/internal/host"
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/vi"
 	"danas/internal/wb"
@@ -147,35 +148,47 @@ func (srv *Server) serve(p *sim.Proc, qp *vi.QP) {
 			srv.Discarded++
 			continue // crashed host: the request dies unexecuted
 		}
-		req := m.Header.(*msg)
-		// Session demux + protocol handler work.
-		srv.H.Compute(p, srv.H.P.RPCServerCost+srv.H.P.DAFSServerOp)
-		switch req.Hdr.Op {
-		case wire.OpRead:
-			srv.read(p, qp, req)
-		case wire.OpWrite:
-			srv.write(p, qp, req)
-		case wire.OpCommit:
-			// A commit can block for many milliseconds of destage; run
-			// it on its own process so it never head-of-line-blocks the
-			// session's other requests (the client matches replies by
-			// XID, so out-of-order completion is fine). Write-path
-			// backpressure stays in-line by design: throttling the
-			// session is how the server sheds offered write load.
-			srv.S.Go("dafs-commit", func(cp *sim.Proc) { srv.commit(cp, qp, req) })
-		case wire.OpOpen, wire.OpLookup:
-			srv.openOp(p, qp, req)
-		case wire.OpGetattr:
-			srv.getattr(p, qp, req)
-		case wire.OpCreate:
-			srv.createOp(p, qp, req)
-		case wire.OpRemove:
-			srv.removeOp(p, qp, req)
-		case wire.OpClose, wire.OpMount:
-			srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK})
-		default:
-			srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusIO})
-		}
+		srv.serveOne(p, qp, m.Header.(*msg))
+	}
+}
+
+// serveOne dispatches one session request with its span (if traced)
+// active for exactly the request's scope, so server CPU, cache, disk and
+// write-behind work attribute to the originating operation while the
+// session worker's idle Recv wait attributes to nothing.
+func (srv *Server) serveOne(p *sim.Proc, qp *vi.QP, req *msg) {
+	obs.Activate(p, req.Hdr.Span)
+	defer obs.Activate(p, nil)
+	// Session demux + protocol handler work.
+	srv.H.Compute(p, srv.H.P.RPCServerCost+srv.H.P.DAFSServerOp)
+	switch req.Hdr.Op {
+	case wire.OpRead:
+		srv.read(p, qp, req)
+	case wire.OpWrite:
+		srv.write(p, qp, req)
+	case wire.OpCommit:
+		// A commit can block for many milliseconds of destage; run
+		// it on its own process so it never head-of-line-blocks the
+		// session's other requests (the client matches replies by
+		// XID, so out-of-order completion is fine). Write-path
+		// backpressure stays in-line by design: throttling the
+		// session is how the server sheds offered write load.
+		srv.S.Go("dafs-commit", func(cp *sim.Proc) {
+			obs.Activate(cp, req.Hdr.Span)
+			srv.commit(cp, qp, req)
+		})
+	case wire.OpOpen, wire.OpLookup:
+		srv.openOp(p, qp, req)
+	case wire.OpGetattr:
+		srv.getattr(p, qp, req)
+	case wire.OpCreate:
+		srv.createOp(p, qp, req)
+	case wire.OpRemove:
+		srv.removeOp(p, qp, req)
+	case wire.OpClose, wire.OpMount:
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusOK})
+	default:
+		srv.reply(p, qp, &wire.Header{Op: req.Hdr.Op, XID: req.Hdr.XID, Status: wire.StatusIO})
 	}
 }
 
@@ -183,7 +196,7 @@ func (srv *Server) reply(p *sim.Proc, qp *vi.QP, h *wire.Header) {
 	if srv.down {
 		return // a crash between receive and reply drops the in-flight RPC
 	}
-	qp.Send(p, &vi.Msg{HeaderBytes: h.WireSize(), Header: &msg{Hdr: h}})
+	qp.Send(p, &vi.Msg{HeaderBytes: h.WireSize(), Header: &msg{Hdr: h}, Span: obs.Active(p)})
 }
 
 func (srv *Server) openOp(p *sim.Proc, qp *vi.QP, req *msg) {
@@ -316,6 +329,7 @@ func (srv *Server) read(p *sim.Proc, qp *vi.QP, req *msg) {
 		PayloadBytes: total,
 		Header:       &msg{Hdr: resp},
 		Payload:      fsim.BlockRef{File: f.ID, Off: h.Offset, Len: total},
+		Span:         obs.Active(p),
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"danas/internal/netsim"
 	"danas/internal/nfs"
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/stripe"
 	"danas/internal/udpip"
@@ -257,6 +258,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	buildServer := func(name string, leaf int) *ServerShard {
 		sh := &ServerShard{}
 		sh.Host = host.New(s, name, p)
+		// Server CPU time — queueing included — attributes to traced
+		// operations' server phase (client machines keep the zero value).
+		sh.Host.CPUPhase = obs.PhaseServer
 		sh.NIC = nic.New(sh.Host, fab.AddLeafPort(name, line, leaf))
 		sh.Stack = udpip.NewStack(sh.NIC)
 		sh.FS = fsim.NewFS()

@@ -8,6 +8,7 @@ import (
 	"danas/internal/metrics"
 	"danas/internal/nas"
 	"danas/internal/nfs"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/stripe"
 	"danas/internal/trace"
@@ -86,6 +87,8 @@ type ReplaySession struct {
 	retried   func() uint64
 	failovers func() uint64
 	reissued  func() uint64
+	timeouts  func() uint64
+	ob        *Observation
 }
 
 // NewReplaySession builds the cluster every replay cell drives — one
@@ -133,7 +136,7 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 		tr:         tr,
 	}
 	none := func() uint64 { return 0 }
-	s.failovers, s.reissued = none, none
+	s.failovers, s.reissued, s.timeouts = none, none, none
 	switch cfg.System {
 	case "DAFS", "ODAFS":
 		ccfg := core.Config{
@@ -157,6 +160,7 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 			}
 		}
 		s.retried = func() uint64 { return cc.Retries() + cc.Stats().ORDMAFaults }
+		s.timeouts = cc.TimedOuts
 		s.AC = cc.Async(cfg.Depth)
 	default:
 		var ncs []*nfs.Client
@@ -193,6 +197,13 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 			}
 			return n
 		}
+		s.timeouts = func() uint64 {
+			var n uint64
+			for _, nc := range ncs {
+				n += nc.TimedOut()
+			}
+			return n
+		}
 		s.AC = nas.NewAsync(base, cfg.Depth)
 	}
 	return s
@@ -202,6 +213,10 @@ func NewReplaySession(tr trace.Trace, cfg ReplayConfig) *ReplaySession {
 // client-layer retransmissions plus ORDMA faults.
 func (s *ReplaySession) Retried() uint64 { return s.retried() }
 
+// Timeouts counts calls that exhausted their retry budget and failed
+// (zero without a retry budget: callers block instead of failing).
+func (s *ReplaySession) Timeouts() uint64 { return s.timeouts() }
+
 // Failovers counts serving-copy switches across the fleet; Reissued
 // counts the uncommitted ranges failover re-wrote onto surviving
 // copies. Both are zero on unreplicated sessions.
@@ -210,6 +225,130 @@ func (s *ReplaySession) Reissued() uint64  { return s.reissued() }
 
 // Close tears down the session's simulation.
 func (s *ReplaySession) Close() { s.Cluster.Close() }
+
+// DefaultTelemetryInterval is the sampler tick used when a caller asks
+// for telemetry without choosing a cadence: fine enough to resolve
+// water-mark oscillation at CI scale, coarse enough that a full-scale
+// replay stays in the thousands of samples.
+const DefaultTelemetryInterval = sim.Millisecond
+
+// Observation is an armed observability session: the per-operation span
+// recorder and (when telemetry was requested) the fleet gauge sampler.
+type Observation struct {
+	Rec     *obs.Recorder
+	Sampler *obs.Sampler
+}
+
+// Observe arms per-operation tracing and fleet telemetry. The recorder
+// is sized to the trace, so every replayed op gets a span; interval > 0
+// additionally starts a gauge sampler ticking at that cadence (<= 0
+// records spans only). Call once, before Replay — the replay stops the
+// sampler at its last completion so the series covers the measured
+// range exactly. The error wraps obs.ErrBadConfig or obs.ErrClosed.
+func (s *ReplaySession) Observe(interval sim.Duration) (*Observation, error) {
+	if s.ob != nil {
+		return nil, fmt.Errorf("exper: session already observed: %w", obs.ErrClosed)
+	}
+	n := len(s.tr)
+	if n < 1 {
+		n = 1
+	}
+	rc, err := obs.NewRecorder(n)
+	if err != nil {
+		return nil, fmt.Errorf("exper: sizing recorder: %w", err)
+	}
+	ob := &Observation{Rec: rc}
+	if interval > 0 {
+		sm, err := obs.NewSampler(s.Cluster.S, interval, s.gauges())
+		if err != nil {
+			return nil, fmt.Errorf("exper: building sampler: %w", err)
+		}
+		if err := sm.Start(); err != nil {
+			return nil, fmt.Errorf("exper: starting sampler: %w", err)
+		}
+		ob.Sampler = sm
+	}
+	s.ob = ob
+	return ob, nil
+}
+
+// gauges assembles the fleet's telemetry instruments: per-machine CPU
+// utilization, per-shard write-behind state, per-leaf trunk load on
+// multi-leaf fabrics, and the client-side fault and queue counters.
+func (s *ReplaySession) gauges() []obs.Gauge {
+	var gs []obs.Gauge
+	for _, set := range s.Cluster.ReplicaSets {
+		for _, sh := range set {
+			gs = append(gs, obs.Gauge{
+				Class: obs.GaugeCPUUtil, Name: sh.Host.Name, Fn: cpuUtilFn(sh.Host.CPU),
+			})
+			if sh.WB == nil {
+				continue
+			}
+			wbf := sh.WB
+			gs = append(gs,
+				obs.Gauge{Class: obs.GaugeDirtyBlocks, Name: sh.Host.Name,
+					Fn: func(sim.Time) float64 { return float64(wbf.DirtyBlocks()) }},
+				obs.Gauge{Class: obs.GaugeWBThrottle, Name: sh.Host.Name,
+					Fn: func(sim.Time) float64 {
+						if wbf.Throttling() {
+							return 1
+						}
+						return 0
+					}})
+		}
+	}
+	for _, node := range s.Cluster.Nodes {
+		gs = append(gs, obs.Gauge{
+			Class: obs.GaugeCPUUtil, Name: node.Host.Name, Fn: cpuUtilFn(node.Host.CPU),
+		})
+	}
+	if fab := s.Cluster.Fab; fab.Leaves() > 1 {
+		for i := 0; i < fab.Leaves(); i++ {
+			i := i
+			gs = append(gs,
+				obs.Gauge{Class: obs.GaugeTrunkUtil, Name: fmt.Sprintf("leaf%d", i),
+					Fn: func(sim.Time) float64 {
+						ts := fab.TrunkStats(i)
+						return max(ts.UpUtil, ts.DownUtil)
+					}},
+				obs.Gauge{Class: obs.GaugeTrunkBacklogUs, Name: fmt.Sprintf("leaf%d", i),
+					Fn: func(sim.Time) float64 { return fab.TrunkStats(i).MaxBacklog.Micros() }})
+		}
+	}
+	gs = append(gs,
+		obs.Gauge{Class: obs.GaugeRetries, Name: "client",
+			Fn: func(sim.Time) float64 { return float64(s.retried()) }},
+		obs.Gauge{Class: obs.GaugeFailovers, Name: "client",
+			Fn: func(sim.Time) float64 { return float64(s.failovers()) }},
+		obs.Gauge{Class: obs.GaugeTimeouts, Name: "client",
+			Fn: func(sim.Time) float64 { return float64(s.timeouts()) }},
+		obs.Gauge{Class: obs.GaugeAsyncDepth, Name: "client",
+			Fn: func(sim.Time) float64 { return float64(s.AC.Outstanding()) }})
+	return gs
+}
+
+// cpuUtilFn builds a differential CPU-utilization gauge: the busy
+// fraction of the interval since the previous sample, clamped to [0, 1]
+// (an epoch mark between samples can shrink the cumulative busy time;
+// the clamp absorbs it).
+func cpuUtilFn(st *sim.Station) func(now sim.Time) float64 {
+	var lastBusy sim.Duration
+	var lastAt sim.Time
+	return func(now sim.Time) float64 {
+		busy := st.BusyTime()
+		db, dt := busy-lastBusy, now.Sub(lastAt)
+		lastBusy, lastAt = busy, now
+		if dt <= 0 || db <= 0 {
+			return 0
+		}
+		u := float64(db) / float64(dt)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+}
 
 // Replay runs the open-loop replay of the session's trace with the
 // fault schedule armed at the replay clock's origin (a nil or empty
@@ -231,7 +370,17 @@ func (s *ReplaySession) Replay(name string, sched fail.Schedule) (*workload.Repl
 				}
 			}
 		}
-		res, rerr = workload.ReplayWith(p, s.AC, s.tr, onStart)
+		var rc *obs.Recorder
+		if s.ob != nil {
+			rc = s.ob.Rec
+		}
+		res, rerr = workload.ReplayObserved(p, s.AC, s.tr, onStart, rc)
+		if s.ob != nil {
+			// The sampler's pending tick would keep the event queue
+			// non-empty forever; stopping it here also pins the final
+			// sample to the replay's last completion.
+			s.ob.Sampler.Stop(p.Now())
+		}
 	})
 	s.Cluster.Run()
 	if res == nil {

@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -24,11 +25,12 @@ func NewDisk(s *sim.Scheduler, name string, seek sim.Duration, bw float64) *Disk
 	return &Disk{st: sim.NewStation(s, name), seek: seek, bw: bw}
 }
 
-// Read blocks p for one read I/O of n bytes.
+// Read blocks p for one read I/O of n bytes. Wall time (device
+// queueing included) attributes to the active span's disk phase.
 func (d *Disk) Read(p *sim.Proc, n int64) {
 	d.Reads++
 	d.BytesRead += n
-	d.st.Wait(p, d.seek+sim.TransferTime(n, d.bw))
+	d.serve(p, n)
 }
 
 // ReadAsync schedules a read and calls done at completion.
@@ -38,11 +40,26 @@ func (d *Disk) ReadAsync(n int64, done func()) {
 	d.st.Serve(d.seek+sim.TransferTime(n, d.bw), done)
 }
 
-// Write blocks p for one write I/O of n bytes.
+// Write blocks p for one write I/O of n bytes. Wall time (device
+// queueing included) attributes to the active span's disk phase.
 func (d *Disk) Write(p *sim.Proc, n int64) {
 	d.Writes++
 	d.BytesWritten += n
-	d.st.Wait(p, d.seek+sim.TransferTime(n, d.bw))
+	d.serve(p, n)
+}
+
+// serve blocks p for one I/O, attributing the wall time to the active
+// span's disk phase (write-behind brackets rebucket it into stall).
+func (d *Disk) serve(p *sim.Proc, n int64) {
+	svc := d.seek + sim.TransferTime(n, d.bw)
+	sp := obs.Active(p)
+	if sp == nil {
+		d.st.Wait(p, svc)
+		return
+	}
+	t0 := p.Now()
+	d.st.Wait(p, svc)
+	sp.Add(obs.PhaseDisk, p.Now().Sub(t0))
 }
 
 // Utilization reports the device utilization since its last epoch.

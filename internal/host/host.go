@@ -10,6 +10,7 @@ package host
 import (
 	"fmt"
 
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -23,6 +24,10 @@ type Host struct {
 	CPU *sim.Station
 	// VM tracks page registration and pinning for DMA.
 	VM *VM
+	// CPUPhase is the span phase this machine's CPU time attributes
+	// to; the zero value is obs.PhaseClient, so only server machines
+	// need marking (the cluster builder sets obs.PhaseServer).
+	CPUPhase obs.Phase
 
 	intrPending int // received packets since last interrupt (coalescing)
 }
@@ -39,9 +44,19 @@ func New(s *sim.Scheduler, name string, p *Params) *Host {
 	return h
 }
 
-// Compute blocks p while the CPU performs d of work.
+// Compute blocks p while the CPU performs d of work. When p carries an
+// active span, the full wall time (queueing behind other jobs included)
+// attributes to the host's CPU phase — honest attribution: a saturated
+// server CPU shows up as server time, not as unexplained residue.
 func (h *Host) Compute(p *sim.Proc, d sim.Duration) {
+	sp := obs.Active(p)
+	if sp == nil {
+		h.CPU.Wait(p, d)
+		return
+	}
+	t0 := p.Now()
 	h.CPU.Wait(p, d)
+	sp.Add(h.CPUPhase, p.Now().Sub(t0))
 }
 
 // ComputeAsync charges d of CPU work and calls done when it completes,

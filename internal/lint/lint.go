@@ -49,6 +49,7 @@ func simDomain(path string) bool {
 var TypedErrPackages = []string{
 	ModulePrefix + "/internal/fail",
 	ModulePrefix + "/internal/nas",
+	ModulePrefix + "/internal/obs",
 	ModulePrefix + "/internal/rpc",
 	ModulePrefix + "/internal/scenario",
 	ModulePrefix + "/internal/stripe",

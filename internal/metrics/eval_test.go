@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"testing"
+
+	"danas/internal/sim"
+)
+
+// evalFixture builds an Eval over four evenly spaced completions: ops
+// arriving at 0/10/20/30ms, each completing 5ms later with 1MB, replay
+// start pinned off origin to catch start/offset confusion.
+func evalFixture() *Eval {
+	start := sim.Time(sim.Second)
+	var ops []OpOutcome
+	for i := 0; i < 4; i++ {
+		at := sim.Duration(i) * 10 * sim.Millisecond
+		ops = append(ops, OpOutcome{
+			Arrival: at,
+			Done:    start.Add(at + 5*sim.Millisecond),
+			Bytes:   1e6,
+		})
+	}
+	return NewEval(start, 35*sim.Millisecond, ops)
+}
+
+func TestEvalEmptyWindow(t *testing.T) {
+	e := evalFixture()
+	at := e.Start().Add(10 * sim.Millisecond)
+	if got := e.BytesIn(at, at); got != 0 {
+		t.Errorf("BytesIn over an empty window = %d, want 0", got)
+	}
+	if h := e.ArrivalHist(10*sim.Millisecond, 10*sim.Millisecond); h.Count() != 0 {
+		t.Errorf("ArrivalHist over an empty window observed %d ops", h.Count())
+	}
+	// An inverted window is just as empty.
+	if got := e.BytesIn(at, at.Add(-sim.Millisecond)); got != 0 {
+		t.Errorf("BytesIn over an inverted window = %d, want 0", got)
+	}
+}
+
+func TestEvalWindowBeforeAllCompletions(t *testing.T) {
+	e := evalFixture()
+	// Completions begin at start+5ms; [start, start+5ms) holds none.
+	if got := e.BytesIn(e.Start(), e.Start().Add(5*sim.Millisecond)); got != 0 {
+		t.Errorf("BytesIn before all completions = %d, want 0", got)
+	}
+	// Entirely before the replay origin.
+	if got := e.BytesIn(0, sim.Time(sim.Millisecond)); got != 0 {
+		t.Errorf("BytesIn before the replay = %d, want 0", got)
+	}
+	if h := e.ArrivalHist(-10*sim.Millisecond, 0); h.Count() != 0 {
+		t.Errorf("ArrivalHist before all arrivals observed %d ops", h.Count())
+	}
+}
+
+func TestEvalWindowAfterAllCompletions(t *testing.T) {
+	e := evalFixture()
+	past := e.End().Add(sim.Second)
+	if got := e.BytesIn(past, past.Add(sim.Second)); got != 0 {
+		t.Errorf("BytesIn after all completions = %d, want 0", got)
+	}
+	if h := e.ArrivalHist(sim.Second, 2*sim.Second); h.Count() != 0 {
+		t.Errorf("ArrivalHist after all arrivals observed %d ops", h.Count())
+	}
+	// The full range still accounts for every byte.
+	if got := e.BytesIn(e.Start(), past); got != 4e6 {
+		t.Errorf("BytesIn over the full range = %d, want 4e6", got)
+	}
+}
+
+func TestEvalWindowBoundsInclusive(t *testing.T) {
+	e := evalFixture()
+	// [lo, hi): a completion exactly at lo counts, exactly at hi does not.
+	first := e.Start().Add(5 * sim.Millisecond)
+	if got := e.BytesIn(first, first.Add(sim.Nanosecond)); got != 1e6 {
+		t.Errorf("completion at lo = %d bytes, want 1e6", got)
+	}
+	if got := e.BytesIn(e.Start(), first); got != 0 {
+		t.Errorf("completion at hi = %d bytes, want 0", got)
+	}
+}
+
+// TestEvalFaultWindowAbuttingStart pins a fault window that opens at
+// the replay origin: the baseline span is empty, so recovery reports
+// "never dipped" rather than dividing by zero.
+func TestEvalFaultWindowAbuttingStart(t *testing.T) {
+	e := evalFixture()
+	m := e.Fault(0, 10*sim.Millisecond)
+	if m.BaseMBps != 0 {
+		t.Errorf("baseline of a start-abutting fault = %g, want 0", m.BaseMBps)
+	}
+	if m.RecoveryMillis != 0 {
+		t.Errorf("recovery with no baseline = %g, want 0 (never dipped)", m.RecoveryMillis)
+	}
+	// The window holds the 5ms completion.
+	if m.FaultMBps <= 0 {
+		t.Errorf("fault-window throughput = %g, want > 0", m.FaultMBps)
+	}
+}
+
+// TestEvalFaultWindowAbuttingEnd pins a fault window that closes at the
+// last completion: the after-window spans zero time and must read as
+// zero throughput, and the completion sitting exactly on the window
+// edge still counts toward recovery (BytesIn's inclusive low bound).
+func TestEvalFaultWindowAbuttingEnd(t *testing.T) {
+	e := evalFixture()
+	elapsed := e.End().Sub(e.Start())
+	m := e.Fault(20*sim.Millisecond, elapsed)
+	if m.AfterMBps != 0 {
+		t.Errorf("after an end-abutting fault = %g MB/s, want 0", m.AfterMBps)
+	}
+	if m.BaseMBps <= 0 {
+		t.Errorf("baseline = %g, want > 0", m.BaseMBps)
+	}
+	if m.RecoveryMillis != 0 {
+		t.Errorf("recovery = %g, want 0 (the edge completion refills the window)", m.RecoveryMillis)
+	}
+}
+
+// TestEvalRecoveryNeverReturns pins the -1 verdict: after the fault
+// only a trickle completes, so no sliding window ever regains 95% of
+// baseline before the replay ends.
+func TestEvalRecoveryNeverReturns(t *testing.T) {
+	start := sim.Time(sim.Second)
+	ops := []OpOutcome{
+		{Arrival: 0, Done: start.Add(1 * sim.Millisecond), Bytes: 1e6},
+		{Arrival: 5 * sim.Millisecond, Done: start.Add(6 * sim.Millisecond), Bytes: 1e6},
+		{Arrival: 25 * sim.Millisecond, Done: start.Add(30 * sim.Millisecond), Bytes: 100},
+	}
+	e := NewEval(start, 30*sim.Millisecond, ops)
+	m := e.Fault(10*sim.Millisecond, 20*sim.Millisecond)
+	if m.RecoveryMillis != -1 {
+		t.Errorf("recovery over a starved tail = %g, want -1", m.RecoveryMillis)
+	}
+	if m.FaultMBps != 0 {
+		t.Errorf("fault-window throughput = %g, want 0 (nothing completed in it)", m.FaultMBps)
+	}
+}

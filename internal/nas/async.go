@@ -3,6 +3,7 @@ package nas
 import (
 	"fmt"
 
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -39,6 +40,10 @@ type Op struct {
 	Off   int64
 	N     int64
 	BufID uint64
+	// Span, when non-nil, is the operation's trace span: the async
+	// implementations activate it on whichever process runs the op, and
+	// attribute time spent queued before execution to its queue phase.
+	Span *obs.Span
 }
 
 // Run executes the operation synchronously on c, dispatching on Kind.
@@ -210,11 +215,16 @@ func (a *asyncAdapter) Submit(p *sim.Proc, op Op) uint64 {
 
 // worker executes queued operations one at a time. Because admission is
 // capped at Depth — the pool's size — a queued operation never waits
-// behind more than the in-flight window.
+// behind more than the in-flight window. Time between admission and
+// worker pickup is the operation's queue phase; the span then stays
+// active for exactly the Run call.
 func (a *asyncAdapter) worker(wp *sim.Proc) {
 	for {
 		q := a.sq.Get(wp)
+		q.op.Span.Add(obs.PhaseQueue, wp.Now().Sub(q.submitted))
+		obs.Activate(wp, q.op.Span)
 		n, err := q.op.Run(wp, a.Client)
+		obs.Activate(wp, nil)
 		a.Finish(Completion{Tag: q.tag, Op: q.op, N: n, Err: err, Submitted: q.submitted})
 	}
 }

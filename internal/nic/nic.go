@@ -12,6 +12,7 @@ import (
 
 	"danas/internal/host"
 	"danas/internal/netsim"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -52,6 +53,14 @@ type Message struct {
 	Direct bool
 	// FragSize overrides the NIC fragmentation unit (0 = GM default).
 	FragSize int
+	// Span, when non-nil, is the observability span of the operation
+	// this message carries; delivery attributes the send-to-arrival
+	// wall time to its wire phase. Never serialized — it rides the
+	// simulator's typed Header/Payload channel, not the wire bytes.
+	Span *obs.Span
+
+	sentAt   sim.Time // stamped by sendNow for wire attribution
+	queuedAt sim.Time // stamped at endpoint-queue entry for queue-phase attribution
 }
 
 // Size returns total wire bytes before framing overhead.
@@ -70,6 +79,9 @@ type Endpoint struct {
 // (poll consume, or interrupt + wakeup already charged at delivery).
 func (e *Endpoint) Recv(p *sim.Proc) *Message {
 	m := e.queue.Get(p)
+	// Receive-queue wait — messages piling up behind a busy worker — is
+	// the carried op's queue phase (zero when the worker was parked).
+	m.Span.Add(obs.PhaseQueue, p.Now().Sub(m.queuedAt))
 	switch e.Mode {
 	case Poll:
 		e.nic.h.Compute(p, e.nic.p.PollGet)
@@ -88,6 +100,7 @@ func (e *Endpoint) TryRecv(p *sim.Proc) (*Message, bool) {
 	if !ok {
 		return nil, false
 	}
+	m.Span.Add(obs.PhaseQueue, p.Now().Sub(m.queuedAt))
 	if e.Mode == Poll {
 		e.nic.h.Compute(p, e.nic.p.PollGet)
 	} else {
@@ -273,6 +286,7 @@ func (n *NIC) SendAsync(m *Message) {
 
 func (n *NIC) sendNow(m *Message) {
 	m.From = n
+	m.sentAt = n.s.Now()
 	n.stats.MsgsSent++
 	frag := m.FragSize
 	if frag <= 0 {
@@ -336,6 +350,9 @@ func (n *NIC) DeliverFrame(f *netsim.Frame) {
 // msgArrived runs when the last fragment of a message has been placed.
 func (n *NIC) msgArrived(m *Message) {
 	n.stats.MsgsRecv++
+	// Wire attribution: NIC pipeline, serialization, switching, and
+	// trunk queueing from the send instant to full arrival.
+	m.Span.Add(obs.PhaseWire, n.s.Now().Sub(m.sentAt))
 	if m.Tag != 0 {
 		if pp, ok := n.preposted[m.Tag]; ok {
 			// Header split: payload goes straight to the pre-posted user
@@ -359,11 +376,15 @@ func (n *NIC) msgArrived(m *Message) {
 	}
 	switch ep.Mode {
 	case Poll:
+		m.queuedAt = n.s.Now()
 		ep.queue.Put(m)
 	case Intr:
 		// GM/VI events take a full interrupt each; coalescing exists only
 		// on the Ethernet-emulation path (§5, testbed description).
 		n.stats.Interrupts++
-		n.h.Interrupt(0, func() { ep.queue.Put(m) })
+		n.h.Interrupt(0, func() {
+			m.queuedAt = n.s.Now()
+			ep.queue.Put(m)
+		})
 	}
 }

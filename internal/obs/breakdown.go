@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"danas/internal/sim"
+)
+
+// Breakdown is a span population's per-phase latency decomposition:
+// mean attributed time per phase over all ops and over the p99 tail
+// (the ops at or above the p99 wall latency), plus which phase
+// dominates that tail — the "where did the p99 go" answer the paper's
+// cost attribution gives for single ops, lifted to a distribution.
+type Breakdown struct {
+	// N is the population size; Tail the tail-op count.
+	N, Tail int
+	// P99Micros is the population's p99 wall latency.
+	P99Micros float64
+	// MeanMicros and TailMicros hold the per-phase means; index
+	// NumPhases is the unattributed residue ("other").
+	MeanMicros [NumPhases + 1]float64
+	TailMicros [NumPhases + 1]float64
+}
+
+// Summarize decomposes spans into a Breakdown. An empty population
+// yields the zero value.
+func Summarize(spans []*Span) Breakdown {
+	var b Breakdown
+	b.N = len(spans)
+	if b.N == 0 {
+		return b
+	}
+	walls := make([]sim.Duration, len(spans))
+	for i, sp := range spans {
+		walls[i] = sp.Wall()
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			b.MeanMicros[ph] += sp.Phase(ph).Micros()
+		}
+		b.MeanMicros[NumPhases] += sp.Other().Micros()
+	}
+	for i := range b.MeanMicros {
+		b.MeanMicros[i] /= float64(b.N)
+	}
+	sorted := make([]sim.Duration, len(walls))
+	copy(sorted, walls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := sorted[(len(sorted)-1)*99/100]
+	b.P99Micros = p99.Micros()
+	for i, sp := range spans {
+		if walls[i] < p99 {
+			continue
+		}
+		b.Tail++
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			b.TailMicros[ph] += sp.Phase(ph).Micros()
+		}
+		b.TailMicros[NumPhases] += sp.Other().Micros()
+	}
+	if b.Tail > 0 {
+		for i := range b.TailMicros {
+			b.TailMicros[i] /= float64(b.Tail)
+		}
+	}
+	return b
+}
+
+// DominantTail names the phase with the largest mean tail time
+// ("other" for the residue bucket); ties resolve to the earlier
+// phase. Empty populations report "none".
+func (b Breakdown) DominantTail() string {
+	if b.N == 0 {
+		return "none"
+	}
+	best := 0
+	for i := 1; i < len(b.TailMicros); i++ {
+		if b.TailMicros[i] > b.TailMicros[best] {
+			best = i
+		}
+	}
+	if best == int(NumPhases) {
+		return "other"
+	}
+	return Phase(best).String()
+}
+
+// columnName spells breakdown column i ("other" for the residue).
+func columnName(i int) string {
+	if i == int(NumPhases) {
+		return "other"
+	}
+	return Phase(i).String()
+}
+
+// Format renders the breakdown as one table: a mean row and a p99-tail
+// row over the phase columns, annotated with the dominant tail phase.
+func (b Breakdown) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "phase(us)")
+	for i := 0; i <= int(NumPhases); i++ {
+		fmt.Fprintf(&sb, " %9s", columnName(i))
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-10s", "mean")
+	for _, v := range b.MeanMicros {
+		fmt.Fprintf(&sb, " %9.1f", v)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-10s", "p99 tail")
+	for _, v := range b.TailMicros {
+		fmt.Fprintf(&sb, " %9.1f", v)
+	}
+	fmt.Fprintf(&sb, "\n  n=%d tail=%d p99=%.1fus dominant=%s\n", b.N, b.Tail, b.P99Micros, b.DominantTail())
+	return sb.String()
+}
+
+// MaxPhase returns the largest single-op time attributed to ph across
+// spans (the scenario max-phase-ms assertion's read side).
+func MaxPhase(spans []*Span, ph Phase) sim.Duration {
+	var best sim.Duration
+	for _, sp := range spans {
+		if d := sp.Phase(ph); d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTrace renders spans as Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load): one complete ("ph":"X") event
+// per span, timestamps and durations in microseconds, per-phase times
+// and episode counters in args. Events are emitted in recording order
+// with every field hand-formatted in a fixed order, so the output is
+// byte-identical across reruns and -parallel widths. Concurrent spans
+// are spread across tids by a greedy lane assignment so overlapping
+// ops render side by side instead of nested.
+func WriteTrace(w io.Writer, spans []*Span) error {
+	if w == nil {
+		return fmt.Errorf("%w: trace writer is nil", ErrBadConfig)
+	}
+	if _, err := fmt.Fprintf(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	lanes := laneAssign(spans)
+	for i, sp := range spans {
+		sep := ","
+		if i == len(spans)-1 {
+			sep = ""
+		}
+		errField := 0
+		if sp.Err {
+			errField = 1
+		}
+		_, err := fmt.Fprintf(w,
+			"{\"name\":\"%s #%d\",\"cat\":\"op\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"+
+				"\"ts\":%.3f,\"dur\":%.3f,\"args\":{"+
+				"\"client_us\":%.3f,\"queue_us\":%.3f,\"wire_us\":%.3f,\"server_us\":%.3f,"+
+				"\"disk_us\":%.3f,\"stall_us\":%.3f,\"retry_us\":%.3f,\"other_us\":%.3f,"+
+				"\"retries\":%d,\"failovers\":%d,\"err\":%d}}%s\n",
+			jsonToken(sp.Kind), sp.Seq, lanes[i],
+			float64(sp.Start)/1e3, sp.Wall().Micros(),
+			sp.Phase(PhaseClient).Micros(), sp.Phase(PhaseQueue).Micros(),
+			sp.Phase(PhaseWire).Micros(), sp.Phase(PhaseServer).Micros(),
+			sp.Phase(PhaseDisk).Micros(), sp.Phase(PhaseStall).Micros(),
+			sp.Phase(PhaseRetry).Micros(), sp.Other().Micros(),
+			sp.Retries, sp.Failovers, errField, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "]}\n")
+	return err
+}
+
+// jsonToken passes through the operation-kind tokens the trace layer
+// produces, replacing anything that would need JSON escaping — tokens
+// are lowercase words today; this keeps the exporter safe if one ever
+// grows punctuation.
+func jsonToken(s string) string {
+	for _, r := range s {
+		if r == '"' || r == '\\' || r < 0x20 {
+			return "op"
+		}
+	}
+	return s
+}
+
+// laneAssign greedily packs spans onto the lowest-numbered lane free
+// at their start instant, scanning in recording order (starts are
+// non-decreasing — the replay is open-loop). Deterministic by
+// construction: ties resolve to the lowest lane index.
+func laneAssign(spans []*Span) []int {
+	lanes := make([]int, len(spans))
+	var busyUntil []int64 // per lane, exclusive end
+	for i, sp := range spans {
+		lane := -1
+		for l, end := range busyUntil {
+			if int64(sp.Start) >= end {
+				lane = l
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(busyUntil)
+			busyUntil = append(busyUntil, 0)
+		}
+		busyUntil[lane] = int64(sp.End)
+		lanes[i] = lane
+	}
+	return lanes
+}
+
+// WriteTelemetry renders a sampler's time series as a TSV: one header
+// line naming each column as class/name, then one row per sample with
+// the instant in microseconds. Fixed formatting end to end, so the
+// dump is byte-identical across reruns.
+func WriteTelemetry(w io.Writer, sm *Sampler) error {
+	if w == nil || sm == nil {
+		return fmt.Errorf("%w: telemetry writer or sampler is nil", ErrBadConfig)
+	}
+	if _, err := fmt.Fprintf(w, "time_us"); err != nil {
+		return err
+	}
+	for _, g := range sm.Gauges() {
+		if _, err := fmt.Fprintf(w, "\t%s/%s", g.Class, g.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n"); err != nil {
+		return err
+	}
+	times, values := sm.Times(), sm.Values()
+	for i, t := range times {
+		if _, err := fmt.Fprintf(w, "%.3f", float64(t)/1e3); err != nil {
+			return err
+		}
+		for _, v := range values[i] {
+			if _, err := fmt.Fprintf(w, "\t%.6f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package obs is the simulator's observability layer: per-operation
+// spans with phase-attributed latency, a fleet telemetry sampler, and
+// deterministic exporters (Chrome trace-event JSON, telemetry TSV).
+//
+// Everything here is clocked by sim.Time — never the wall clock — so a
+// trace of a run is as reproducible as the run itself: byte-identical
+// across reruns and across -parallel widths. The layer is zero-cost
+// when disabled: every hook in the stack is a nil check on the active
+// span, no events are posted and no timing changes, so artifacts of an
+// untraced run are byte-identical to a build without the hooks.
+//
+// obs sits in the simulator domain (danas/internal/...), so
+// danas-lint's procdiscipline and determinism analyzers cover it by
+// construction: no raw goroutines, channels or sync primitives — the
+// sampler is a sim.Proc — and no wall-clock reads anywhere.
+package obs
+
+import (
+	"errors"
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// Sentinel errors. Every error this package constructs wraps one of
+// these, so callers classify faults with errors.Is rather than string
+// matching (the repository-wide typed-error discipline danas-lint
+// enforces).
+var (
+	// ErrClosed marks use of a recorder or sampler after it stopped
+	// accepting input.
+	ErrClosed = errors.New("obs: closed")
+	// ErrBadConfig marks a construction-time rejection (non-positive
+	// capacity or interval, empty gauge set, unknown phase token).
+	ErrBadConfig = errors.New("obs: bad config")
+)
+
+// Phase is one bucket of a span's latency decomposition. Phases are
+// additive attributions, not a partition of wall time: an op that fans
+// out to several shards accrues concurrent server and disk time from
+// each, so the per-phase sum can exceed the span's wall clock. The
+// residue (wall minus attributed, clamped at zero) reports as "other".
+type Phase int
+
+const (
+	// PhaseClient is CPU consumed on client machines (the zero value,
+	// so an unmarked host attributes here).
+	PhaseClient Phase = iota
+	// PhaseQueue is time spent waiting in the async client's bounded
+	// submission queue before a worker picked the op up.
+	PhaseQueue
+	// PhaseWire is network time: message flight (host→leaf→spine→
+	// leaf→host store-and-forward plus serialization) and RDMA
+	// descriptor flight.
+	PhaseWire
+	// PhaseServer is CPU consumed on server machines.
+	PhaseServer
+	// PhaseDisk is disk service time (seek + transfer).
+	PhaseDisk
+	// PhaseStall is write-behind backpressure: time inside a
+	// high-water throttle or a destage/commit drain. Everything
+	// attributed while a stall bracket is open rebuckets here, so
+	// destage disk time counts as stall, not disk.
+	PhaseStall
+	// PhaseRetry is time lost to retransmission backoff: the gap
+	// between a send and the retry that superseded it.
+	PhaseRetry
+
+	// NumPhases is the bucket count; valid phases are [0, NumPhases).
+	NumPhases
+)
+
+// phaseTokens spells each phase in reports, trace args, and scenario
+// assertions.
+var phaseTokens = [NumPhases]string{
+	PhaseClient: "client",
+	PhaseQueue:  "queue",
+	PhaseWire:   "wire",
+	PhaseServer: "server",
+	PhaseDisk:   "disk",
+	PhaseStall:  "stall",
+	PhaseRetry:  "retry",
+}
+
+func (ph Phase) String() string {
+	if ph < 0 || ph >= NumPhases {
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
+	return phaseTokens[ph]
+}
+
+// ParsePhase resolves a phase token ("stall", "wire", ...) to its
+// Phase; the error wraps ErrBadConfig.
+func ParsePhase(tok string) (Phase, error) {
+	for ph, t := range phaseTokens {
+		if t == tok {
+			return Phase(ph), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown phase %q (valid: %s)", ErrBadConfig, tok, phaseList)
+}
+
+// phaseList is the declaration-order token list for error messages and
+// generated help text.
+const phaseList = "client queue wire server disk stall retry"
+
+// PhaseTokens lists every phase token in declaration order.
+func PhaseTokens() []string {
+	toks := make([]string, NumPhases)
+	for ph, t := range phaseTokens {
+		toks[ph] = t
+	}
+	return toks
+}
+
+// Span is one replayed operation's trace context, threaded by pointer
+// from client submit to completion. All methods are nil-safe: a nil
+// span absorbs every hook at the cost of one pointer check, which is
+// what makes disabled tracing free. Spans are only mutated from inside
+// the simulation's event loop, so they need no locking.
+type Span struct {
+	// Seq is the op's index in the replayed trace; Kind its operation
+	// token ("read", "write", "commit", ...).
+	Seq  int
+	Kind string
+	// Start is the op's scheduled arrival instant; End its completion.
+	Start, End sim.Time
+	// Err marks an op that ultimately failed.
+	Err bool
+	// Retries counts transparent retransmissions this op absorbed;
+	// Failovers counts serving-copy switches it triggered.
+	Retries, Failovers uint32
+
+	phases [NumPhases]sim.Duration
+}
+
+// Add accrues d into phase ph. Negative or zero d and nil spans are
+// no-ops.
+func (sp *Span) Add(ph Phase, d sim.Duration) {
+	if sp == nil || d <= 0 {
+		return
+	}
+	sp.phases[ph] += d
+}
+
+// Phase returns the accrued time in ph (zero on a nil span).
+func (sp *Span) Phase(ph Phase) sim.Duration {
+	if sp == nil {
+		return 0
+	}
+	return sp.phases[ph]
+}
+
+// Wall is the span's completion latency from scheduled arrival.
+func (sp *Span) Wall() sim.Duration {
+	if sp == nil {
+		return 0
+	}
+	return sp.End.Sub(sp.Start)
+}
+
+// Attributed sums every phase bucket.
+func (sp *Span) Attributed() sim.Duration {
+	if sp == nil {
+		return 0
+	}
+	var sum sim.Duration
+	for _, d := range sp.phases {
+		sum += d
+	}
+	return sum
+}
+
+// Other is the unattributed residue of the span's wall time, clamped
+// at zero (fan-out can attribute more than wall).
+func (sp *Span) Other() sim.Duration {
+	if d := sp.Wall() - sp.Attributed(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// CountRetry and CountFailover bump the span's episode counters.
+func (sp *Span) CountRetry() {
+	if sp != nil {
+		sp.Retries++
+	}
+}
+
+func (sp *Span) CountFailover() {
+	if sp != nil {
+		sp.Failovers++
+	}
+}
+
+// Marks snapshots a span's phase accumulators at a bracket open; see
+// Rebucket.
+type Marks [NumPhases]sim.Duration
+
+// Mark snapshots the current accumulators (zero for a nil span).
+func (sp *Span) Mark() Marks {
+	if sp == nil {
+		return Marks{}
+	}
+	return sp.phases
+}
+
+// Rebucket closes a bracket opened at mark: everything accrued into
+// other phases since the mark is discarded and the bracket's whole
+// wall time lands in phase into. The write-behind layer uses this so a
+// high-water throttle or destage drain reports as stall rather than as
+// the disk writes it is made of.
+func (sp *Span) Rebucket(m Marks, wall sim.Duration, into Phase) {
+	if sp == nil {
+		return
+	}
+	for ph := range sp.phases {
+		if Phase(ph) != into {
+			sp.phases[ph] = m[ph]
+		}
+	}
+	sp.Add(into, wall)
+}
+
+// Activate installs sp as proc p's active span; hooks below the
+// protocol layer pick it up via Active. Passing nil clears it.
+func Activate(p *sim.Proc, sp *Span) {
+	if sp == nil {
+		p.SetAnnotation(nil)
+		return
+	}
+	p.SetAnnotation(sp)
+}
+
+// Active returns p's active span, or nil when tracing is off or the
+// proc carries none.
+func Active(p *sim.Proc) *Span {
+	sp, _ := p.Annotation().(*Span)
+	return sp
+}
+
+// Inherit copies the parent proc's active span onto a child proc, for
+// spawn points that fan one logical op across helper procs.
+func Inherit(child, parent *sim.Proc) {
+	child.SetAnnotation(parent.Annotation())
+}

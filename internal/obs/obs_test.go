@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"danas/internal/sim"
+)
+
+func TestSpanPhasesAndResidue(t *testing.T) {
+	sp := &Span{Seq: 3, Kind: "read", Start: 100, End: sim.Time(100 + 1000)}
+	sp.Add(PhaseWire, 300)
+	sp.Add(PhaseServer, 200)
+	sp.Add(PhaseWire, 100) // accrues, not replaces
+	sp.Add(PhaseDisk, -5)  // negative is a no-op
+	if got := sp.Phase(PhaseWire); got != 400 {
+		t.Fatalf("wire = %d, want 400", got)
+	}
+	if got := sp.Wall(); got != 1000 {
+		t.Fatalf("wall = %d, want 1000", got)
+	}
+	if got := sp.Attributed(); got != 600 {
+		t.Fatalf("attributed = %d, want 600", got)
+	}
+	if got := sp.Other(); got != 400 {
+		t.Fatalf("other = %d, want 400", got)
+	}
+	// Fan-out can attribute past wall time; the residue clamps at zero.
+	sp.Add(PhaseServer, 10_000)
+	if got := sp.Other(); got != 0 {
+		t.Fatalf("over-attributed other = %d, want 0", got)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Add(PhaseWire, 100)
+	sp.CountRetry()
+	sp.CountFailover()
+	sp.Rebucket(sp.Mark(), 50, PhaseStall)
+	if sp.Wall() != 0 || sp.Attributed() != 0 || sp.Other() != 0 || sp.Phase(PhaseWire) != 0 {
+		t.Fatal("nil span leaked a nonzero reading")
+	}
+}
+
+func TestSpanRebucket(t *testing.T) {
+	sp := &Span{}
+	sp.Add(PhaseDisk, 100)
+	m := sp.Mark()
+	// Inside the bracket: disk and server time that must report as stall.
+	sp.Add(PhaseDisk, 700)
+	sp.Add(PhaseServer, 50)
+	sp.Rebucket(m, 900, PhaseStall)
+	if got := sp.Phase(PhaseDisk); got != 100 {
+		t.Errorf("disk after rebucket = %d, want the pre-bracket 100", got)
+	}
+	if got := sp.Phase(PhaseServer); got != 0 {
+		t.Errorf("server after rebucket = %d, want 0", got)
+	}
+	if got := sp.Phase(PhaseStall); got != 900 {
+		t.Errorf("stall = %d, want the bracket wall 900", got)
+	}
+}
+
+func TestParsePhase(t *testing.T) {
+	for i, tok := range PhaseTokens() {
+		ph, err := ParsePhase(tok)
+		if err != nil || ph != Phase(i) {
+			t.Fatalf("ParsePhase(%q) = %v, %v", tok, ph, err)
+		}
+	}
+	if _, err := ParsePhase("bogus"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("ParsePhase(bogus) error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestValidGaugeClass(t *testing.T) {
+	for _, c := range GaugeClasses() {
+		if err := ValidGaugeClass(c); err != nil {
+			t.Fatalf("ValidGaugeClass(%q) = %v", c, err)
+		}
+	}
+	if err := ValidGaugeClass("bogus"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("ValidGaugeClass(bogus) = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestRecorderBounds(t *testing.T) {
+	if _, err := NewRecorder(0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewRecorder(0) error = %v, want ErrBadConfig", err)
+	}
+	rc, err := NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rc.NewSpan(0, "read", 10)
+	b := rc.NewSpan(1, "write", 20)
+	if a == nil || b == nil {
+		t.Fatal("spans within capacity must allocate")
+	}
+	if over := rc.NewSpan(2, "read", 30); over != nil {
+		t.Fatal("overflowing span must be nil")
+	}
+	if rc.Len() != 2 || rc.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 2, 1", rc.Len(), rc.Dropped())
+	}
+	rc.Close()
+	if rc.NewSpan(3, "read", 40) != nil {
+		t.Fatal("closed recorder must hand out nil")
+	}
+	spans := rc.Spans()
+	if len(spans) != 2 || spans[0] != a || spans[1] != b {
+		t.Fatal("Spans must return the recorded spans in order")
+	}
+	// Nil recorder: every entry point absorbs.
+	var nilRC *Recorder
+	if nilRC.NewSpan(0, "read", 0) != nil || nilRC.Len() != 0 || nilRC.Dropped() != 0 || nilRC.Spans() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+	nilRC.Close()
+}
+
+func TestFlightWindows(t *testing.T) {
+	rc, _ := NewRecorder(3)
+	before := rc.NewSpan(0, "read", 0)
+	before.End = 10
+	during := rc.NewSpan(1, "read", 90)
+	during.End = 150
+	after := rc.NewSpan(2, "read", 300)
+	after.End = 310
+	got := Flight(rc.Spans(), []Window{{From: 100, To: 200}})
+	if len(got) != 1 || got[0] != during {
+		t.Fatalf("flight = %v, want only the overlapping span", got)
+	}
+	if Flight(rc.Spans(), nil) != nil {
+		t.Fatal("no windows must retain nothing")
+	}
+}
+
+func TestSamplerConfigErrors(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	g := []Gauge{{Class: GaugeCPUUtil, Name: "h", Fn: func(sim.Time) float64 { return 0 }}}
+	if _, err := NewSampler(s, 0, g); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero interval error = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewSampler(s, sim.Millisecond, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty gauges error = %v, want ErrBadConfig", err)
+	}
+	bad := []Gauge{{Class: "bogus", Name: "h", Fn: func(sim.Time) float64 { return 0 }}}
+	if _, err := NewSampler(s, sim.Millisecond, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad class error = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestSamplerSeries drives a sampler inside a scheduler run: ticks land
+// every interval, Stop takes the final pinned sample and ends the proc
+// so Run terminates, and Max reads the class-wide peak.
+func TestSamplerSeries(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	val := 0.0
+	sm, err := NewSampler(s, sim.Millisecond, []Gauge{
+		{Class: GaugeCPUUtil, Name: "h0", Fn: func(sim.Time) float64 { return val }},
+		{Class: GaugeCPUUtil, Name: "h1", Fn: func(sim.Time) float64 { return val / 2 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Start(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Start error = %v, want ErrClosed", err)
+	}
+	s.Go("driver", func(p *sim.Proc) {
+		val = 0.25
+		p.Sleep(2500 * sim.Microsecond) // spans samples at 0, 1ms, 2ms
+		val = 0.5
+		sm.Stop(p.Now())
+	})
+	s.Run()
+	times := sm.Times()
+	want := []sim.Time{0, sim.Time(sim.Millisecond), sim.Time(2 * sim.Millisecond), sim.Time(2500 * sim.Microsecond)}
+	if len(times) != len(want) {
+		t.Fatalf("sampled %d instants %v, want %v", len(times), times, want)
+	}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times[%d] = %d, want %d", i, times[i], w)
+		}
+	}
+	if got := sm.Max(GaugeCPUUtil); got != 0.5 {
+		t.Fatalf("Max(cpu-util) = %g, want the stop-instant 0.5", got)
+	}
+	if got := sm.Max(GaugeRetries); got != 0 {
+		t.Fatalf("Max of an unsampled class = %g, want 0", got)
+	}
+	sm.Stop(0) // idempotent
+	if len(sm.Times()) != len(want) {
+		t.Fatal("second Stop appended a sample")
+	}
+}
+
+func TestWriteTraceDeterministic(t *testing.T) {
+	rc, _ := NewRecorder(3)
+	// Two overlapping ops and one after: lanes 0, 1, then 0 again.
+	a := rc.NewSpan(0, "read", 0)
+	a.End = 1000
+	a.Add(PhaseWire, 400)
+	a.CountRetry()
+	b := rc.NewSpan(1, "write", 500)
+	b.End = 1500
+	b.Err = true
+	c := rc.NewSpan(2, "read", 2000)
+	c.End = 2100
+
+	render := func() string {
+		var sb strings.Builder
+		if err := WriteTrace(&sb, rc.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	out := render()
+	if out != render() {
+		t.Fatal("trace output differs across renders")
+	}
+	for _, want := range []string{
+		`"name":"read #0"`, `"tid":0`, `"tid":1`, `"retries":1`, `"err":1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %s:\n%s", want, out)
+		}
+	}
+	if err := WriteTrace(nil, rc.Spans()); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil writer error = %v, want ErrBadConfig", err)
+	}
+	if err := WriteTelemetry(&strings.Builder{}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil sampler error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestBreakdownDominantTail(t *testing.T) {
+	rc, _ := NewRecorder(100)
+	for i := 0; i < 100; i++ {
+		sp := rc.NewSpan(i, "read", 0)
+		sp.End = sim.Time(1000)
+		sp.Add(PhaseWire, 800)
+		if i == 99 {
+			// One slow op whose extra latency is all stall.
+			sp.End = sim.Time(100_000)
+			sp.Add(PhaseStall, 99_000)
+		}
+	}
+	b := Summarize(rc.Spans())
+	if b.N != 100 || b.Tail < 1 {
+		t.Fatalf("n=%d tail=%d", b.N, b.Tail)
+	}
+	if got := b.DominantTail(); got != "stall" {
+		t.Fatalf("dominant tail = %q, want stall", got)
+	}
+	table := b.Format()
+	for _, col := range []string{"client", "queue", "wire", "server", "disk", "stall", "retry", "other", "dominant=stall"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("breakdown table missing %q:\n%s", col, table)
+		}
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.DominantTail() != "none" {
+		t.Fatalf("empty breakdown = %+v, dominant %q", empty, empty.DominantTail())
+	}
+}
+
+func TestMaxPhase(t *testing.T) {
+	rc, _ := NewRecorder(2)
+	a := rc.NewSpan(0, "read", 0)
+	a.Add(PhaseStall, 500)
+	b := rc.NewSpan(1, "read", 0)
+	b.Add(PhaseStall, 1500)
+	if got := MaxPhase(rc.Spans(), PhaseStall); got != 1500 {
+		t.Fatalf("MaxPhase = %d, want 1500", got)
+	}
+	if got := MaxPhase(nil, PhaseStall); got != 0 {
+		t.Fatalf("MaxPhase(nil) = %d, want 0", got)
+	}
+}
+
+// TestActivate exercises the proc-annotation carrier the stack hooks
+// use to find the active span.
+func TestActivate(t *testing.T) {
+	s := sim.New()
+	defer s.Close()
+	sp := &Span{}
+	s.Go("p", func(p *sim.Proc) {
+		if Active(p) != nil {
+			t.Error("fresh proc has an active span")
+		}
+		Activate(p, sp)
+		if Active(p) != sp {
+			t.Error("Activate did not install the span")
+		}
+		s.Go("child", func(cp *sim.Proc) {
+			Inherit(cp, p)
+			if Active(cp) != sp {
+				t.Error("Inherit did not copy the span")
+			}
+		})
+		// Yield so the child inherits while the span is still active —
+		// Inherit reads the parent's annotation at the child's first
+		// instruction, not at spawn.
+		p.Sleep(sim.Microsecond)
+		Activate(p, nil)
+		if Active(p) != nil {
+			t.Error("Activate(nil) did not clear the span")
+		}
+	})
+	s.Run()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+
+	"danas/internal/sim"
+)
+
+// Recorder hands out spans from one preallocated arena. Capacity is
+// fixed up front (the replay knows its op count), so recording costs
+// one bump-pointer per op and no allocation on the hot path; an
+// overflowing op records nowhere (the hooks see a nil span) and is
+// counted in Dropped.
+type Recorder struct {
+	arena  []Span
+	used   int
+	drops  uint64
+	closed bool
+}
+
+// NewRecorder builds a recorder with room for capacity spans. The
+// error wraps ErrBadConfig for a non-positive capacity.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: recorder capacity %d (need >= 1)", ErrBadConfig, capacity)
+	}
+	return &Recorder{arena: make([]Span, capacity)}, nil
+}
+
+// NewSpan starts the span for op seq of kind kind, scheduled to arrive
+// at start. It returns nil — which every hook absorbs — when the
+// recorder is nil, closed, or full.
+func (r *Recorder) NewSpan(seq int, kind string, start sim.Time) *Span {
+	if r == nil || r.closed {
+		return nil
+	}
+	if r.used == len(r.arena) {
+		r.drops++
+		return nil
+	}
+	sp := &r.arena[r.used]
+	r.used++
+	sp.Seq, sp.Kind, sp.Start = seq, kind, start
+	return sp
+}
+
+// Close stops the recorder: further NewSpan calls return nil. Spans
+// already handed out remain valid and readable.
+func (r *Recorder) Close() {
+	if r != nil {
+		r.closed = true
+	}
+}
+
+// Spans returns every recorded span in recording order. The slice
+// aliases the recorder's arena; treat it as read-only.
+func (r *Recorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Span, r.used)
+	for i := range out {
+		out[i] = &r.arena[i]
+	}
+	return out
+}
+
+// Len counts recorded spans; Dropped counts ops that found the arena
+// full.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.used
+}
+
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.drops
+}
+
+// Window is one retention interval of the flight recorder, typically a
+// fault window.
+type Window struct {
+	From, To sim.Time
+}
+
+// Flight filters spans to those overlapping any window — the
+// fault-window flight recorder: a scenario with faults retains exactly
+// the spans that were in flight while the fleet was degraded. Spans
+// keep recording order.
+func Flight(spans []*Span, windows []Window) []*Span {
+	if len(windows) == 0 {
+		return nil
+	}
+	var out []*Span
+	for _, sp := range spans {
+		for _, w := range windows {
+			if sp.Start <= w.To && sp.End >= w.From {
+				out = append(out, sp)
+				break
+			}
+		}
+	}
+	return out
+}

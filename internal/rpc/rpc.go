@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/udpip"
 	"danas/internal/wire"
@@ -129,52 +130,62 @@ func NewServer(s *sim.Scheduler, stack *udpip.Stack, port, nWorkers int, h Handl
 }
 
 func (srv *Server) worker(p *sim.Proc) {
-	h := srv.stack.Host()
 	for {
 		d := srv.sock.Recv(p)
 		if srv.down {
 			srv.Discarded++
 			continue // crashed host: the request dies unexecuted
 		}
-		msg := d.Body.(*callMsg)
-		// RPC receive demux + dispatch.
-		h.Compute(p, h.P.RPCServerCost)
-		key := drcKey{from: d.From, fromPort: d.FromPort, xid: msg.Hdr.XID}
-		if e, dup := srv.drc[key]; dup {
-			srv.Duplicates++
-			if e.done {
-				// Answer from the cache without re-executing.
-				srv.sock.SendTo(p, d.From, d.FromPort, e.bytes, e.reply, 0, e.tag)
-			}
-			// In progress: drop; the original execution will reply.
-			continue
-		}
-		entry := &drcEntry{}
-		srv.installDRC(key, entry)
-		srv.Requests++
-		reply := srv.handler(p, &Request{
-			Hdr:          msg.Hdr,
-			PayloadBytes: msg.PayloadBytes,
-			Payload:      msg.Payload,
-			from:         d.From,
-			fromPort:     d.FromPort,
-			replyTag:     msg.replyTag,
-		})
-		if reply == nil {
-			continue
-		}
-		bytes := int64(reply.Hdr.WireSize()) + reply.PayloadBytes
-		out := &callMsg{
-			Hdr:          reply.Hdr,
-			PayloadBytes: reply.PayloadBytes,
-			Payload:      reply.Payload,
-		}
-		entry.done = true
-		entry.reply = out
-		entry.bytes = bytes
-		entry.tag = msg.replyTag
-		srv.sock.SendTo(p, d.From, d.FromPort, bytes, out, reply.CopyBytes, msg.replyTag)
+		srv.serve(p, d)
 	}
+}
+
+// serve executes one received request. The request's span (if traced) is
+// active for exactly the scope of this call, so server CPU, cache, disk
+// and write-behind work attribute to the originating operation — and the
+// worker's idle Recv wait between requests attributes to nothing.
+func (srv *Server) serve(p *sim.Proc, d *udpip.Datagram) {
+	h := srv.stack.Host()
+	msg := d.Body.(*callMsg)
+	obs.Activate(p, msg.Hdr.Span)
+	defer obs.Activate(p, nil)
+	// RPC receive demux + dispatch.
+	h.Compute(p, h.P.RPCServerCost)
+	key := drcKey{from: d.From, fromPort: d.FromPort, xid: msg.Hdr.XID}
+	if e, dup := srv.drc[key]; dup {
+		srv.Duplicates++
+		if e.done {
+			// Answer from the cache without re-executing.
+			srv.sock.SendTo(p, d.From, d.FromPort, e.bytes, e.reply, 0, e.tag)
+		}
+		// In progress: drop; the original execution will reply.
+		return
+	}
+	entry := &drcEntry{}
+	srv.installDRC(key, entry)
+	srv.Requests++
+	reply := srv.handler(p, &Request{
+		Hdr:          msg.Hdr,
+		PayloadBytes: msg.PayloadBytes,
+		Payload:      msg.Payload,
+		from:         d.From,
+		fromPort:     d.FromPort,
+		replyTag:     msg.replyTag,
+	})
+	if reply == nil {
+		return
+	}
+	bytes := int64(reply.Hdr.WireSize()) + reply.PayloadBytes
+	out := &callMsg{
+		Hdr:          reply.Hdr,
+		PayloadBytes: reply.PayloadBytes,
+		Payload:      reply.Payload,
+	}
+	entry.done = true
+	entry.reply = out
+	entry.bytes = bytes
+	entry.tag = msg.replyTag
+	srv.sock.SendTo(p, d.From, d.FromPort, bytes, out, reply.CopyBytes, msg.replyTag)
 }
 
 // installDRC records a request in the duplicate-request cache, evicting
@@ -281,6 +292,7 @@ func (c *Client) Call(p *sim.Proc, req *wire.Header, opts CallOpts) *Response {
 	c.nextXID++
 	xid := c.nextXID
 	req.XID = xid
+	req.Span = obs.Active(p)
 	c.Calls++
 
 	var tag uint64
@@ -303,16 +315,25 @@ func (c *Client) Call(p *sim.Proc, req *wire.Header, opts CallOpts) *Response {
 		// Retransmission runs in event context (the kernel RPC timer),
 		// charging send-side costs asynchronously; on exhaustion the
 		// pending future resolves with ErrTimeout so the caller never
-		// hangs on a dead server.
+		// hangs on a dead server. Each fired timer means the interval
+		// since the last transmission was spent waiting on a lost
+		// exchange: that dead time is the span's retry phase.
+		sp := req.Span
+		lastSend := h.S.Now()
 		sim.Retry(c.stack.Host().S, c.RetransmitTimeout, c.MaxRetries, fut.Fired,
 			func() {
 				c.Retransmits++
+				now := c.stack.Host().S.Now()
+				sp.CountRetry()
+				sp.Add(obs.PhaseRetry, now.Sub(lastSend))
+				lastSend = now
 				c.stack.Host().ComputeAsync(c.stack.Host().P.RPCClientSend, nil)
 				c.sock.SendToAsync(c.server, c.serverPort, bytes, msg, 0)
 			},
 			func() {
 				delete(c.pending, xid)
 				c.TimedOut++
+				sp.Add(obs.PhaseRetry, c.stack.Host().S.Now().Sub(lastSend))
 				fut.Resolve(&Response{Err: ErrTimeout})
 			})
 	}

@@ -53,6 +53,7 @@ var (
 	ErrMissing          = errors.New("needs")
 	ErrOneValue         = errors.New("takes exactly one threshold value")
 	ErrNoValue          = errors.New("takes no value")
+	ErrArgValue         = errors.New("takes an argument and a threshold value")
 	ErrRelativeRTO      = errors.New("rto must be an absolute duration")
 	ErrWrongDurationKey = errors.New("wrong duration key")
 
@@ -436,18 +437,28 @@ func parseAssert(spec *Spec, toks []string) error {
 		return fmt.Errorf("assert: %w a kind (valid: %s)", ErrMissing, strings.Join(AssertKinds(), " "))
 	}
 	a := Assert{Kind: toks[0]}
-	valued, ok := assertKinds[a.Kind]
+	sh, ok := assertKinds[a.Kind]
 	if !ok {
 		return fmt.Errorf("assert: %w kind %q (valid: %s)", ErrUnknown, a.Kind, strings.Join(AssertKinds(), " "))
 	}
+	if sh.arged {
+		// Arged kinds read "assert max-phase-ms stall 5": the token
+		// argument sits between the kind and the threshold. Its meaning
+		// (a phase or gauge-class name) is checked by Validate.
+		if len(toks) != 3 {
+			return fmt.Errorf("assert %s: %w", a.Kind, ErrArgValue)
+		}
+		a.Arg = toks[1]
+		toks = toks[1:]
+	}
 	switch {
-	case valued && len(toks) == 2:
+	case sh.valued && len(toks) == 2:
 		v, err := strconv.ParseFloat(toks[1], 64)
 		if err != nil {
 			return fmt.Errorf("assert %s: %w threshold %q", a.Kind, ErrBadValue, toks[1])
 		}
 		a.Value = v
-	case valued:
+	case sh.valued:
 		return fmt.Errorf("assert %s: %w", a.Kind, ErrOneValue)
 	case len(toks) != 1:
 		return fmt.Errorf("assert %s: %w", a.Kind, ErrNoValue)

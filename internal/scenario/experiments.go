@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"danas/internal/exper"
+	"danas/internal/obs"
 )
 
 // mustRun runs a canned spec and panics on a spec error — canned specs
@@ -99,6 +100,20 @@ func WriteMixSpec(system string, shards int, readFrac float64) *Spec {
 		WB:       WriteBehind{Enabled: true, Auto: true},
 		Workload: w,
 	}
+}
+
+// WriteMixBreakdown runs one write-mix cell with per-op tracing armed
+// and returns the span population's phase decomposition — the table
+// showing which phase the cell's p99 went to (the destage-limited
+// write mixes spend their tail in the stall phase; the read-limited
+// ones in wire and server time).
+func WriteMixBreakdown(system string, shards int, readFrac float64, scale exper.Scale) obs.Breakdown {
+	spec := WriteMixSpec(system, shards, readFrac)
+	rep, err := RunObserved(spec, scale, RunOpts{Observe: true})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: canned spec %s: %v", spec.Name, err))
+	}
+	return rep.Breakdown
 }
 
 // WriteMix sweeps the read/write mix over every protocol and fleet

@@ -2,10 +2,13 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"danas/internal/exper"
 	"danas/internal/metrics"
+	"danas/internal/obs"
+	"danas/internal/sim"
 	"danas/internal/trace"
 )
 
@@ -15,9 +18,12 @@ import (
 type Measured struct {
 	// OpsOK and OpsFailed split the replayed ops by outcome; Retried
 	// counts faults the clients absorbed transparently (client-layer
-	// retransmissions plus ORDMA faults).
+	// retransmissions plus ORDMA faults); Timeouts counts session calls
+	// that exhausted their retry budget — the failure cause behind the
+	// failed ops, as opposed to the absorbed disturbances.
 	OpsOK, OpsFailed int64
 	Retried          uint64
+	Timeouts         uint64
 	// Failovers counts serving-copy switches across the fleet; Reissued
 	// counts the uncommitted ranges failover re-wrote onto surviving
 	// copies. Both are zero on unreplicated fleets.
@@ -83,6 +89,31 @@ type Report struct {
 	// Pass is true when every assertion held (vacuously true with no
 	// assertions).
 	Pass bool
+	// Observed marks the run as traced; Breakdown is then the span
+	// population's per-phase latency decomposition and FlightOps the
+	// flight recorder's retention — how many spans were in flight while
+	// a fault window was open (zero without faults).
+	Observed  bool
+	Breakdown obs.Breakdown
+	FlightOps int
+}
+
+// RunOpts selects the optional observability outputs of one run.
+// The zero value runs untraced unless the spec's own assertions need
+// the instruments.
+type RunOpts struct {
+	// TraceOut receives Chrome trace-event JSON (Perfetto-loadable)
+	// when non-nil; its presence arms per-op tracing.
+	TraceOut io.Writer
+	// TelemetryOut receives the gauge sampler's TSV time series when
+	// non-nil; its presence arms the sampler.
+	TelemetryOut io.Writer
+	// TelemetryInterval overrides the sampler cadence; <= 0 means
+	// exper.DefaultTelemetryInterval.
+	TelemetryInterval sim.Duration
+	// Observe arms per-op tracing even when no output or assertion
+	// needs it, so callers can read Report.Breakdown.
+	Observe bool
 }
 
 // Run validates the spec, compiles it onto the replay machinery, runs
@@ -90,6 +121,14 @@ type Report struct {
 // Operation failures are a measured outcome, not an error; an error
 // means the spec itself could not run.
 func Run(spec *Spec, scale exper.Scale) (*Report, error) {
+	return RunObserved(spec, scale, RunOpts{})
+}
+
+// RunObserved is Run with explicit observability outputs. Tracing is
+// armed when an output wants it or an assertion reads from it, and
+// never otherwise — an untraced run's simulation schedule is identical
+// to one from before the observability layer existed.
+func RunObserved(spec *Spec, scale exper.Scale, opts RunOpts) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,6 +142,30 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 		// nothing arms unvalidated.
 		return nil, &ValidateError{Spec: spec.Name, Msg: fmt.Sprintf("fault schedule at scale %g: %v", float64(scale), err), Err: err}
 	}
+
+	// Arm observability only when something will read it: the sampler
+	// ticks are simulation events, so an armed run is deterministic but
+	// not schedule-identical to an untraced one.
+	needSampler := opts.TelemetryOut != nil
+	for _, a := range spec.Asserts {
+		if a.Kind == AssertMaxGauge {
+			needSampler = true
+		}
+	}
+	var ob *exper.Observation
+	if needSampler || spec.NeedsObs() || opts.TraceOut != nil || opts.Observe {
+		interval := sim.Duration(0)
+		if needSampler {
+			interval = opts.TelemetryInterval
+			if interval <= 0 {
+				interval = exper.DefaultTelemetryInterval
+			}
+		}
+		var err error
+		if ob, err = sess.Observe(interval); err != nil {
+			return nil, err
+		}
+	}
 	res, _ := sess.Replay("scenario-"+spec.Name, sched)
 
 	eval := metrics.NewEval(res.Start, res.Elapsed, exper.Outcomes(tr, res))
@@ -110,6 +173,7 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 		OpsOK:          eval.OK(),
 		OpsFailed:      eval.Failed(),
 		Retried:        sess.Retried(),
+		Timeouts:       sess.Timeouts(),
 		Failovers:      sess.Failovers(),
 		Reissued:       sess.Reissued(),
 		Stalls:         res.Stalls,
@@ -151,8 +215,32 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 	}
 
 	rep := &Report{Spec: spec, Scale: scale, M: m, Pass: true}
+	if ob != nil {
+		spans := ob.Rec.Spans()
+		rep.Observed = true
+		rep.Breakdown = obs.Summarize(spans)
+		if len(sched) > 0 {
+			// The flight recorder: spans in flight while the fleet was
+			// degraded, between the first and last injected event.
+			w := obs.Window{
+				From: res.Start.Add(sched[0].At),
+				To:   res.Start.Add(sched[len(sched)-1].At),
+			}
+			rep.FlightOps = len(obs.Flight(spans, []obs.Window{w}))
+		}
+		if opts.TraceOut != nil {
+			if err := obs.WriteTrace(opts.TraceOut, spans); err != nil {
+				return nil, fmt.Errorf("scenario %s: writing trace: %w", spec.Name, err)
+			}
+		}
+		if opts.TelemetryOut != nil {
+			if err := obs.WriteTelemetry(opts.TelemetryOut, ob.Sampler); err != nil {
+				return nil, fmt.Errorf("scenario %s: writing telemetry: %w", spec.Name, err)
+			}
+		}
+	}
 	for _, a := range spec.Asserts {
-		r := evalAssert(a, m)
+		r := evalAssert(a, m, ob)
 		rep.Results = append(rep.Results, r)
 		if !r.Ok {
 			rep.Pass = false
@@ -161,8 +249,10 @@ func Run(spec *Spec, scale exper.Scale) (*Report, error) {
 	return rep, nil
 }
 
-// evalAssert checks one assertion against the measurements.
-func evalAssert(a Assert, m Measured) AssertResult {
+// evalAssert checks one assertion against the measurements; ob is the
+// armed observability session for the kinds that read spans or gauges
+// (non-nil whenever the spec contains such a kind — Run arms it).
+func evalAssert(a Assert, m Measured, ob *exper.Observation) AssertResult {
 	r := AssertResult{Assert: a}
 	switch a.Kind {
 	case AssertMinMBps:
@@ -185,6 +275,16 @@ func evalAssert(a Assert, m Measured) AssertResult {
 		r.Ok = r.Got <= a.Value
 	case AssertMaxStalls:
 		r.Got = float64(m.Stalls)
+		r.Ok = r.Got <= a.Value
+	case AssertMaxPhaseMs:
+		ph, err := obs.ParsePhase(a.Arg)
+		if err != nil {
+			panic("scenario: unvalidated phase " + a.Arg)
+		}
+		r.Got = obs.MaxPhase(ob.Rec.Spans(), ph).Micros() / 1000
+		r.Ok = r.Got <= a.Value
+	case AssertMaxGauge:
+		r.Got = ob.Sampler.Max(a.Arg)
 		r.Ok = r.Got <= a.Value
 	default:
 		panic("scenario: unvalidated assert kind " + a.Kind)
@@ -210,8 +310,11 @@ func (r *Report) Format() string {
 	if s.Describe != "" {
 		fmt.Fprintf(&b, "  # %s\n", s.Describe)
 	}
-	fmt.Fprintf(&b, "  ops ok=%d failed=%d retried=%d stalls=%d depth<=%d\n",
-		m.OpsOK, m.OpsFailed, m.Retried, m.Stalls, m.MaxOutstanding)
+	// The failure-cause breakdown: timeouts are the calls that gave up
+	// (the cause behind failed ops); retries, failovers and stalls are
+	// disturbances absorbed without failing anything.
+	fmt.Fprintf(&b, "  ops ok=%d failed=%d causes[timeouts=%d] absorbed[retries=%d failovers=%d stalls=%d] depth<=%d\n",
+		m.OpsOK, m.OpsFailed, m.Timeouts, m.Retried, m.Failovers, m.Stalls, m.MaxOutstanding)
 	fmt.Fprintf(&b, "  agg=%.1f MB/s  p50=%.1f p95=%.1f p99=%.1f us\n",
 		m.MBps, m.P50Micros, m.P95Micros, m.P99Micros)
 	if m.HasFault {
@@ -240,6 +343,14 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "  fabric leaves=%d spines=%d oversub=%d:1  trunk up=%.1f%% dn=%.1f%% q=%.1fus drops=%d\n",
 			s.Fabric.Leaves, spines, oversub,
 			m.TrunkUpPct, m.TrunkDownPct, m.TrunkQueueMicros, m.SwitchDrops)
+	}
+	if r.Observed {
+		if r.M.HasFault {
+			fmt.Fprintf(&b, "  flight ops=%d (spans overlapping the fault window)\n", r.FlightOps)
+		}
+		for _, line := range strings.Split(strings.TrimRight(r.Breakdown.Format(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", strings.TrimPrefix(line, "  "))
+		}
 	}
 	for _, res := range r.Results {
 		fmt.Fprintf(&b, "  assert %s: %s (got %.3f)\n", res.Assert, verdict(res.Ok), res.Got)

@@ -18,6 +18,7 @@ import (
 
 	"danas/internal/exper"
 	"danas/internal/fail"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/stripe"
 	"danas/internal/trace"
@@ -326,16 +327,34 @@ const (
 	AssertZeroFailedOps = "zero-failed-ops"
 	AssertMaxFailedOps  = "max-failed-ops"
 	AssertMaxStalls     = "max-stalls"
+	// AssertMaxPhaseMs bounds the largest single-op attribution to one
+	// latency phase ("assert max-phase-ms stall 5"). It arms per-op
+	// tracing for the run.
+	AssertMaxPhaseMs = "max-phase-ms"
+	// AssertMaxGauge bounds the peak sampled value of one telemetry
+	// gauge class ("assert max-gauge trunk-util 0.95"). It arms the
+	// fleet sampler for the run.
+	AssertMaxGauge = "max-gauge"
 )
 
-// assertKinds maps each assertion kind to whether it takes a value.
-var assertKinds = map[string]bool{
-	AssertMinMBps:       true,
-	AssertMaxP99Ms:      true,
-	AssertMaxRecoveryMs: true,
-	AssertZeroFailedOps: false,
-	AssertMaxFailedOps:  true,
-	AssertMaxStalls:     true,
+// assertShape describes an assertion kind's operand syntax: whether it
+// takes a numeric threshold and whether a token argument (a phase or
+// gauge-class name) comes between the kind and the threshold.
+type assertShape struct {
+	valued bool
+	arged  bool
+}
+
+// assertKinds maps each assertion kind to its operand shape.
+var assertKinds = map[string]assertShape{
+	AssertMinMBps:       {valued: true},
+	AssertMaxP99Ms:      {valued: true},
+	AssertMaxRecoveryMs: {valued: true},
+	AssertZeroFailedOps: {},
+	AssertMaxFailedOps:  {valued: true},
+	AssertMaxStalls:     {valued: true},
+	AssertMaxPhaseMs:    {valued: true, arged: true},
+	AssertMaxGauge:      {valued: true, arged: true},
 }
 
 // AssertKinds lists the accepted assertion kinds, sorted.
@@ -350,15 +369,32 @@ func AssertKinds() []string {
 
 // Assert is one metric threshold the run must satisfy.
 type Assert struct {
-	Kind  string
+	Kind string
+	// Arg names what the threshold applies to for kinds that take one:
+	// a latency phase for max-phase-ms, a gauge class for max-gauge.
+	Arg   string
 	Value float64
 }
 
 func (a Assert) String() string {
-	if assertKinds[a.Kind] {
+	switch sh := assertKinds[a.Kind]; {
+	case sh.arged:
+		return fmt.Sprintf("%s %s %g", a.Kind, a.Arg, a.Value)
+	case sh.valued:
 		return fmt.Sprintf("%s %g", a.Kind, a.Value)
 	}
 	return a.Kind
+}
+
+// NeedsObs reports whether any assertion requires the observability
+// layer (per-op tracing or the telemetry sampler) to be armed.
+func (s *Spec) NeedsObs() bool {
+	for _, a := range s.Asserts {
+		if a.Kind == AssertMaxPhaseMs || a.Kind == AssertMaxGauge {
+			return true
+		}
+	}
+	return false
 }
 
 // ValidateError is a semantic rejection of a parsed spec.
@@ -592,16 +628,29 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for i, a := range s.Asserts {
-		valued, ok := assertKinds[a.Kind]
+		sh, ok := assertKinds[a.Kind]
 		if !ok {
 			return s.vErr("assert %d: unknown kind %q (valid: %s)",
 				i, a.Kind, strings.Join(AssertKinds(), " "))
 		}
-		if valued && a.Value < 0 {
+		if sh.valued && a.Value < 0 {
 			return s.vErr("assert %d (%s): negative threshold %g", i, a.Kind, a.Value)
 		}
-		if !valued && a.Value != 0 {
+		if !sh.valued && a.Value != 0 {
 			return s.vErr("assert %d (%s): takes no value", i, a.Kind)
+		}
+		if !sh.arged && a.Arg != "" {
+			return s.vErr("assert %d (%s): takes no argument", i, a.Kind)
+		}
+		switch a.Kind {
+		case AssertMaxPhaseMs:
+			if _, err := obs.ParsePhase(a.Arg); err != nil {
+				return s.vErr("assert %d (%s): %v", i, a.Kind, err)
+			}
+		case AssertMaxGauge:
+			if err := obs.ValidGaugeClass(a.Arg); err != nil {
+				return s.vErr("assert %d (%s): %v", i, a.Kind, err)
+			}
 		}
 	}
 	return nil

@@ -74,11 +74,14 @@ func TransferTime(n int64, bytesPerSec float64) Duration {
 	return Duration(float64(n) * 1e9 / bytesPerSec)
 }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. A cancelled event stays in the
+// heap (removal would disturb sibling ordering) but is skipped by the
+// loop without advancing the clock.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -149,6 +152,21 @@ func (s *Scheduler) After(d Duration, fn func()) {
 // At schedules fn at the absolute time at.
 func (s *Scheduler) At(at Time, fn func()) { s.post(at, fn) }
 
+// AfterCancel schedules fn to run d from now, like After, and returns a
+// cancel function. Cancelling before the event fires suppresses it; a
+// cancelled or already-fired event's cancel is a no-op. The timer slot
+// stays queued either way, so cancellation never perturbs the ordering
+// of unrelated same-instant events.
+func (s *Scheduler) AfterCancel(d Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	e := &event{at: s.now.Add(d), seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return func() { e.cancelled = true }
+}
+
 // Run executes events until the queue is empty. Processes blocked on
 // resources or queues that will never be signalled are left blocked; call
 // Close to reap them.
@@ -180,6 +198,9 @@ func (s *Scheduler) runUntil(limit Time) {
 			return
 		}
 		heap.Pop(&s.events)
+		if e.cancelled {
+			continue
+		}
 		s.now = e.at
 		s.nEvents++
 		e.fn()
@@ -207,6 +228,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	note   any
 }
 
 // Go spawns a new process whose body starts executing at the current
@@ -288,6 +310,15 @@ func (p *Proc) block() {
 
 // Name returns the process name (unique within its scheduler).
 func (p *Proc) Name() string { return p.name }
+
+// SetAnnotation attaches an opaque per-process value; Annotation reads
+// it back (nil when unset). The kernel never inspects the value — layers
+// above use it to carry request context (e.g. an observability span)
+// across the blocking points of one logical process.
+func (p *Proc) SetAnnotation(v any) { p.note = v }
+
+// Annotation returns the value set by SetAnnotation, or nil.
+func (p *Proc) Annotation() any { return p.note }
 
 // Sched returns the owning scheduler.
 func (p *Proc) Sched() *Scheduler { return p.s }

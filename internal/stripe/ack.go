@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -99,9 +100,11 @@ func Replicate(p *sim.Proc, copies []int, need int, name string,
 	// One-shot signals: the waiter re-arms a fresh one per wait round,
 	// every finishing replica fires whichever round is current.
 	var round *sim.Signal
+	sp := obs.Active(p)
 	for _, cp := range copies[1:] {
 		cp := cp
 		s.Go(fmt.Sprintf("%s-r%d", name, cp), func(wp *sim.Proc) {
+			obs.Activate(wp, sp)
 			_, err := op(wp, cp)
 			finished++
 			if err == nil {

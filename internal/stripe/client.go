@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"danas/internal/nas"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -23,9 +24,13 @@ func FanOut(p *sim.Proc, n int, name string, fn func(wp *sim.Proc, i int) error)
 	done := sim.NewSignal(s)
 	errs := make([]error, n)
 	remaining := n
+	// Workers carry the caller's span: each concurrent leg attributes its
+	// own waiting (phases are additive, so fan-out may sum past wall time).
+	sp := obs.Active(p)
 	for i := 0; i < n; i++ {
 		i := i
 		s.Go(fmt.Sprintf("%s-%d", name, i), func(wp *sim.Proc) {
+			obs.Activate(wp, sp)
 			errs[i] = fn(wp, i)
 			remaining--
 			if remaining == 0 {

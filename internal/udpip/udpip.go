@@ -10,6 +10,7 @@ import (
 
 	"danas/internal/host"
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -29,6 +30,16 @@ type Datagram struct {
 	// into a pre-posted buffer (RDDP-RPC header splitting): the reader
 	// skips all payload copies.
 	Direct bool
+
+	// span/sentAt attribute the datagram's flight — first fragment out to
+	// reassembly complete — to the carried operation's wire phase. Each IP
+	// fragment is its own NIC message, so the NIC-level hook cannot cover
+	// UDP; attribution happens here at reassembly completion instead.
+	// queuedAt stamps entry into the socket receive queue: the wait until
+	// a reader picks the datagram up attributes to the queue phase.
+	span     *obs.Span
+	sentAt   sim.Time
+	queuedAt sim.Time
 }
 
 // fragment is the wire context of one IP fragment of a datagram.
@@ -221,6 +232,8 @@ func (st *Stack) packetArrived(m *nic.Message) {
 		if !ok {
 			return // no listener: datagram dropped, as UDP does
 		}
+		frag.d.span.Add(obs.PhaseWire, st.h.S.Now().Sub(frag.d.sentAt))
+		frag.d.queuedAt = st.h.S.Now()
 		sk.queue.Put(frag.d)
 	})
 }
@@ -250,6 +263,7 @@ func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body
 		h.Copy(p, copyBytes)
 	}
 	d := &Datagram{From: sk.stack, FromPort: sk.port, Bytes: bytes, Body: body}
+	d.span = obs.Active(p)
 	maxFrag := int64(h.P.EtherMTU - ipHeaderBytes)
 	total := int(max(1, (bytes+maxFrag-1)/maxFrag))
 	sk.stack.nextID++
@@ -263,6 +277,11 @@ func (sk *Socket) SendTo(p *sim.Proc, dst *Stack, dstPort int, bytes int64, body
 		sent += fb
 		// Per-packet output processing + doorbell.
 		h.Compute(p, h.P.UDPSendPacket+h.P.PIOWrite)
+		if i == 0 {
+			// Flight time starts when the first fragment is posted, after
+			// its output processing (already attributed as CPU time).
+			d.sentAt = p.Now()
+		}
 		sk.stack.PacketsOut++
 		sk.stack.n.SendAsync(&nic.Message{
 			To:           dst.n,
@@ -317,6 +336,10 @@ func (sk *Socket) Recv(p *sim.Proc) *Datagram {
 	h := sk.stack.h
 	h.Syscall(p)
 	d := sk.queue.Get(p)
+	// Receive-queue wait — a busy reader lets datagrams pile up behind
+	// it — is the carried op's queue phase (zero when the reader was
+	// already parked here).
+	d.span.Add(obs.PhaseQueue, p.Now().Sub(d.queuedAt))
 	h.Compute(p, h.P.SchedWakeup)
 	return d
 }

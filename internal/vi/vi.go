@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"danas/internal/nic"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -76,6 +77,9 @@ type Msg struct {
 	// Tag requests RDDP-RPC direct placement at the receiver (used by the
 	// pre-posting NFS client, not by DAFS).
 	Tag uint64
+	// Span, when non-nil, attributes the message's flight time to the
+	// carried operation's wire phase.
+	Span *obs.Span
 }
 
 // Send posts a message toward the peer from process context.
@@ -88,6 +92,7 @@ func (q *QP) Send(p *sim.Proc, m *Msg) {
 		Header:       m.Header,
 		Payload:      m.Payload,
 		Tag:          m.Tag,
+		Span:         m.Span,
 	})
 }
 
@@ -102,6 +107,7 @@ func (q *QP) SendAsync(m *Msg) {
 		Header:       m.Header,
 		Payload:      m.Payload,
 		Tag:          m.Tag,
+		Span:         m.Span,
 	})
 }
 
@@ -139,7 +145,13 @@ func (q *QP) RDMA(p *sim.Proc, kind nic.OpKind, va uint64, length int64, cap []b
 		Done:    func(s nic.Status) { st = s; sig.Fire() },
 		Timeout: q.timeout,
 	})
+	// The descriptor's whole flight — request, remote DMA, data stream,
+	// ack — is wire time of the operation driving it. The bracket opens
+	// after RDMA returns, which has already charged (and attributed)
+	// the host-side post cost.
+	t0 := p.Now()
 	sig.Wait(p)
+	obs.Active(p).Add(obs.PhaseWire, p.Now().Sub(t0))
 	// Charge the completion consumption cost in the waiter's context.
 	h := q.n.Host()
 	if q.ep.Mode == nic.Poll {

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"danas/internal/fsim"
+	"danas/internal/obs"
 	"danas/internal/sim"
 )
 
@@ -148,6 +149,11 @@ func (f *Flusher) DirtyBlocks() int {
 	return n
 }
 
+// Throttling reports whether writers are currently parked at the
+// high-water mark awaiting a low-water release (the telemetry sampler's
+// wb-throttle gauge).
+func (f *Flusher) Throttling() bool { return f.release != nil && !f.release.Fired() }
+
 // Stats returns a copy of the counters.
 func (f *Flusher) Stats() Stats { return f.stats }
 
@@ -168,8 +174,14 @@ func (f *Flusher) Write(p *sim.Proc, fl *fsim.File, off, n int64, stable bool) {
 	if stable {
 		// Write-through: the freshly-marked blocks (plus any older dirty
 		// neighbours in the range) destage before the handler replies.
+		// The whole drain is a stall bracket: an op held hostage by
+		// destage bandwidth reports as stall, not as the disk writes the
+		// drain is made of.
 		f.stats.StableWrites++
+		sp := obs.Active(p)
+		mark, t0 := sp.Mark(), p.Now()
 		f.destageRange(p, fl, off, n, false)
+		sp.Rebucket(mark, p.Now().Sub(t0), obs.PhaseStall)
 		return
 	}
 	if f.kick != nil && !f.kick.Fired() {
@@ -184,7 +196,9 @@ func (f *Flusher) Write(p *sim.Proc, fl *fsim.File, off, n int64, stable bool) {
 			}
 			f.release.Wait(p)
 		}
-		f.stats.StallTime += p.Now().Sub(t0)
+		stalled := p.Now().Sub(t0)
+		f.stats.StallTime += stalled
+		obs.Active(p).Add(obs.PhaseStall, stalled)
 	}
 }
 
@@ -215,7 +229,13 @@ func (f *Flusher) markRange(fl *fsim.File, off, n int64) {
 // not re-written.
 func (f *Flusher) Commit(p *sim.Proc, fl *fsim.File, off, n int64) uint64 {
 	f.stats.Commits++
+	// Commit drains are stall brackets like stable-write drains: the
+	// disk time (and in-flight waits) they are made of rebuckets into
+	// the stall phase of the committing op's span.
+	sp := obs.Active(p)
+	mark, t0 := sp.Mark(), p.Now()
 	f.destageRange(p, fl, off, n, true)
+	sp.Rebucket(mark, p.Now().Sub(t0), obs.PhaseStall)
 	return f.verifier
 }
 

@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"danas/internal/obs"
 )
 
 // Op enumerates protocol operations.
@@ -95,6 +97,12 @@ type Header struct {
 	// on the wire.
 	Flags    uint8
 	Verifier uint64
+
+	// Span is the originating operation's trace span, passed by reference
+	// alongside the decoded header so servers can attribute their work to
+	// it. It is simulator instrumentation, never encoded on the wire, and
+	// contributes nothing to WireSize.
+	Span *obs.Span
 }
 
 // fixedSize is the encoded size of the fixed fields.

@@ -5,6 +5,7 @@ import (
 
 	"danas/internal/metrics"
 	"danas/internal/nas"
+	"danas/internal/obs"
 	"danas/internal/sim"
 	"danas/internal/trace"
 )
@@ -72,6 +73,17 @@ func Replay(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace) (*ReplayResult, err
 // event offsets are relative to the same origin as the trace's recorded
 // arrival times.
 func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(start sim.Time)) (*ReplayResult, error) {
+	return ReplayObserved(p, ac, tr, onStart, nil)
+}
+
+// ReplayObserved is ReplayWith with per-operation tracing: when rc is
+// non-nil every trace record gets a span starting at its scheduled
+// arrival, carried through the protocol stack by the async client, and
+// finalized (end instant, error flag) as its completion is collected.
+// Submission delay past the scheduled arrival — the queue was full —
+// is attributed to the span's queue phase. A nil rc is exactly the
+// untraced replay: no spans are allocated and no hook fires.
+func ReplayObserved(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(start sim.Time), rc *obs.Recorder) (*ReplayResult, error) {
 	res := &ReplayResult{
 		Issues:  make([]sim.Time, len(tr)),
 		OpDone:  make([]sim.Time, len(tr)),
@@ -108,6 +120,10 @@ func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(st
 	// runs one process at a time and the submitter stores the tag
 	// before yielding, so the collector always finds it.
 	recIdx := make(map[uint64]int, len(tr))
+	var spans []*obs.Span
+	if rc != nil {
+		spans = make([]*obs.Span, len(tr))
+	}
 	var firstErr error
 	var lastDone sim.Time
 	collected := 0
@@ -129,6 +145,12 @@ func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(st
 					res.OpDone[i] = comp.Done
 					res.OpErr[i] = comp.Err
 					res.OpBytes[i] = comp.N
+					if spans != nil {
+						if sp := spans[i]; sp != nil {
+							sp.End = comp.Done
+							sp.Err = comp.Err != nil
+						}
+					}
 					delete(recIdx, comp.Tag)
 				}
 				if comp.Done > lastDone {
@@ -144,6 +166,11 @@ func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(st
 		if now := p.Now(); now < target {
 			p.Sleep(target.Sub(now))
 		}
+		var sp *obs.Span
+		if rc != nil {
+			sp = rc.NewSpan(i, rec.Kind.String(), target)
+			spans[i] = sp
+		}
 		tag := ac.Submit(p, nas.Op{
 			Kind: rec.Kind,
 			H:    handles[rec.File],
@@ -152,11 +179,15 @@ func ReplayWith(p *sim.Proc, ac nas.AsyncClient, tr trace.Trace, onStart func(st
 			// Cycle through Depth buffer identities, modelling a
 			// depth-sized pool of application buffers.
 			BufID: 1 + uint64(i)%depth,
+			Span:  sp,
 		})
 		recIdx[tag] = i
 		res.Issues[i] = p.Now()
 		if p.Now() > target {
 			res.Stalls++
+			// The span opens at the scheduled arrival: time lost waiting
+			// for a queue slot is the operation's queue phase.
+			sp.Add(obs.PhaseQueue, p.Now().Sub(target))
 		}
 		if o := ac.Outstanding(); o > res.MaxOutstanding {
 			res.MaxOutstanding = o
